@@ -1,0 +1,57 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+loop fusion, unroll-and-jam depth, and RSD corner handling."""
+
+import pytest
+
+from repro import kernels
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+N = 256
+GRID = (2, 2)
+
+
+@pytest.mark.parametrize("config,limit", [("fused", 0), ("unfused", 1)],
+                         ids=["fused", "unfused"])
+def test_fusion_ablation(benchmark, config, limit):
+    compiled = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": N},
+                           level="O4", outputs={"T"}, fusion_limit=limit)
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine)
+
+    result = benchmark(run)
+    benchmark.extra_info["config"] = config
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+    benchmark.extra_info["loop_nests"] = compiled.report.loop_nests
+
+
+@pytest.mark.parametrize("unroll", [1, 2, 4, 8])
+def test_unroll_jam_ablation(benchmark, unroll):
+    compiled = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": N},
+                           level="O4", outputs={"T"}, unroll_jam=unroll)
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine)
+
+    result = benchmark(run)
+    benchmark.extra_info["unroll_jam"] = unroll
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+
+
+@pytest.mark.parametrize("level", ["O2", "O3"], ids=["corners-chained",
+                                                     "corners-rsd"])
+def test_corner_handling_ablation(benchmark, level):
+    compiled = compile_hpf(kernels.NINE_POINT_CSHIFT, bindings={"N": N},
+                           level=level, outputs={"DST"})
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine)
+
+    result = benchmark(run)
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["messages"] = result.report.messages
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time

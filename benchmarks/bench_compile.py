@@ -1,0 +1,34 @@
+"""Compiler throughput: time to run the full pass pipeline.
+
+Not a paper exhibit, but a practical property of the system — the
+strategy is a fixed sequence of linear-ish passes and should compile
+stencils in milliseconds.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.compiler import compile_hpf
+
+CASES = [
+    ("five_point", kernels.FIVE_POINT_ARRAY_SYNTAX, "DST"),
+    ("nine_point_cshift", kernels.NINE_POINT_CSHIFT, "DST"),
+    ("problem9", kernels.PURDUE_PROBLEM9, "T"),
+    ("twentyfive_point", kernels.TWENTYFIVE_POINT_ARRAY_SYNTAX, "DST"),
+    ("box27_3d", kernels.TWENTYSEVEN_POINT_3D_CSHIFT, "DST"),
+]
+
+
+@pytest.mark.parametrize("name,source,out", CASES,
+                         ids=[c[0] for c in CASES])
+def test_compile_o4(benchmark, name, source, out):
+    compiled = benchmark(compile_hpf, source, bindings={"N": 128},
+                         level="O4", outputs={out})
+    benchmark.extra_info["overlap_shifts"] = compiled.report.overlap_shifts
+    benchmark.extra_info["loop_nests"] = compiled.report.loop_nests
+
+
+@pytest.mark.parametrize("level", ["O0", "O1", "O2", "O3", "O4"])
+def test_compile_levels(benchmark, level):
+    benchmark(compile_hpf, kernels.PURDUE_PROBLEM9, bindings={"N": 128},
+              level=level, outputs={"T"})

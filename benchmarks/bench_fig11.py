@@ -1,0 +1,56 @@
+"""Figure 11 benchmark: single-statement vs multi-statement under xlhpf.
+
+Wall time covers the naive backend's full shift movement (temporary
+copies included); extra_info carries the peak per-PE memory and the
+temporary-array counts whose 12-vs-3 gap drives the paper's
+out-of-memory crossover.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.baselines.naive import compile_xlhpf_like
+from repro.errors import SimulatedOutOfMemoryError
+from repro.experiments.fig11 import count_temp_storage
+from repro.machine import Machine
+
+N = 256
+GRID = (2, 2)
+
+SPECS = [
+    ("single_statement", kernels.NINE_POINT_CSHIFT, "DST", "SRC"),
+    ("problem9", kernels.PURDUE_PROBLEM9, "T", "U"),
+]
+
+
+@pytest.mark.parametrize("name,source,out,inp", SPECS,
+                         ids=[s[0] for s in SPECS])
+def test_naive_execution(benchmark, input_grid, name, source, out, inp):
+    compiled = compile_xlhpf_like(source, bindings={"N": N},
+                                  outputs={out})
+    u = input_grid(N)
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine, inputs={inp: u})
+
+    result = benchmark(run)
+    benchmark.extra_info["temp_storage"] = count_temp_storage(compiled,
+                                                              out)
+    benchmark.extra_info["peak_bytes_per_pe"] = result.peak_memory_per_pe
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+    benchmark.extra_info["N"] = N
+
+
+def test_fig11_oom_crossover():
+    """The 12-temporary form must exhaust memory at a size the
+    3-temporary form survives."""
+    cap = 1024 * 1024
+    single = compile_xlhpf_like(kernels.NINE_POINT_CSHIFT,
+                                bindings={"N": 384}, outputs={"DST"})
+    multi = compile_xlhpf_like(kernels.PURDUE_PROBLEM9,
+                               bindings={"N": 384}, outputs={"T"})
+    with pytest.raises(SimulatedOutOfMemoryError):
+        single.run(Machine(grid=GRID, memory_per_pe=cap))
+    res = multi.run(Machine(grid=GRID, memory_per_pe=cap))
+    assert res.modelled_time > 0

@@ -1,0 +1,68 @@
+"""Figure 17 benchmark: step-wise optimization of Problem 9.
+
+Wall time measures real execution of the compiled plan on the simulated
+4-PE machine (data movement + NumPy subgrid computation); the modelled
+SP-2 time — the series Figure 17 plots — is attached as extra_info.
+The paper's shape: every cumulative level is faster, O4 about 5x over
+O0, and the xlhpf-like baseline an order of magnitude beyond that.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.baselines.naive import compile_xlhpf_like
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+N = 256
+GRID = (2, 2)
+
+LEVELS = ["O0", "O1", "O2", "O3", "O4"]
+
+
+def _compiled(level: str):
+    return compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": N},
+                       level=level, outputs={"T"})
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_problem9_level(benchmark, level, input_grid):
+    compiled = _compiled(level)
+    u = input_grid(N)
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine, inputs={"U": u})
+
+    result = benchmark(run)
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+    benchmark.extra_info["messages"] = result.report.messages
+    benchmark.extra_info["copies"] = result.report.copies
+    benchmark.extra_info["N"] = N
+
+
+def test_problem9_xlhpf_like(benchmark, input_grid):
+    compiled = compile_xlhpf_like(kernels.PURDUE_PROBLEM9,
+                                  bindings={"N": N}, outputs={"T"})
+    u = input_grid(N)
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine, inputs={"U": u})
+
+    result = benchmark(run)
+    benchmark.extra_info["level"] = "xlhpf-like"
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+    benchmark.extra_info["N"] = N
+
+
+def test_fig17_ladder_shape():
+    """Regenerate the figure's series and assert the paper's shape."""
+    times = {}
+    for level in LEVELS:
+        machine = Machine(grid=GRID, keep_message_log=False)
+        times[level] = _compiled(level).run(machine).modelled_time
+    ladder = [times[lv] for lv in LEVELS]
+    assert ladder == sorted(ladder, reverse=True)
+    assert 2.5 <= times["O0"] / times["O4"] <= 10  # paper: 5.19x

@@ -1,0 +1,68 @@
+"""Figure 18 benchmark: three 9-point specifications.
+
+The paper's series: under xlhpf, the array-syntax stencil tracks the
+fully optimized times (within ~10% at the largest size) while both
+CSHIFT-based forms are an order of magnitude slower.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.baselines.naive import compile_xlhpf_like
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+N = 256
+GRID = (2, 2)
+COEFFS = {f"C{i}": 1.0 for i in range(1, 10)}
+
+CASES = [
+    ("xlhpf_cshift_single", kernels.NINE_POINT_CSHIFT, "DST", "SRC"),
+    ("xlhpf_problem9", kernels.PURDUE_PROBLEM9, "T", "U"),
+    ("xlhpf_array_syntax", kernels.NINE_POINT_ARRAY_SYNTAX, "DST", "SRC"),
+]
+
+
+@pytest.mark.parametrize("name,source,out,inp", CASES,
+                         ids=[c[0] for c in CASES])
+def test_xlhpf_specification(benchmark, input_grid, name, source, out,
+                             inp):
+    compiled = compile_xlhpf_like(source, bindings={"N": N},
+                                  outputs={out})
+    u = input_grid(N)
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine, inputs={inp: u}, scalars=COEFFS)
+
+    result = benchmark(run)
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+    benchmark.extra_info["N"] = N
+
+
+def test_our_strategy_reference(benchmark, input_grid):
+    compiled = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": N},
+                           level="O4", outputs={"T"})
+    u = input_grid(N)
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine, inputs={"U": u})
+
+    result = benchmark(run)
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+
+
+def test_fig18_series_shape():
+    times = {}
+    for name, source, out, _ in CASES:
+        compiled = compile_xlhpf_like(source, bindings={"N": N},
+                                      outputs={out})
+        times[name] = compiled.run(
+            Machine(grid=GRID, keep_message_log=False)).modelled_time
+    best = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": N},
+                       level="O4", outputs={"T"}).run(
+        Machine(grid=GRID, keep_message_log=False)).modelled_time
+    assert best <= times["xlhpf_array_syntax"] <= 1.25 * best
+    assert times["xlhpf_cshift_single"] > 5 * best
+    assert times["xlhpf_problem9"] > 5 * best

@@ -1,0 +1,64 @@
+"""Section 3.3 benchmark: communication unioning across stencil shapes.
+
+Wall time here measures the *communication phase* of each compiled
+kernel (the overlap shifts on the simulated network); extra_info records
+the 12->4-style shift-call reductions the paper reports in Figure 6.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.compiler import compile_hpf
+from repro.compiler.plan import OverlapShiftOp
+from repro.machine import Machine
+
+GRID = (2, 2)
+
+CASES = [
+    ("nine_point_cshift", kernels.NINE_POINT_CSHIFT, "DST", 128, 12, 4),
+    ("problem9", kernels.PURDUE_PROBLEM9, "T", 128, 8, 4),
+    ("twentyfive_point", kernels.TWENTYFIVE_POINT_ARRAY_SYNTAX, "DST",
+     128, 40, 4),
+    ("box27_3d", kernels.TWENTYSEVEN_POINT_3D_CSHIFT, "DST", 24, 54, 6),
+]
+
+
+def shift_count(compiled) -> int:
+    return sum(1 for op in compiled.plan.walk_ops()
+               if isinstance(op, OverlapShiftOp))
+
+
+@pytest.mark.parametrize("name,source,out,n,before,after", CASES,
+                         ids=[c[0] for c in CASES])
+def test_unioned_communication(benchmark, name, source, out, n, before,
+                               after):
+    unopt = compile_hpf(source, bindings={"N": n}, level="O2",
+                        outputs={out})
+    opt = compile_hpf(source, bindings={"N": n}, level="O3",
+                      outputs={out})
+    assert shift_count(unopt) == before
+    assert shift_count(opt) == after
+
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return opt.run(machine)
+
+    result = benchmark(run)
+    benchmark.extra_info["shifts_before"] = before
+    benchmark.extra_info["shifts_after"] = after
+    benchmark.extra_info["messages"] = result.report.messages
+
+
+def test_message_reduction_times():
+    """Unioned communication must be measurably cheaper in the model."""
+    for name, source, out, n, *_ in CASES:
+        t = {}
+        for level in ("O2", "O3"):
+            compiled = compile_hpf(source, bindings={"N": n},
+                                   level=level, outputs={out})
+            machine = Machine(grid=GRID, keep_message_log=False)
+            res = compiled.run(machine)
+            t[level] = (res.report.pe_comm_times[0], res.report.messages)
+        assert t["O3"][1] <= t["O2"][1], name
+        assert t["O3"][0] <= t["O2"][0] + 1e-12, name

@@ -1,0 +1,46 @@
+"""Strong-scaling benchmark: wall + modelled time across PE counts.
+
+The extension study of repro.experiments.scaling as a benchmark: the
+simulated wall time grows mildly with PE count (more Python-level PEs),
+while the modelled machine time — the series the study plots — drops
+nearly linearly until latency dominates.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+N = 256
+
+
+@pytest.mark.parametrize("grid", [(1, 1), (2, 2), (4, 4)],
+                         ids=["1pe", "4pe", "16pe"])
+def test_problem9_scaling(benchmark, grid, input_grid):
+    compiled = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": N},
+                           level="O4", outputs={"T"})
+    u = input_grid(N)
+    machine = Machine(grid=grid, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine, inputs={"U": u})
+
+    result = benchmark(run)
+    npes = grid[0] * grid[1]
+    benchmark.extra_info["npes"] = npes
+    benchmark.extra_info["modelled_time_s"] = result.modelled_time
+    benchmark.extra_info["messages"] = result.report.messages
+
+
+def test_modelled_speedup_shape():
+    times = {}
+    compiled = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": N},
+                           level="O4", outputs={"T"})
+    for grid in [(1, 1), (2, 2), (4, 4)]:
+        machine = Machine(grid=grid, keep_message_log=False)
+        times[grid] = compiled.run(machine).modelled_time
+    assert times[(1, 1)] > times[(2, 2)] > times[(4, 4)]
+    # at N=256 the fixed message latency already costs some efficiency;
+    # 4 PEs still must buy well over 2x
+    assert times[(1, 1)] / times[(2, 2)] > 2.0

@@ -1,0 +1,54 @@
+"""Section 4 storage benchmark: temporary arrays per specification.
+
+Wall time measures full naive vs optimized execution (allocation of the
+temporaries included); extra_info records the 12 / 3 / 0 temporary
+counts and the peak memory the paper's storage argument is about.
+"""
+
+import pytest
+
+from repro import kernels
+from repro.baselines.naive import compile_xlhpf_like
+from repro.compiler import compile_hpf
+from repro.experiments.fig11 import count_temp_storage
+from repro.machine import Machine
+
+N = 256
+GRID = (2, 2)
+
+SPECS = [
+    ("nine_point_single", kernels.NINE_POINT_CSHIFT, "DST", 12),
+    ("problem9", kernels.PURDUE_PROBLEM9, "T", 3),
+]
+
+
+@pytest.mark.parametrize("name,source,out,expected_temps", SPECS,
+                         ids=[s[0] for s in SPECS])
+def test_naive_storage(benchmark, name, source, out, expected_temps):
+    compiled = compile_xlhpf_like(source, bindings={"N": N},
+                                  outputs={out})
+    assert count_temp_storage(compiled, out) == expected_temps
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine)
+
+    result = benchmark(run)
+    benchmark.extra_info["temp_storage"] = expected_temps
+    benchmark.extra_info["peak_bytes_per_pe"] = result.peak_memory_per_pe
+
+
+@pytest.mark.parametrize("name,source,out,_expected", SPECS,
+                         ids=[s[0] for s in SPECS])
+def test_optimized_storage(benchmark, name, source, out, _expected):
+    compiled = compile_hpf(source, bindings={"N": N}, level="O4",
+                           outputs={out})
+    assert count_temp_storage(compiled, out) == 0
+    machine = Machine(grid=GRID, keep_message_log=False)
+
+    def run():
+        return compiled.run(machine)
+
+    result = benchmark(run)
+    benchmark.extra_info["temp_storage"] = 0
+    benchmark.extra_info["peak_bytes_per_pe"] = result.peak_memory_per_pe

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's evaluation exhibits:
+pytest-benchmark measures real wall time of executing the compiled plan
+on the simulated machine, and ``benchmark.extra_info`` carries the
+modelled SP-2 time and the static counts (messages, temporaries) that
+the paper's figures actually plot.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def input_grid():
+    def make(n: int, seed: int = 7, ndim: int = 2):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n,) * ndim).astype(np.float32)
+    return make

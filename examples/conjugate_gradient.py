@@ -1,0 +1,98 @@
+"""Conjugate-gradient solver, entirely in compiled HPF.
+
+The most demanding example: every part of a CG iteration — the 5-point
+stencil matrix-vector product, the dot products, the scalar recurrences
+and the vector updates — is expressed in the HPF source and compiled
+once.  Dot products lower to distributed reductions (per-PE partial +
+modelled allreduce); the matvec communicates through four overlap
+shifts; everything else is fused subgrid computation.
+
+The operator is a shifted torus Laplacian ``A = (4 + SIGMA) I - S``
+(circular neighbour sum ``S``), symmetric positive definite for
+``SIGMA > 0``, so CG converges without boundary handling.
+
+Run with:  python examples/conjugate_gradient.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+SOURCE = """
+      REAL, DIMENSION(N,N) :: X, R, P, Q, B
+!HPF$ DISTRIBUTE X(BLOCK,BLOCK)
+!HPF$ ALIGN R WITH X
+!HPF$ ALIGN P WITH X
+!HPF$ ALIGN Q WITH X
+!HPF$ ALIGN B WITH X
+      X = 0.0
+      R = B
+      P = R
+      RZ = SUM(R * R)
+      DO K = 1, NITER
+        Q = (4.0 + SIGMA) * P - CSHIFT(P,1,1) - CSHIFT(P,-1,1)
+     &    - CSHIFT(P,1,2) - CSHIFT(P,-1,2)
+        PAP = SUM(P * Q)
+        ALPHA = RZ / PAP
+        X = X + ALPHA * P
+        R = R - ALPHA * Q
+        RZNEW = SUM(R * R)
+        BETA = RZNEW / RZ
+        RZ = RZNEW
+        P = R + BETA * P
+      ENDDO
+"""
+
+
+def apply_operator(v: np.ndarray, sigma: float) -> np.ndarray:
+    s = sum(np.roll(v, sh, axis=ax) for ax in (0, 1) for sh in (-1, 1))
+    return (4.0 + sigma) * v - s
+
+
+def main() -> None:
+    n, niter, sigma = 32, 40, 0.5
+    rng = np.random.default_rng(11)
+    b = rng.standard_normal((n, n)).astype(np.float32)
+
+    compiled = compile_hpf(SOURCE, bindings={"N": n, "NITER": niter},
+                           level="O4", outputs={"X", "R"})
+    print(f"compiled CG: {compiled.report.overlap_shifts} overlap "
+          f"shifts and 3 reductions per iteration, "
+          f"{compiled.report.loop_nests} loop nests")
+
+    machine = Machine(grid=(2, 2))
+    result = compiled.run(machine, inputs={"B": b},
+                          scalars={"SIGMA": sigma})
+    x = result.arrays["X"].astype(np.float64)
+
+    residual = b - apply_operator(x, sigma)
+    rel = np.linalg.norm(residual) / np.linalg.norm(b)
+    print(f"after {niter} iterations: relative residual {rel:.3e}")
+    assert rel < 1e-4, "CG failed to converge"
+
+    # cross-check against the same CG in NumPy
+    xr = np.zeros_like(b, dtype=np.float64)
+    r = b.astype(np.float64).copy()
+    p = r.copy()
+    rz = float((r * r).sum())
+    for _ in range(niter):
+        q = apply_operator(p, sigma)
+        alpha = rz / float((p * q).sum())
+        xr += alpha * p
+        r -= alpha * q
+        rz_new = float((r * r).sum())
+        p = r + (rz_new / rz) * p
+        rz = rz_new
+    assert np.allclose(x, xr, rtol=1e-3, atol=1e-5)
+    print("matches the NumPy CG trajectory")
+
+    msgs = result.report.messages
+    per_iter = (msgs - 0) / niter
+    print(f"messages per iteration: {per_iter:.0f} "
+          f"(4 shifts x 4 PEs + 3 allreduces x 2 rounds x 4 PEs)")
+    print(f"modelled SP-2 time: {result.modelled_time * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""3-D heat diffusion with a 7-point stencil.
+
+Exercises the compiler's third dimension: the array is distributed
+(BLOCK,BLOCK,*) — planes split across a 2x2 processor grid, the third
+dimension collapsed on-processor.  Shifts along dimension 3 therefore
+move no messages at all (their "interprocessor component" is empty),
+and communication unioning leaves exactly four messages per step.
+
+Run with:  python examples/heat_3d.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+SOURCE = """
+      REAL, DIMENSION(N,N,N) :: U, T
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK,*)
+!HPF$ ALIGN T WITH U
+      DO K = 1, NSTEPS
+        T = U + ALPHA * ( CSHIFT(U,+1,1) + CSHIFT(U,-1,1)
+     &                  + CSHIFT(U,+1,2) + CSHIFT(U,-1,2)
+     &                  + CSHIFT(U,+1,3) + CSHIFT(U,-1,3)
+     &                  - 6.0 * U )
+        U = T
+      ENDDO
+"""
+
+
+def reference(u: np.ndarray, alpha: float, steps: int) -> np.ndarray:
+    u = u.copy()
+    for _ in range(steps):
+        lap = -6.0 * u
+        for axis in range(3):
+            lap += np.roll(u, -1, axis=axis) + np.roll(u, 1, axis=axis)
+        u = u + alpha * lap
+    return u
+
+
+def main() -> None:
+    n, steps, alpha = 24, 10, 0.1
+
+    compiled = compile_hpf(SOURCE, bindings={"N": n, "NSTEPS": steps},
+                           level="O4", outputs={"U"})
+    print(f"compiled: {compiled.report.overlap_shifts} overlap shifts "
+          f"per step ({compiled.report.loop_nests} fused nests)")
+
+    # hot sphere in the centre of a cold block
+    u0 = np.zeros((n, n, n), dtype=np.float32)
+    zz, yy, xx = np.mgrid[0:n, 0:n, 0:n]
+    u0[(zz - n // 2) ** 2 + (yy - n // 2) ** 2
+       + (xx - n // 2) ** 2 < (n // 6) ** 2] = 100.0
+
+    machine = Machine(grid=(2, 2))
+    result = compiled.run(machine, inputs={"U": u0},
+                          scalars={"ALPHA": alpha})
+    u = result.arrays["U"]
+    ref = reference(u0, alpha, steps)
+    assert np.allclose(u, ref, rtol=1e-4, atol=1e-3)
+
+    print(f"heat diffused: peak {u0.max():.1f} -> {u.max():.2f}, "
+          f"energy conserved to "
+          f"{abs(u.sum() - u0.sum()) / u0.sum():.2e}")
+    per_step = result.report.messages / steps
+    print(f"messages per step: {per_step:.0f} "
+          f"(dim-3 shifts are message-free on the collapsed dimension)")
+    print(f"modelled SP-2 time: {result.modelled_time * 1e3:.1f} ms "
+          f"for {steps} steps")
+
+
+if __name__ == "__main__":
+    main()

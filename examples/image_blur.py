@@ -1,0 +1,91 @@
+"""Image processing: separable-style 3x3 Gaussian blur and edge detect.
+
+Image processing is the paper's second motivating domain.  A 3x3
+Gaussian blur is exactly the 9-point stencil of Figure 2 with weighted
+taps (1-2-1 / 16), and a Laplacian edge detector is the 5-point stencil
+with centre weight -4.  Both compile to four messages per application —
+corners ride along in the RSDs.
+
+Run with:  python examples/image_blur.py
+"""
+
+import numpy as np
+
+from repro import kernels
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+GAUSS = {
+    "C1": 1 / 16, "C2": 2 / 16, "C3": 1 / 16,
+    "C4": 2 / 16, "C5": 4 / 16, "C6": 2 / 16,
+    "C7": 1 / 16, "C8": 2 / 16, "C9": 1 / 16,
+}
+
+LAPLACE_SOURCE = """
+      REAL, DIMENSION(N,N) :: EDGE, IMG
+!HPF$ DISTRIBUTE EDGE(BLOCK,BLOCK)
+!HPF$ ALIGN IMG WITH EDGE
+      EDGE(2:N-1,2:N-1) = IMG(1:N-2,2:N-1) + IMG(3:N,2:N-1)
+     &                  + IMG(2:N-1,1:N-2) + IMG(2:N-1,3:N)
+     &                  - 4.0 * IMG(2:N-1,2:N-1)
+"""
+
+
+def synthetic_image(n: int) -> np.ndarray:
+    """A test card: gradient background with a bright square and noise."""
+    yy, xx = np.mgrid[0:n, 0:n]
+    img = (xx / n).astype(np.float32)
+    img[n // 4: n // 2, n // 4: n // 2] += 1.0
+    rng = np.random.default_rng(42)
+    img += 0.05 * rng.standard_normal((n, n)).astype(np.float32)
+    return img
+
+
+def numpy_blur(img: np.ndarray) -> np.ndarray:
+    """Reference 3x3 Gaussian with circular boundaries."""
+    out = np.zeros_like(img)
+    weights = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]],
+                       dtype=np.float32) / 16
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            out += weights[di + 1, dj + 1] * np.roll(
+                np.roll(img, -di, axis=0), -dj, axis=1)
+    return out
+
+
+def main() -> None:
+    n = 128
+    img = synthetic_image(n)
+    machine = Machine(grid=(2, 2))
+
+    # --- 3x3 Gaussian blur: the 9-point CSHIFT stencil of Figure 2 ---
+    blur = compile_hpf(kernels.NINE_POINT_CSHIFT, bindings={"N": n},
+                       level="O4", outputs={"DST"})
+    # map the paper's term order (C1..C9) onto the Gaussian taps:
+    # CSHIFT offsets in Figure 2 are (-1,-1),(-1,0),(-1,+1),(0,-1),
+    # (0,0),(0,+1),(+1,-1),(+1,0),(+1,+1) for C1..C9, all weight-symmetric
+    result = blur.run(machine, inputs={"SRC": img}, scalars=GAUSS)
+    blurred = result.arrays["DST"]
+    assert np.allclose(blurred, numpy_blur(img), rtol=1e-4, atol=1e-6)
+    print(f"blur ok: {result.report.messages} messages, "
+          f"noise std {img.std():.3f} -> {blurred.std():.3f}")
+
+    # --- Laplacian edge detection: a weighted 5-point stencil ---
+    edges = compile_hpf(LAPLACE_SOURCE, bindings={"N": n}, level="O4",
+                        outputs={"EDGE"})
+    result = edges.run(Machine(grid=(2, 2)), inputs={"IMG": blurred})
+    e = result.arrays["EDGE"]
+    ref = np.zeros_like(blurred)
+    ref[1:-1, 1:-1] = (blurred[:-2, 1:-1] + blurred[2:, 1:-1]
+                       + blurred[1:-1, :-2] + blurred[1:-1, 2:]
+                       - 4 * blurred[1:-1, 1:-1])
+    assert np.allclose(e, ref, rtol=1e-4, atol=1e-6)
+    strongest = np.unravel_index(abs(e).argmax(), e.shape)
+    print(f"edge detect ok: strongest response at {strongest} "
+          f"(the bright square's corner)")
+    print(f"pipeline total modelled time: "
+          f"{result.modelled_time * 1e3:.3f} ms per frame")
+
+
+if __name__ == "__main__":
+    main()

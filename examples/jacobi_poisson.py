@@ -1,0 +1,76 @@
+"""Jacobi relaxation for the 2-D Poisson equation.
+
+The PDE-solving workload the paper's introduction motivates: repeated
+application of a 5-point stencil.  The whole time-stepped solver — the
+DO loop included — is expressed in HPF and compiled once; the update
+``U = 0.25 * (neighbors) - 0.25 * H2 * F`` runs as a single fused
+subgrid nest with 4 messages per iteration after optimization.
+
+Boundary conditions are handled with EOSHIFT-style zero boundaries via
+interior-only array syntax.
+
+Run with:  python examples/jacobi_poisson.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+SOURCE = """
+      REAL, DIMENSION(N,N) :: U, UNEW, F
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ ALIGN UNEW WITH U
+!HPF$ ALIGN F WITH U
+      DO K = 1, NITER
+        UNEW(2:N-1,2:N-1) = 0.25 * ( U(1:N-2,2:N-1) + U(3:N,2:N-1)
+     &                             + U(2:N-1,1:N-2) + U(2:N-1,3:N) )
+     &                    - 0.25 * H2 * F(2:N-1,2:N-1)
+        U(2:N-1,2:N-1) = UNEW(2:N-1,2:N-1)
+      ENDDO
+"""
+
+
+def main() -> None:
+    n, niter = 64, 200
+    h = 1.0 / (n - 1)
+
+    # right-hand side: a point source in the middle of the domain
+    f = np.zeros((n, n), dtype=np.float32)
+    f[n // 2, n // 2] = -4.0 / (h * h)
+
+    compiled = compile_hpf(SOURCE, bindings={"N": n, "NITER": niter},
+                           level="O4", outputs={"U"})
+    print(f"compiled solver: {compiled.report.overlap_shifts} shifts/iter, "
+          f"{compiled.report.loop_nests} loop nest(s) in the loop body")
+
+    machine = Machine(grid=(2, 2))
+    result = compiled.run(machine, inputs={"F": f},
+                          scalars={"H2": h * h})
+    u = result.arrays["U"]
+
+    # reference: the same Jacobi iteration in plain NumPy
+    ref = np.zeros((n, n), dtype=np.float32)
+    for _ in range(niter):
+        new = ref.copy()
+        new[1:-1, 1:-1] = 0.25 * (ref[:-2, 1:-1] + ref[2:, 1:-1]
+                                  + ref[1:-1, :-2] + ref[1:-1, 2:]) \
+            - 0.25 * h * h * f[1:-1, 1:-1]
+        ref = new
+    assert np.allclose(u, ref, rtol=1e-4, atol=1e-6)
+    print(f"matches NumPy Jacobi after {niter} iterations "
+          f"(max |u| = {abs(u).max():.4f})")
+
+    residual = np.zeros_like(u)
+    residual[1:-1, 1:-1] = (u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2]
+                            + u[1:-1, 2:] - 4 * u[1:-1, 1:-1]) / (h * h) \
+        - f[1:-1, 1:-1]
+    print(f"residual inf-norm: {abs(residual).max():.3e}")
+    print(f"messages total: {result.report.messages} "
+          f"({result.report.messages / niter:.0f} per iteration)")
+    print(f"modelled SP-2 time: {result.modelled_time * 1e3:.1f} ms "
+          f"for {niter} iterations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: compile and run a 5-point stencil.
+
+Demonstrates the three-step public API:
+
+1. write an HPF/Fortran90 stencil (array syntax or CSHIFT, your choice);
+2. ``compile_hpf`` it at an optimization level;
+3. run the compiled plan on a simulated distributed-memory machine.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+SOURCE = """
+      REAL, DIMENSION(N,N) :: DST, SRC
+!HPF$ DISTRIBUTE DST(BLOCK,BLOCK)
+!HPF$ ALIGN SRC WITH DST
+      DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1)
+     &                 + C2 * SRC(2:N-1,1:N-2)
+     &                 + C3 * SRC(2:N-1,2:N-1)
+     &                 + C4 * SRC(3:N  ,2:N-1)
+     &                 + C5 * SRC(2:N-1,3:N  )
+"""
+
+
+def main() -> None:
+    n = 64
+
+    # 1. compile at full optimization (the paper's complete strategy)
+    compiled = compile_hpf(SOURCE, bindings={"N": n}, level="O4",
+                           outputs={"DST"})
+    print(f"compiled: {compiled.report.overlap_shifts} overlap shifts, "
+          f"{compiled.report.loop_nests} fused loop nest(s), "
+          f"{compiled.report.temporaries} temporaries")
+
+    # 2. build a machine: 4 PEs in a 2x2 grid, like the paper's SP-2
+    machine = Machine(grid=(2, 2))
+
+    # 3. run with real inputs
+    src = np.random.default_rng(0).standard_normal((n, n)).astype(
+        np.float32)
+    weights = {"C1": 0.25, "C2": 0.25, "C3": -1.0, "C4": 0.25, "C5": 0.25}
+    result = compiled.run(machine, inputs={"SRC": src}, scalars=weights)
+
+    dst = result.arrays["DST"]
+    expected = np.zeros_like(src)
+    expected[1:-1, 1:-1] = (0.25 * src[:-2, 1:-1] + 0.25 * src[1:-1, :-2]
+                            - src[1:-1, 1:-1]
+                            + 0.25 * src[2:, 1:-1] + 0.25 * src[1:-1, 2:])
+    assert np.allclose(dst, expected, rtol=1e-5)
+    print("result matches the NumPy reference")
+
+    print(f"messages sent: {result.report.messages} "
+          f"({result.report.message_bytes} bytes)")
+    print(f"intraprocessor copies: {result.report.copies}")
+    print(f"modelled SP-2 time: {result.modelled_time * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

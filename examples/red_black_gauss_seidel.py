@@ -1,0 +1,94 @@
+"""Red-black Gauss-Seidel relaxation using WHERE masks.
+
+Classic checkerboard smoothing: points are coloured like a chessboard
+and each half-sweep updates one colour from the freshly updated other
+colour — converging roughly twice as fast as Jacobi.  The colouring is
+expressed with WHERE masks over a precomputed parity array, exercising
+masked assignments, the mask-evaluate-once lowering, and mask/stencil
+fusion in one realistic solver.
+
+Run with:  python examples/red_black_gauss_seidel.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+SOURCE = """
+      REAL, DIMENSION(N,N) :: U, F, RED
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ ALIGN F WITH U
+!HPF$ ALIGN RED WITH U
+      DO K = 1, NSWEEPS
+        WHERE (RED > 0.5)
+          U = 0.25 * ( CSHIFT(U,1,1) + CSHIFT(U,-1,1)
+     &               + CSHIFT(U,1,2) + CSHIFT(U,-1,2) - H2 * F )
+        END WHERE
+        WHERE (RED < 0.5)
+          U = 0.25 * ( CSHIFT(U,1,1) + CSHIFT(U,-1,1)
+     &               + CSHIFT(U,1,2) + CSHIFT(U,-1,2) - H2 * F )
+        END WHERE
+      ENDDO
+"""
+
+
+def parity(n: int) -> np.ndarray:
+    ii, jj = np.mgrid[0:n, 0:n]
+    return ((ii + jj) % 2 == 0).astype(np.float32)
+
+
+def numpy_red_black(u, f, h2, sweeps):
+    u = u.copy()
+    red = parity(u.shape[0]) > 0.5
+    for _ in range(sweeps):
+        for colour in (red, ~red):
+            nb = 0.25 * (np.roll(u, -1, 0) + np.roll(u, 1, 0)
+                         + np.roll(u, -1, 1) + np.roll(u, 1, 1)
+                         - h2 * f)
+            u = np.where(colour, nb, u).astype(np.float32)
+    return u
+
+
+def main() -> None:
+    n, sweeps = 32, 30
+    h2 = (1.0 / (n - 1)) ** 2
+    rng = np.random.default_rng(3)
+    f = rng.standard_normal((n, n)).astype(np.float32)
+    u0 = np.zeros((n, n), dtype=np.float32)
+
+    compiled = compile_hpf(SOURCE, bindings={"N": n, "NSWEEPS": sweeps},
+                           level="O4", outputs={"U"})
+    print(f"compiled red-black smoother: "
+          f"{compiled.report.overlap_shifts} overlap shifts per "
+          f"half-sweep pair")
+
+    machine = Machine(grid=(2, 2))
+    result = compiled.run(machine, inputs={"U": u0, "F": f,
+                                           "RED": parity(n)},
+                          scalars={"H2": h2})
+    u = result.arrays["U"]
+    expected = numpy_red_black(u0, f, h2, sweeps)
+    assert np.allclose(u, expected, rtol=1e-4, atol=1e-6)
+    print(f"matches the NumPy red-black smoother after {sweeps} sweeps")
+
+    # Gauss-Seidel effect: the second half-sweep uses fresh values, so
+    # the residual drops faster than an equal number of Jacobi sweeps
+    def residual(v):
+        lap = (np.roll(v, -1, 0) + np.roll(v, 1, 0) + np.roll(v, -1, 1)
+               + np.roll(v, 1, 1) - 4 * v)
+        return float(np.abs(lap - h2 * f).max())
+
+    jac = u0.copy()
+    for _ in range(sweeps):
+        jac = (0.25 * (np.roll(jac, -1, 0) + np.roll(jac, 1, 0)
+                       + np.roll(jac, -1, 1) + np.roll(jac, 1, 1)
+                       - h2 * f)).astype(np.float32)
+    print(f"residual after {sweeps} sweeps: red-black "
+          f"{residual(u):.3e} vs Jacobi {residual(jac):.3e}")
+    assert residual(u) < residual(jac)
+    print(f"modelled SP-2 time: {result.modelled_time * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

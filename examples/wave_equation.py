@@ -1,0 +1,79 @@
+"""2-D wave equation with leapfrog time stepping.
+
+Geometric modelling / seismic-style workload: the scalar wave equation
+``u_tt = c^2 (u_xx + u_yy)`` advanced by the explicit leapfrog scheme
+
+    UNEW = 2 U - UOLD + C2 * laplacian(U)
+
+Three time levels rotate through arrays each step; only ``U``'s overlap
+areas are refreshed per step (UOLD/UNEW never communicate) — the
+compiler figures that out by itself from the offset-array analysis.
+
+Run with:  python examples/wave_equation.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+SOURCE = """
+      REAL, DIMENSION(N,N) :: U, UOLD, UNEW
+!HPF$ DISTRIBUTE U(BLOCK,BLOCK)
+!HPF$ ALIGN UOLD WITH U
+!HPF$ ALIGN UNEW WITH U
+      DO STEP = 1, NSTEPS
+        UNEW = 2.0 * U - UOLD
+     &       + C2 * ( CSHIFT(U,1,1) + CSHIFT(U,-1,1)
+     &              + CSHIFT(U,1,2) + CSHIFT(U,-1,2) - 4.0 * U )
+        UOLD = U
+        U = UNEW
+      ENDDO
+"""
+
+
+def reference(u0, uold0, c2, steps):
+    u, uold = u0.astype(np.float64), uold0.astype(np.float64)
+    for _ in range(steps):
+        lap = (np.roll(u, -1, 0) + np.roll(u, 1, 0) + np.roll(u, -1, 1)
+               + np.roll(u, 1, 1) - 4 * u)
+        u, uold = 2 * u - uold + c2 * lap, u
+    return u
+
+
+def main() -> None:
+    n, steps, c2 = 64, 50, 0.2
+
+    # a Gaussian pulse, initially at rest (uold = u)
+    yy, xx = np.mgrid[0:n, 0:n]
+    r2 = (xx - n // 2) ** 2 + (yy - n // 2) ** 2
+    u0 = np.exp(-r2 / 18.0).astype(np.float32)
+
+    compiled = compile_hpf(SOURCE, bindings={"N": n, "NSTEPS": steps},
+                           level="O4", outputs={"U"},
+                           overlap_comm=True)
+    print(f"compiled leapfrog: {compiled.report.overlap_shifts} overlap "
+          f"shifts per step, {compiled.report.loop_nests} loop nests, "
+          f"comm overlapped with interior computation")
+
+    machine = Machine(grid=(2, 2))
+    result = compiled.run(machine, inputs={"U": u0, "UOLD": u0},
+                          scalars={"C2": c2})
+    u = result.arrays["U"]
+    ref = reference(u0, u0, c2, steps)
+    assert np.allclose(u, ref, rtol=1e-3, atol=1e-4)
+    print(f"matches the NumPy leapfrog after {steps} steps")
+
+    # the ring should have expanded: energy moved away from the centre
+    centre = abs(u[n // 2, n // 2])
+    ring = abs(u[n // 2, n // 4])
+    print(f"wavefront: centre amplitude {centre:.3f}, "
+          f"quarter-domain amplitude {ring:.3f}")
+    per_step = result.report.messages / steps
+    print(f"messages per step: {per_step:.0f} "
+          f"(only U communicates; UOLD/UNEW never do)")
+    print(f"modelled SP-2 time: {result.modelled_time * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

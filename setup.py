@@ -1,0 +1,6 @@
+"""Legacy setup shim so `pip install -e .` works without network access
+(the sandbox's pip cannot fetch PEP 517 build dependencies)."""
+
+from setuptools import setup
+
+setup()

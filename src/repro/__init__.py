@@ -1,0 +1,33 @@
+"""Reproduction of *Compiling Stencils in High Performance Fortran*
+(Roth, Mellor-Crummey, Kennedy, Brickner; SC'97).
+
+Public API
+----------
+:func:`repro.frontend.parse_program`
+    Parse HPF source into IR.
+:func:`repro.compiler.compile_hpf` / :class:`repro.compiler.HpfCompiler`
+    Compile a program at an optimization level (O0 .. O4, the paper's
+    cumulative pipeline) into an executable plan.
+:class:`repro.machine.Machine`
+    The simulated distributed-memory machine the plans run on.
+:mod:`repro.kernels`
+    The paper's benchmark kernels as source strings.
+"""
+
+__version__ = "1.0.0"
+
+# Re-exported lazily to keep import cost low for sub-package users.
+from repro.errors import ReproError  # noqa: F401
+
+
+def __getattr__(name: str):
+    if name == "parse_program":
+        from repro.frontend import parse_program
+        return parse_program
+    if name in ("compile_hpf", "HpfCompiler", "OptLevel"):
+        import repro.compiler as _c
+        return getattr(_c, name)
+    if name in ("Machine", "CostModel"):
+        import repro.machine as _m
+        return getattr(_m, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

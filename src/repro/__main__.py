@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``   compile an HPF file and print the compilation report, the
+              pass-by-pass IR trace (``--trace``), and the generated
+              SPMD program (``--plan``).
+``run``       compile and execute on the simulated machine with seeded
+              random inputs, printing result digests and the cost
+              summary.
+``experiments``  regenerate the paper's evaluation exhibits.
+
+Examples
+--------
+::
+
+   python -m repro compile kernel.f90 --bind N=512 --level O4 \\
+          --output T --trace --plan
+   python -m repro run kernel.f90 --bind N=256 --grid 2x2 --iters 10
+   python -m repro experiments fig17
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.analysis.report import describe_plan, describe_result
+from repro.compiler import compile_hpf
+from repro.errors import ReproError
+from repro.machine import Machine
+
+
+def _parse_bindings(pairs: list[str]) -> dict[str, int]:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--bind expects NAME=VALUE, got {pair!r}")
+        name, value = pair.split("=", 1)
+        out[name.strip()] = int(value)
+    return out
+
+
+def _parse_grid(text: str) -> tuple[int, ...]:
+    return tuple(int(p) for p in text.lower().split("x"))
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("file", help="HPF source file")
+    p.add_argument("--bind", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="bind a size parameter (repeatable)")
+    p.add_argument("--level", default="O4",
+                   help="optimization level O0..O4 (default O4)")
+    p.add_argument("--output", action="append", default=[],
+                   help="array live out of the routine (repeatable)")
+    p.add_argument("--cse", action="store_true",
+                   help="eliminate duplicate shifts during normalization")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable JSON report instead of "
+                        "prose")
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    compiled = compile_hpf(source, bindings=_parse_bindings(args.bind),
+                           level=args.level,
+                           outputs=set(args.output) or None,
+                           cse=args.cse, keep_trace=args.trace)
+    r = compiled.report
+    if args.json:
+        print(json.dumps({
+            "level": r.level,
+            "overlap_shifts": r.overlap_shifts,
+            "full_shifts": r.full_shifts,
+            "loop_nests": r.loop_nests,
+            "fused_statements": r.fused_statements,
+            "temporaries": r.temporaries,
+            "temp_bytes_global": r.temp_bytes_global,
+            "copies_inserted": r.copies_inserted,
+        }, indent=2))
+        return 0
+    print(f"level {r.level}: {r.overlap_shifts} overlap shifts, "
+          f"{r.full_shifts} full shifts, {r.loop_nests} loop nests "
+          f"({r.fused_statements} statements fused), "
+          f"{r.temporaries} temporaries, "
+          f"{r.copies_inserted} compensating copies")
+    if args.trace and compiled.trace is not None:
+        print()
+        print(compiled.trace)
+    if args.plan:
+        print()
+        print(describe_plan(compiled.plan))
+    if args.fortran:
+        print()
+        print(compiled.emit_fortran())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.file).read()
+    compiled = compile_hpf(source, bindings=_parse_bindings(args.bind),
+                           level=args.level,
+                           outputs=set(args.output) or None,
+                           cse=args.cse)
+    from repro.machine.presets import by_name
+    machine = Machine(grid=_parse_grid(args.grid),
+                      cost_model=by_name(args.machine),
+                      memory_per_pe=args.memory_mb * 1024 * 1024
+                      if args.memory_mb else None)
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    for name, decl in compiled.plan.arrays.items():
+        if name in compiled.plan.entry_arrays:
+            inputs[name] = rng.standard_normal(decl.shape).astype(
+                decl.dtype)
+    result = compiled.run(machine, inputs=inputs,
+                          iterations=args.iters)
+    if args.json:
+        out = result.summary()
+        out["checksums"] = {
+            name: float(np.abs(arr).sum())
+            for name, arr in sorted(result.arrays.items())}
+        print(json.dumps(out, indent=2))
+        return 0
+    for name, arr in sorted(result.arrays.items()):
+        print(f"{name}: shape={arr.shape} mean={arr.mean():.6g} "
+              f"checksum={float(np.abs(arr).sum()):.6g}")
+    print()
+    print(describe_result(result))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import (ablations, fig11, fig17, fig18,
+                                   messages, robustness, scaling,
+                                   sensitivity, storage)
+    mains = {
+        "fig11": fig11.main, "fig17": fig17.main, "fig18": fig18.main,
+        "messages": messages.main, "storage": storage.main,
+        "ablations": ablations.main, "scaling": scaling.main,
+        "sensitivity": sensitivity.main, "robustness": robustness.main,
+    }
+    names = list(mains) if args.name == "all" else [args.name]
+    for name in names:
+        print(f"##### {name} #####")
+        mains[name]()
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HPF stencil compiler reproduction (Roth et al., "
+                    "SC'97)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile and report")
+    _add_common(p)
+    p.add_argument("--trace", action="store_true",
+                   help="print the IR after every pass (Figures 12-15)")
+    p.add_argument("--plan", action="store_true",
+                   help="print the generated SPMD program (Figure 16)")
+    p.add_argument("--fortran", action="store_true",
+                   help="emit the Fortran77+MPI node program")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute")
+    _add_common(p)
+    p.add_argument("--grid", default="2x2",
+                   help="processor grid, e.g. 2x2 (default)")
+    p.add_argument("--iters", type=int, default=1,
+                   help="repeat the program this many times")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random seed for input arrays")
+    p.add_argument("--memory-mb", type=int, default=None,
+                   help="per-PE memory capacity in MB")
+    p.add_argument("--machine", default="sp2",
+                   help="cost-model preset: sp2 (default), ethernet, "
+                        "t3e, modern-node, modern-cluster")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("experiments",
+                       help="regenerate the paper's exhibits")
+    p.add_argument("name", choices=["fig11", "fig17", "fig18", "messages",
+                                    "storage", "ablations", "scaling",
+                                    "sensitivity", "robustness", "all"])
+    p.set_defaults(fn=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,3 @@
+"""Diagnostics: human-readable descriptions of compiled plans and runs."""
+
+from repro.analysis.report import describe_plan, describe_result  # noqa: F401

@@ -1,0 +1,113 @@
+"""Data-movement visualisation (the paper's Figures 5-10).
+
+Renders, per PE, which overlap cells each communication operation of a
+compiled program fills — the pictures the paper uses to explain
+``OVERLAP_SHIFT`` and the RSD corner pickup.  Cells show:
+
+* ``.``   interior (owned) points
+* `` ``   overlap cells never written
+* ``1-9`` overlap cells filled by the 1st, 2nd, ... communication op
+
+For the 9-point stencil the output reproduces Figure 10: the first two
+ops fill the row halos, the last two fill the column halos *including
+all four corners* (their digits appear in the corner cells because the
+RSD carried the row-halo cells along).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.plan import FullShiftOp, OverlapShiftOp, Plan
+from repro.machine.machine import Machine
+from repro.runtime.executor import _Exec
+
+
+@dataclass
+class MovementTrace:
+    """Fill-order maps per (array, PE): 0 = untouched overlap,
+    -1 = interior, k>0 = filled by the k-th communication op."""
+
+    arrays: dict[str, list[np.ndarray]] = field(default_factory=dict)
+    op_labels: list[str] = field(default_factory=list)
+
+    def render(self, array: str, pe: int) -> str:
+        fills = self.arrays[array][pe]
+        rows = []
+        for r in range(fills.shape[0]):
+            cells = []
+            for c in range(fills.shape[1]):
+                v = fills[r, c]
+                cells.append("." if v == -1 else
+                             " " if v == 0 else str(int(v)))
+            rows.append(" ".join(cells))
+        return "\n".join(rows)
+
+    def render_grid(self, array: str, grid: tuple[int, int]) -> str:
+        """All PEs side by side in their grid arrangement."""
+        blocks = [[self.render(array, self._rank(grid, gr, gc)).splitlines()
+                   for gc in range(grid[1])] for gr in range(grid[0])]
+        out = []
+        for gr, row in enumerate(blocks):
+            height = max(len(b) for b in row)
+            for line in range(height):
+                out.append("   |   ".join(
+                    b[line] if line < len(b) else "" for b in row))
+            if gr + 1 < len(blocks):
+                width = len(out[-1])
+                out.append("-" * width)
+        return "\n".join(out)
+
+    @staticmethod
+    def _rank(grid: tuple[int, int], r: int, c: int) -> int:
+        return r * grid[1] + c
+
+
+def trace_movement(plan: Plan, machine: Machine,
+                   array: str | None = None) -> MovementTrace:
+    """Execute only the data-movement prefix of ``plan`` (stopping at the
+    first computation) and record which overlap cells each op fills."""
+    machine.reset()
+    ex = _Exec(plan, machine, scalars=None, hpf_overhead=False)
+    for name in plan.entry_arrays:
+        ex.materialize(name)
+    trace = MovementTrace()
+    watched = [array] if array else [
+        name for name, decl in plan.arrays.items()
+        if any(h != (0, 0) for h in decl.halo)]
+    for name in watched:
+        if name not in ex.darrays:
+            ex.materialize(name)
+        da = ex.darrays[name]
+        maps = []
+        for pe in machine.topology.ranks():
+            m = np.zeros(da.padded(pe).shape, dtype=np.int16)
+            m[da.interior_slices(pe)] = -1
+            maps.append(m)
+        trace.arrays[name] = maps
+        # unique sentinels so fills are detectable
+        for pe in machine.topology.ranks():
+            da.padded(pe)[...] = np.nan
+            da.interior(pe)[...] = 1.0
+
+    opno = 0
+    for op in plan.ops:
+        if not isinstance(op, (OverlapShiftOp, FullShiftOp)):
+            break  # movement prefix only (post-partitioning: comm first)
+        before = {name: [ex.darrays[name].padded(pe).copy()
+                         for pe in machine.topology.ranks()]
+                  for name in trace.arrays}
+        ex.run_ops([op])
+        opno += 1
+        trace.op_labels.append(str(op))
+        for name in trace.arrays:
+            da = ex.darrays[name]
+            for pe in machine.topology.ranks():
+                changed = ~np.isnan(da.padded(pe)) & \
+                    np.isnan(before[name][pe])
+                trace.arrays[name][pe][changed] = opno
+    for name in list(ex.darrays):
+        ex.release(name)
+    return trace

@@ -1,0 +1,200 @@
+"""Static verification of overlap-area coverage.
+
+An independent checker for the compiled IR: every offset reference
+``U<o>`` must be preceded — on *every* control-flow path, with no
+intervening redefinition of ``U`` — by ``OVERLAP_SHIFT`` calls that make
+all the overlap cells ``o`` touches resident, with the matching fill
+kind (circular vs. EOSHIFT boundary).  The coverage rule mirrors the
+canonical construction of communication unioning: for each dimension
+``k`` with ``o_k != 0``, the region ``(U, k, sign(o_k))`` must be filled
+to depth ``|o_k|``, carrying the lower-dimension components of ``o`` in
+its orthogonal (RSD/base-offset) extension.
+
+The compiler runs this after its pass pipeline as a safety net; the test
+suite also aims it at hand-mutilated programs to prove it catches real
+coverage bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import (
+    Allocate, ArrayAssign, Deallocate, DoLoop, DoWhile, Expr, If,
+    OffsetRef, OverlapShift, ScalarAssign, Stmt,
+)
+from repro.ir.program import Program
+
+Fill = float | None
+
+
+@dataclass(frozen=True)
+class RegionCover:
+    """What one (array, dim, sign) overlap region currently holds."""
+
+    amount: int                    # filled depth along the shifted dim
+    ortho: tuple[tuple[int, int], ...]  # (lo, hi) coverage per other dim
+    fill: Fill
+
+    def meet(self, other: "RegionCover") -> "RegionCover | None":
+        if self.fill != other.fill:
+            return None
+        ortho = tuple((min(a[0], b[0]), min(a[1], b[1]))
+                      for a, b in zip(self.ortho, other.ortho))
+        return RegionCover(min(self.amount, other.amount), ortho,
+                           self.fill)
+
+
+State = dict[tuple[str, int, int], RegionCover]
+
+
+@dataclass
+class CoverageProblem:
+    stmt: Stmt
+    ref: OffsetRef
+    reason: str
+
+    def __str__(self) -> str:
+        return f"s{self.stmt.sid}: {self.ref}: {self.reason}"
+
+
+@dataclass
+class _Verifier:
+    program: Program
+    problems: list[CoverageProblem] = field(default_factory=list)
+
+    # -- state transfer ------------------------------------------------------
+    def _apply_shift(self, state: State, stmt: OverlapShift) -> None:
+        rank = self.program.symbols.array(stmt.array).type.rank
+        d = stmt.dim - 1
+        sign = 1 if stmt.shift > 0 else -1
+        ortho = []
+        for k in range(rank):
+            if k == d:
+                ortho.append((0, 0))
+                continue
+            lo = hi = 0
+            if stmt.rsd is not None and stmt.rsd.dims[k] is not None:
+                lo = stmt.rsd.dims[k].lo
+                hi = stmt.rsd.dims[k].hi
+            if stmt.base_offsets:
+                o = stmt.base_offsets[k]
+                lo = max(lo, -o if o < 0 else 0)
+                hi = max(hi, o if o > 0 else 0)
+            ortho.append((lo, hi))
+        key = (stmt.array, d, sign)
+        cover = RegionCover(abs(stmt.shift), tuple(ortho), stmt.boundary)
+        prev = state.get(key)
+        if prev is not None and prev.fill == cover.fill:
+            # refills accumulate coverage (larger subsumes smaller)
+            ortho2 = tuple((max(a[0], b[0]), max(a[1], b[1]))
+                           for a, b in zip(prev.ortho, cover.ortho))
+            cover = RegionCover(max(prev.amount, cover.amount), ortho2,
+                                cover.fill)
+        state[key] = cover
+
+    def _kill(self, state: State, name: str) -> None:
+        for key in list(state):
+            if key[0] == name:
+                del state[key]
+
+    # -- reference checking ------------------------------------------------------
+    def _check_ref(self, state: State, stmt: Stmt,
+                   ref: OffsetRef) -> None:
+        offs = ref.offsets
+        for k, o in enumerate(offs):
+            if o == 0:
+                continue
+            sign = 1 if o > 0 else -1
+            cover = state.get((ref.name, k, sign))
+            if cover is None:
+                self.problems.append(CoverageProblem(
+                    stmt, ref,
+                    f"no overlap fill for dim {k + 1} "
+                    f"direction {'+' if sign > 0 else '-'}"))
+                continue
+            if cover.fill != ref.boundary:
+                self.problems.append(CoverageProblem(
+                    stmt, ref,
+                    f"fill kind mismatch on dim {k + 1}: region holds "
+                    f"{cover.fill}, reference needs {ref.boundary}"))
+                continue
+            if cover.amount < abs(o):
+                self.problems.append(CoverageProblem(
+                    stmt, ref,
+                    f"overlap depth {cover.amount} < |{o}| on "
+                    f"dim {k + 1}"))
+                continue
+            for j in range(k):
+                oj = offs[j]
+                if oj == 0:
+                    continue
+                lo, hi = cover.ortho[j]
+                need = (-oj if oj < 0 else 0, oj if oj > 0 else 0)
+                if lo < need[0] or hi < need[1]:
+                    self.problems.append(CoverageProblem(
+                        stmt, ref,
+                        f"corner cells not carried: dim {k + 1} fill "
+                        f"extends ({lo},{hi}) in dim {j + 1}, needs "
+                        f"{need}"))
+
+    def _check_expr(self, state: State, stmt: Stmt, expr: Expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, OffsetRef):
+                self._check_ref(state, stmt, node)
+
+    # -- structured walk ----------------------------------------------------
+    def walk(self, body: list[Stmt], state: State) -> None:
+        for stmt in body:
+            if isinstance(stmt, OverlapShift):
+                self._apply_shift(state, stmt)
+            elif isinstance(stmt, ArrayAssign):
+                self._check_expr(state, stmt, stmt.rhs)
+                if stmt.mask is not None:
+                    self._check_expr(state, stmt, stmt.mask)
+                self._kill(state, stmt.lhs.name)
+            elif isinstance(stmt, ScalarAssign):
+                self._check_expr(state, stmt, stmt.rhs)
+            elif isinstance(stmt, (Allocate, Deallocate)):
+                for name in stmt.names:
+                    self._kill(state, name)
+            elif isinstance(stmt, If):
+                self._check_expr(state, stmt, stmt.cond)
+                s_then = dict(state)
+                s_else = dict(state)
+                self.walk(stmt.then_body, s_then)
+                self.walk(stmt.else_body, s_else)
+                state.clear()
+                for key in set(s_then) & set(s_else):
+                    met = s_then[key].meet(s_else[key])
+                    if met is not None:
+                        state[key] = met
+            elif isinstance(stmt, (DoLoop, DoWhile)):
+                # conservative around the back edge, mirroring the
+                # offset pass: anything the body redefines is not
+                # available on entry to any iteration
+                if isinstance(stmt, DoWhile):
+                    self._check_expr(state, stmt, stmt.cond)
+                killed = self._killed_in(stmt.body)
+                for key in list(state):
+                    if key[0] in killed:
+                        del state[key]
+                self.walk(stmt.body, state)
+
+    def _killed_in(self, body: list[Stmt]) -> set[str]:
+        killed: set[str] = set()
+        for stmt in body:
+            for s in stmt.walk():
+                if isinstance(s, ArrayAssign):
+                    killed.add(s.lhs.name)
+                elif isinstance(s, (Allocate, Deallocate)):
+                    killed.update(s.names)
+        return killed
+
+
+def verify_offset_coverage(program: Program) -> list[CoverageProblem]:
+    """Check every offset reference's overlap coverage; returns the
+    (empty when sound) problem list."""
+    verifier = _Verifier(program)
+    verifier.walk(program.body, {})
+    return verifier.problems

@@ -1,0 +1,14 @@
+"""Baseline compilers the paper compares against.
+
+* :mod:`repro.baselines.naive` — the xlhpf/CM-Fortran-style backend:
+  every shift intrinsic becomes a temporary plus full data movement, one
+  loop per statement, interpretive node code (paper Figures 4, 11, 18).
+* :mod:`repro.baselines.pattern` — a CM-2-convolution-compiler-style
+  pattern matcher that only accepts single-statement sum-of-products
+  CSHIFT stencils, reproducing the robustness comparison of section 6.
+"""
+
+from repro.baselines.naive import XlhpfLikeCompiler, compile_xlhpf_like  # noqa: F401
+from repro.baselines.pattern import (  # noqa: F401
+    PatternStencilCompiler, StencilPattern, match_stencil,
+)

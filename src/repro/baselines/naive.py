@@ -1,0 +1,77 @@
+"""The xlhpf-like naive backend.
+
+Models what the paper measured from IBM's xlhpf (and what CM Fortran
+emitted, Figure 4):
+
+* every ``CSHIFT``/``EOSHIFT`` intrinsic is translated into a temporary
+  array plus *both* components of the shift data movement — the
+  interprocessor slab exchange and a whole-subgrid intraprocessor copy;
+* one subgrid loop per array statement, no fusion, no communication
+  unioning;
+* interpretive node code: subgrid loops pay the cost model's
+  ``hpf_overhead_factor`` (calibrated from the paper's measured ~10x gap
+  between xlhpf and hand-written Fortran77+MPI).
+
+Exception reproducing Figure 18: early HPF compilers scalarized pure
+*array-syntax* statements directly, moving only off-processor data (the
+MasPar strategy of section 6), and handed the resulting single loop nest
+to a capable node compiler (xlf -O).  For a program with no explicit
+SHIFT intrinsics the baseline therefore compiles at full optimization
+minus unroll-and-jam (``unroll_jam=1``) and without the interpretive
+overhead factor.  This is why the paper's array-syntax 9-point stencil
+"tracked our best performance numbers for all problem sizes except the
+largest, where we had a 10% advantage" — the residual gap is exactly
+the unroll-and-jam (multi-stencil-swath) term.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.driver import HpfCompiler
+from repro.compiler.options import CompilerOptions, OptLevel
+from repro.compiler.plan import CompiledProgram
+from repro.frontend.parser import parse_program
+from repro.ir.nodes import ArrayAssign, CShift, EOShift
+from repro.ir.program import Program
+
+
+def _uses_shift_intrinsics(program: Program) -> bool:
+    for stmt in program.leaf_statements():
+        if isinstance(stmt, ArrayAssign):
+            for node in stmt.rhs.walk():
+                if isinstance(node, (CShift, EOShift)):
+                    return True
+    return False
+
+
+class XlhpfLikeCompiler:
+    """Early-HPF-compiler model with the per-input behaviour above."""
+
+    def __init__(self, outputs: set[str] | None = None) -> None:
+        self.outputs = outputs
+
+    def compile(self, source: "str | Program",
+                bindings: dict[str, int] | None = None) -> CompiledProgram:
+        if isinstance(source, Program):
+            program = source
+        else:
+            program = parse_program(source, bindings=bindings)
+        if _uses_shift_intrinsics(program):
+            # temporaries + full shift movement + interpretive node code
+            options = CompilerOptions.make(
+                OptLevel.O0, outputs=self.outputs, hpf_overhead=True)
+        else:
+            # the good path: direct scalarization of array syntax with
+            # overlap communication and xlf-quality node code, but no
+            # unroll-and-jam
+            options = CompilerOptions.make(
+                OptLevel.O4, outputs=self.outputs, unroll_jam=1)
+        compiled = HpfCompiler(options).compile(program)
+        compiled.report.pass_stats["baseline"] = "xlhpf-like"
+        return compiled
+
+
+def compile_xlhpf_like(source: "str | Program",
+                       bindings: dict[str, int] | None = None,
+                       outputs: set[str] | None = None) -> CompiledProgram:
+    """One-call xlhpf-like compilation (see :class:`XlhpfLikeCompiler`)."""
+    return XlhpfLikeCompiler(outputs=outputs).compile(source, bindings)

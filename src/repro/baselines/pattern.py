@@ -1,0 +1,157 @@
+"""A CM-2-stencil-compiler-style pattern matcher.
+
+The CM-2 "convolution compiler" (paper section 6, [4,5,6]) recognised
+exactly one shape: a *single* array assignment whose right-hand side is a
+sum of terms, each a coefficient multiplying a (possibly nested) CSHIFT
+expression of one common source array.  Anything else was rejected —
+"they avoid the general problem by restricting the domain of
+applicability".
+
+This module reproduces that baseline so the robustness experiments can
+show where pattern-driven stencil compilation fails while the paper's
+strategy succeeds:
+
+* multi-statement stencils (Problem 9) — rejected;
+* array-syntax stencils (Figures 1/18) — rejected (no CSHIFTs);
+* stencils with any structural variation (nested sums, divisions,
+  shifted coefficients) — rejected.
+
+On an accepted program the "hand-optimized microcode" is modelled by
+compiling at full optimization, which is fair to the baseline: the paper
+reports the CM-2 compiler produced excellent code *when it applied*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PatternMatchError
+from repro.compiler.driver import compile_hpf
+from repro.compiler.plan import CompiledProgram
+from repro.frontend.parser import parse_program
+from repro.ir.nodes import (
+    ArrayAssign, ArrayRef, BinOp, Const, CShift, Expr, ScalarRef, Stmt,
+    UnaryOp,
+)
+from repro.ir.program import Program
+
+
+@dataclass
+class StencilPattern:
+    """A matched stencil: source array, destination, and taps."""
+
+    source: str
+    destination: str
+    taps: list[tuple[tuple[int, ...], Expr | None]] = field(
+        default_factory=list)  # (offset vector, coefficient or None)
+
+    @property
+    def points(self) -> int:
+        return len(self.taps)
+
+
+def _flatten_sum(expr: Expr, terms: list[Expr], negate: bool = False) -> None:
+    if isinstance(expr, BinOp) and expr.op in "+-":
+        _flatten_sum(expr.left, terms, negate)
+        _flatten_sum(expr.right, terms,
+                     negate ^ (expr.op == "-"))
+    else:
+        terms.append(UnaryOp("-", expr) if negate else expr)
+
+
+def _shift_chain(expr: Expr, rank: int) -> tuple[str, tuple[int, ...]] | None:
+    """Resolve nested CSHIFTs down to (array, offsets); None if not one."""
+    offsets = [0] * rank
+    node = expr
+    while isinstance(node, CShift):
+        d = node.dim - 1
+        if d >= rank:
+            return None
+        offsets[d] += node.shift
+        node = node.array
+    if isinstance(node, ArrayRef) and node.section is None:
+        return node.name, tuple(offsets)
+    return None
+
+
+def match_stencil(program: Program) -> StencilPattern:
+    """Match the CM-2 pattern; raises :class:`PatternMatchError` with the
+    reason on any deviation."""
+    stmts: list[Stmt] = [s for s in program.leaf_statements()]
+    assigns = [s for s in stmts if isinstance(s, ArrayAssign)]
+    if len(assigns) != 1 or len(stmts) != len(assigns):
+        raise PatternMatchError(
+            f"stencil must be a single array assignment; found "
+            f"{len(stmts)} statements (the strategy of Roth et al. "
+            f"handles multi-statement stencils; this baseline does not)")
+    stmt = assigns[0]
+    if stmt.mask is not None:
+        raise PatternMatchError(
+            "masked (WHERE) assignments are not in the recognised "
+            "pattern")
+    if stmt.lhs.section is not None:
+        raise PatternMatchError(
+            "destination must be a whole array; sectioned assignments "
+            "(array-syntax stencils) are not in the recognised pattern")
+    rank = program.symbols.array(stmt.lhs.name).type.rank
+
+    terms: list[Expr] = []
+    _flatten_sum(stmt.rhs, terms)
+    pattern = StencilPattern(source="", destination=stmt.lhs.name)
+    for term in terms:
+        coeff: Expr | None = None
+        body = term
+        if isinstance(body, UnaryOp):
+            raise PatternMatchError(
+                "negated terms are not in the recognised pattern")
+        if isinstance(body, BinOp) and body.op == "*":
+            if isinstance(body.left, (Const, ScalarRef)):
+                coeff, body = body.left, body.right
+            elif isinstance(body.right, (Const, ScalarRef)):
+                coeff, body = body.right, body.left
+            else:
+                raise PatternMatchError(
+                    f"term {term} is not coefficient * shift-expression")
+        elif isinstance(body, BinOp):
+            raise PatternMatchError(
+                f"term {term} uses operator {body.op!r}; only sums of "
+                f"products are recognised")
+        chain = _shift_chain(body, rank)
+        if chain is None:
+            raise PatternMatchError(
+                f"term {term} is not a CSHIFT chain over a whole array "
+                f"(array-syntax operands are not accepted)")
+        name, offsets = chain
+        if not pattern.source:
+            pattern.source = name
+        elif pattern.source != name:
+            raise PatternMatchError(
+                f"all shifts must read one source array; found both "
+                f"{pattern.source} and {name}")
+        pattern.taps.append((offsets, coeff))
+    if not pattern.taps:
+        raise PatternMatchError("no stencil taps found")
+    return pattern
+
+
+class PatternStencilCompiler:
+    """Compile only what the pattern recogniser accepts."""
+
+    def __init__(self, outputs: set[str] | None = None) -> None:
+        self.outputs = outputs
+
+    def compile(self, source: "str | Program",
+                bindings: dict[str, int] | None = None) -> CompiledProgram:
+        """Raises :class:`PatternMatchError` unless the program is a
+        single-statement sum-of-products CSHIFT stencil."""
+        if isinstance(source, Program):
+            program = source
+        else:
+            program = parse_program(source, bindings=bindings)
+        pattern = match_stencil(program)
+        compiled = compile_hpf(program, level="O4",
+                               outputs=self.outputs or
+                               {pattern.destination})
+        compiled.report.pass_stats["baseline"] = "cm2-pattern"
+        compiled.report.pass_stats["pattern"] = pattern
+        return compiled

@@ -1,0 +1,18 @@
+"""Compiler driver: pipeline levels, code generation, executable plans.
+
+The optimization levels map onto the paper's cumulative strategy
+(section 5, Figure 17):
+
+========  =====================================================
+``O0``    normalized naive translation (full CSHIFTs, one loop
+          per statement) — the "original" Fortran77+MPI version
+``O1``    + offset arrays (section 3.1)
+``O2``    + context partitioning and loop fusion (section 3.2)
+``O3``    + communication unioning (section 3.3)
+``O4``    + memory optimizations (section 3.4)
+========  =====================================================
+"""
+
+from repro.compiler.options import OptLevel, CompilerOptions  # noqa: F401
+from repro.compiler.driver import HpfCompiler, compile_hpf  # noqa: F401
+from repro.compiler.plan import Plan, CompiledProgram  # noqa: F401

@@ -1,0 +1,142 @@
+"""The compiler driver: parse -> pass pipeline -> codegen."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.compiler.codegen import CodeGenerator
+from repro.compiler.options import CompilerOptions, OptLevel
+from repro.compiler.plan import CompiledProgram, CompileReport, FullShiftOp, \
+    LoopNestOp, OverlapShiftOp
+from repro.frontend.parser import parse_program
+from repro.ir.program import Program
+from repro.passes.comm_union import CommUnionPass
+from repro.passes.context_partition import ContextPartitionPass
+from repro.passes.normalize import NormalizePass
+from repro.passes.offset_arrays import OffsetArrayPass
+from repro.passes.pass_manager import Pass, PassManager, PassTrace
+
+
+class HpfCompiler:
+    """Compiles HPF programs with the paper's optimization strategy.
+
+    >>> from repro.compiler import HpfCompiler
+    >>> from repro import kernels
+    >>> cc = HpfCompiler.at_level("O4", outputs={"T"})
+    >>> prog = cc.compile(kernels.PURDUE_PROBLEM9, bindings={"N": 64})
+    >>> prog.report.overlap_shifts
+    4
+    """
+
+    def __init__(self, options: CompilerOptions | None = None) -> None:
+        self.options = options or CompilerOptions()
+
+    @staticmethod
+    def at_level(level: "OptLevel | int | str",
+                 outputs: set[str] | None = None,
+                 **kwargs) -> "HpfCompiler":
+        return HpfCompiler(CompilerOptions.make(level, outputs, **kwargs))
+
+    # -- pipeline construction ------------------------------------------------
+    def build_passes(self) -> list[Pass]:
+        opts = self.options
+        passes: list[Pass] = [
+            NormalizePass(pooled_temps=opts.pooled_temps, cse=opts.cse)]
+        if opts.level.offset_arrays:
+            passes.append(OffsetArrayPass(
+                max_offset=opts.max_offset,
+                outputs=set(opts.outputs) if opts.outputs else None))
+        if opts.level.context_partition:
+            passes.append(ContextPartitionPass())
+        if opts.level.comm_union:
+            passes.append(CommUnionPass())
+        if opts.hoist_comm:
+            from repro.passes.licm import CommMotionPass
+            passes.append(CommMotionPass())
+        return passes
+
+    # -- compilation --------------------------------------------------------
+    def compile(self, source: "str | Program",
+                bindings: dict[str, int] | None = None,
+                name: str = "MAIN") -> CompiledProgram:
+        """Compile HPF source text (or an already-parsed program, which is
+        deep-copied, not mutated) into an executable plan."""
+        if isinstance(source, Program):
+            program = copy.deepcopy(source)
+        else:
+            program = parse_program(source, bindings=bindings, name=name)
+        trace = PassTrace() if self.options.keep_trace else None
+        passes = self.build_passes()
+        PassManager(passes, trace).run(program)
+        self._verify_coverage(program)
+        gen = CodeGenerator(program, self.options)
+        plan = gen.generate()
+        report = self._build_report(program, plan, passes, gen)
+        return CompiledProgram(plan=plan, report=report,
+                               source_name=program.name, trace=trace)
+
+    def _verify_coverage(self, program: Program) -> None:
+        """Safety net: the transformed IR must not contain an offset
+        reference whose overlap cells no shift makes resident."""
+        from repro.analysis.verify_offsets import verify_offset_coverage
+        from repro.errors import PipelineError
+        problems = verify_offset_coverage(program)
+        if problems:
+            detail = "\n".join(str(p) for p in problems[:5])
+            raise PipelineError(
+                f"offset-array coverage verification failed "
+                f"({len(problems)} problem(s)):\n{detail}")
+
+    def _build_report(self, program: Program, plan, passes: list[Pass],
+                      gen: CodeGenerator) -> CompileReport:
+        report = CompileReport(level=self.options.level.name)
+        report.overlap_shifts = plan.count_ops(OverlapShiftOp)
+        report.full_shifts = plan.count_ops(FullShiftOp)
+        report.loop_nests = plan.count_ops(LoopNestOp)
+        report.fused_statements = gen.fused_statements
+        temps = [d for d in plan.arrays.values() if d.is_temporary]
+        report.temporaries = len(temps)
+        report.temp_bytes_global = sum(
+            int(d.dtype.itemsize) * _prod(d.shape) for d in temps)
+        for p in passes:
+            stats = getattr(p, "stats", None)
+            if stats is not None:
+                report.pass_stats[p.name] = stats
+        if self.options.hpf_overhead:
+            report.pass_stats["hpf_overhead"] = True
+        for p in passes:
+            if isinstance(p, OffsetArrayPass):
+                report.copies_inserted = p.stats.copies_inserted
+        return report
+
+
+def _prod(shape: tuple[int, ...]) -> int:
+    n = 1
+    for e in shape:
+        n *= e
+    return n
+
+
+def compile_hpf(source: "str | Program",
+                bindings: dict[str, int] | None = None,
+                level: "OptLevel | int | str" = OptLevel.O4,
+                outputs: set[str] | None = None,
+                **options) -> CompiledProgram:
+    """One-call compilation at an optimization level.
+
+    Parameters
+    ----------
+    source:
+        HPF source text or a parsed :class:`~repro.ir.program.Program`.
+    bindings:
+        Size parameters, e.g. ``{"N": 512}``.
+    level:
+        ``"O0"`` .. ``"O4"`` (see :class:`~repro.compiler.OptLevel`).
+    outputs:
+        Names of arrays live out of the routine; lets the offset-array
+        optimization drop dead temporaries (paper section 4.2).
+    options:
+        Remaining :class:`~repro.compiler.CompilerOptions` fields.
+    """
+    cc = HpfCompiler(CompilerOptions.make(level, outputs, **options))
+    return cc.compile(source, bindings=bindings)

@@ -1,0 +1,91 @@
+"""Optimization levels and compiler options."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OptLevel(enum.IntEnum):
+    """Cumulative optimization levels matching the paper's Figure 17."""
+
+    O0 = 0  # normalized naive translation ("original")
+    O1 = 1  # + offset arrays
+    O2 = 2  # + context partitioning / loop fusion
+    O3 = 3  # + communication unioning
+    O4 = 4  # + memory optimizations
+
+    @property
+    def offset_arrays(self) -> bool:
+        return self >= OptLevel.O1
+
+    @property
+    def context_partition(self) -> bool:
+        return self >= OptLevel.O2
+
+    @property
+    def fuse_loops(self) -> bool:
+        return self >= OptLevel.O2
+
+    @property
+    def comm_union(self) -> bool:
+        return self >= OptLevel.O3
+
+    @property
+    def memopt(self) -> bool:
+        return self >= OptLevel.O4
+
+    @staticmethod
+    def parse(value: "OptLevel | int | str") -> "OptLevel":
+        if isinstance(value, OptLevel):
+            return value
+        if isinstance(value, int):
+            return OptLevel(value)
+        return OptLevel[value.upper()]
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs of the compilation pipeline.
+
+    ``outputs`` lists arrays live out of the routine (paper section 4.2:
+    dead temporaries like RIP/RIN need not be materialised).  ``None``
+    keeps every user array live — safe but pessimistic.
+
+    ``max_offset`` is the offset-array "small constant" criterion and the
+    overlap-area width bound.
+
+    ``unroll_jam`` is the outer-loop unroll factor used by the memory
+    optimizer's analysis (paper section 3.4 / the CM-2 "multi-stencil
+    swath" analogue).
+
+    ``fusion_limit`` caps statements per fused nest to guard against
+    over-fusion (0 = unlimited); an ablation knob.
+
+    ``pooled_temps`` selects the normalizer's temporary policy
+    (pooled reuse across statements vs. one per shift).
+
+    ``hpf_overhead`` multiplies subgrid-loop cost to model an early HPF
+    compiler's interpretive node code; used only by the xlhpf-like
+    baseline.
+    """
+
+    level: OptLevel = OptLevel.O4
+    outputs: frozenset[str] | None = None
+    max_offset: int = 4
+    unroll_jam: int = 2
+    fusion_limit: int = 0
+    pooled_temps: bool = True
+    cse: bool = False
+    hoist_comm: bool = False
+    overlap_comm: bool = False
+    hpf_overhead: bool = False
+    keep_trace: bool = False
+
+    @staticmethod
+    def make(level: "OptLevel | int | str" = OptLevel.O4,
+             outputs: "set[str] | frozenset[str] | None" = None,
+             **kwargs) -> "CompilerOptions":
+        lv = OptLevel.parse(level)
+        outs = frozenset(n.upper() for n in outputs) if outputs else None
+        return CompilerOptions(level=lv, outputs=outs, **kwargs)

@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating the paper's evaluation exhibits.
+
+Each module reproduces one figure/table and can be run as a script:
+
+* ``python -m repro.experiments.fig11`` — Figure 11: xlhpf-like memory
+  exhaustion of the single-statement 9-point stencil vs. Problem 9.
+* ``python -m repro.experiments.fig17`` — Figure 17: step-wise results
+  of the compilation strategy on Problem 9.
+* ``python -m repro.experiments.fig18`` — Figure 18: three 9-point
+  specifications under the naive compiler vs. the full strategy.
+* ``python -m repro.experiments.messages`` — section 3.3: message
+  minimisation across stencil shapes (12 -> 4 for the 9-point).
+* ``python -m repro.experiments.storage`` — section 4: temporary-array
+  storage (12 vs. 3 temporaries; none after offset arrays).
+* ``python -m repro.experiments.ablations`` — design-choice ablations
+  (fusion, unroll-and-jam factor, temporary pooling).
+
+Extension studies beyond the paper's evaluation:
+
+* ``python -m repro.experiments.scaling`` — strong scaling from 1 to 64
+  PEs (the paper stopped at 4).
+* ``python -m repro.experiments.sensitivity`` — how each optimization's
+  share of the win shifts across machine balances (SP-2 to modern).
+
+All results are deterministic (analytic cost model + seeded inputs).
+"""

@@ -1,0 +1,80 @@
+"""ASCII line charts for the experiment figures.
+
+The paper's evaluation exhibits are log-scale time-vs-problem-size
+plots; :class:`AsciiChart` renders the same series in the terminal so
+``python -m repro experiments fig17`` shows the figure, not just the
+table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: plotting glyphs per series, in order
+MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    label: str
+    values: list[float]
+
+
+@dataclass
+class AsciiChart:
+    """A log-y, categorical-x chart (x = problem sizes)."""
+
+    title: str
+    x_labels: list[str]
+    series: list[Series] = field(default_factory=list)
+    height: int = 16
+    col_width: int = 8
+
+    def add(self, label: str, values: list[float]) -> None:
+        if len(values) != len(self.x_labels):
+            raise ValueError(
+                f"series {label}: {len(values)} values for "
+                f"{len(self.x_labels)} x positions")
+        if any(v <= 0 for v in values):
+            raise ValueError("log-scale chart requires positive values")
+        self.series.append(Series(label, list(values)))
+
+    def render(self) -> str:
+        if not self.series:
+            return self.title + "\n(no data)"
+        lo = min(min(s.values) for s in self.series)
+        hi = max(max(s.values) for s in self.series)
+        lg_lo, lg_hi = math.log10(lo), math.log10(hi)
+        if lg_hi - lg_lo < 1e-9:
+            lg_hi = lg_lo + 1.0
+
+        def row_of(value: float) -> int:
+            frac = (math.log10(value) - lg_lo) / (lg_hi - lg_lo)
+            return round(frac * (self.height - 1))
+
+        width = self.col_width * len(self.x_labels)
+        grid = [[" "] * width for _ in range(self.height)]
+        for si, s in enumerate(self.series):
+            mark = MARKERS[si % len(MARKERS)]
+            for xi, v in enumerate(s.values):
+                r = self.height - 1 - row_of(v)
+                c = xi * self.col_width + self.col_width // 2
+                grid[r][c] = mark
+
+        out = [self.title]
+        for r in range(self.height):
+            # y-axis label every few rows
+            frac = (self.height - 1 - r) / (self.height - 1)
+            val = 10 ** (lg_lo + frac * (lg_hi - lg_lo))
+            label = f"{val:8.2e} |" if r % 4 == 0 else "         |"
+            out.append(label + "".join(grid[r]))
+        out.append("         +" + "-" * width)
+        xl = "          "
+        for lab in self.x_labels:
+            xl += str(lab).ljust(self.col_width)
+        out.append(xl)
+        legend = "  ".join(f"{MARKERS[i % len(MARKERS)]}={s.label}"
+                           for i, s in enumerate(self.series))
+        out.append("          " + legend)
+        return "\n".join(out)

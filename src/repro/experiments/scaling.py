@@ -1,0 +1,78 @@
+"""Extension study: scaling with processor count.
+
+The paper's SP-2 had 4 processors; the simulator lets us ask how the
+compiled code scales.  Fixed problem size (strong scaling), grids from
+1x1 to 8x8: compute shrinks with P while the per-PE message count stays
+constant (4 messages per stencil application regardless of P — the point
+of communication unioning), so the communication fraction grows and the
+speedup curve rolls off exactly where the model predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import kernels
+from repro.compiler import compile_hpf
+from repro.experiments.harness import Table, run_on_machine
+
+DEFAULT_GRIDS = ((1, 1), (2, 1), (2, 2), (4, 2), (4, 4), (8, 4), (8, 8))
+
+
+@dataclass
+class ScalingRow:
+    grid: tuple[int, int]
+    npes: int
+    modelled_time: float
+    speedup: float
+    efficiency: float
+    comm_fraction: float
+    messages: int
+
+
+@dataclass
+class ScalingResult:
+    n: int
+    level: str
+    rows: list[ScalingRow] = field(default_factory=list)
+
+
+def run(n: int = 1024, level: str = "O4",
+        grids: tuple[tuple[int, int], ...] = DEFAULT_GRIDS) -> ScalingResult:
+    result = ScalingResult(n=n, level=level)
+    base: float | None = None
+    for grid in grids:
+        compiled = compile_hpf(kernels.PURDUE_PROBLEM9,
+                               bindings={"N": n}, level=level,
+                               outputs={"T"})
+        res = run_on_machine(compiled, grid=grid)
+        t = res.modelled_time
+        base = base if base is not None else t
+        npes = grid[0] * grid[1]
+        result.rows.append(ScalingRow(
+            grid, npes, t, base / t, base / t / npes,
+            res.report.comm_time_fraction, res.report.messages))
+    return result
+
+
+def build_table(result: ScalingResult) -> Table:
+    t = Table(
+        f"Strong scaling — Problem 9 at {result.level}, N={result.n}",
+        ["grid", "PEs", "modelled time (s)", "speedup", "efficiency",
+         "comm %", "messages"],
+    )
+    for r in result.rows:
+        t.add("x".join(map(str, r.grid)), r.npes, r.modelled_time,
+              r.speedup, r.efficiency, 100 * r.comm_fraction, r.messages)
+    t.note("per-PE message count is constant (4 per application): "
+           "unioning already minimised it, so scaling rolls off only "
+           "through the fixed per-message latency")
+    return t
+
+
+def main() -> None:
+    print(build_table(run()).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Temporary-array storage across specifications and levels (section 4).
+
+The paper's storage claims:
+
+* a naive compiler gives the single-statement 9-point CSHIFT stencil 12
+  temporary arrays, but Problem 9 only 3 (live ranges of the last six
+  CSHIFTs do not overlap) — "this reduces the temporary storage
+  requirements by a factor of four!";
+* after offset-array optimization no temporaries remain at all ("they
+  need not be allocated"), so larger problems fit on a given machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import kernels
+from repro.baselines.naive import compile_xlhpf_like
+from repro.compiler import compile_hpf
+from repro.experiments.fig11 import count_temp_storage
+from repro.experiments.harness import PAPER_GRID, Table, run_on_machine
+
+SPECS = [
+    ("9-pt CSHIFT single-stmt", kernels.NINE_POINT_CSHIFT, "DST"),
+    ("Problem 9 multi-stmt", kernels.PURDUE_PROBLEM9, "T"),
+    ("9-pt array syntax", kernels.NINE_POINT_ARRAY_SYNTAX, "DST"),
+]
+
+
+@dataclass
+class StorageRow:
+    spec: str
+    level: str
+    temp_storage: int
+    peak_mb_per_pe: float
+
+
+@dataclass
+class StorageResult:
+    n: int
+    rows: list[StorageRow] = field(default_factory=list)
+
+
+def run(n: int = 512,
+        grid: tuple[int, ...] = PAPER_GRID) -> StorageResult:
+    result = StorageResult(n=n)
+    for spec, source, out in SPECS:
+        naive = compile_xlhpf_like(source, bindings={"N": n},
+                                   outputs={out})
+        res = run_on_machine(naive, grid=grid)
+        result.rows.append(StorageRow(
+            spec, "naive", count_temp_storage(naive, out),
+            res.peak_memory_per_pe / (1024 * 1024)))
+        opt = compile_hpf(source, bindings={"N": n}, level="O4",
+                          outputs={out})
+        res = run_on_machine(opt, grid=grid)
+        result.rows.append(StorageRow(
+            spec, "O4", count_temp_storage(opt, out),
+            res.peak_memory_per_pe / (1024 * 1024)))
+    return result
+
+
+def build_table(result: StorageResult) -> Table:
+    t = Table(
+        f"Temporary storage per specification (N={result.n})",
+        ["specification", "compiler", "temp arrays", "peak MB/PE"],
+    )
+    for r in result.rows:
+        t.add(r.spec, r.level, r.temp_storage, r.peak_mb_per_pe)
+    t.note("paper: 12 vs 3 temporaries naive; zero after offset arrays")
+    return t
+
+
+def main() -> None:
+    print(build_table(run()).render())
+
+
+if __name__ == "__main__":
+    main()

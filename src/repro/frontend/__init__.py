@@ -1,0 +1,12 @@
+"""Frontend: lexer and parser for the Fortran 90 / HPF subset.
+
+The subset covers everything the paper's kernels use: type declarations,
+``PARAMETER`` constants, HPF ``DISTRIBUTE``/``ALIGN`` directives,
+``ALLOCATE``/``DEALLOCATE``, array assignment with section triplets,
+``CSHIFT``/``EOSHIFT`` intrinsics, ``DO`` loops and ``IF`` blocks, and
+``&`` continuation lines.  The parser builds :mod:`repro.ir` programs
+directly.
+"""
+
+from repro.frontend.parser import parse_program  # noqa: F401
+from repro.frontend.lexer import tokenize  # noqa: F401

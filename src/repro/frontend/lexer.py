@@ -1,0 +1,159 @@
+"""Tokenizer for the Fortran 90 / HPF subset.
+
+Fortran specifics handled here so the parser can stay simple:
+
+* free-form ``&`` continuations (trailing ``&`` joins the next line;
+  a leading ``&`` on the continuation line is consumed too);
+* ``!`` comments, except ``!HPF$`` directive lines which are lexed as
+  ordinary statements prefixed with the :data:`HPFDIR` token;
+* case-insensitive keywords and identifiers (identifiers are upcased);
+* ``::``, ``=``, relational operators, and numeric literals (including
+  ``1.0E-3`` forms).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "REAL", "DOUBLE", "PRECISION", "INTEGER", "LOGICAL", "DIMENSION",
+    "PARAMETER", "ALLOCATABLE", "ALLOCATE", "DEALLOCATE", "CALL",
+    "DO", "WHILE", "ENDDO", "END", "IF", "THEN", "ELSE", "ENDIF", "WHERE",
+    "ELSEWHERE", "ENDWHERE",
+    "PROGRAM", "SUBROUTINE", "IMPLICIT", "NONE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str          # NAME, KEYWORD, INT, FLOAT, op strings, HPFDIR, NEWLINE, EOF
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.column}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<FLOAT>\d+\.\d*(?:[EeDd][+-]?\d+)?|\.\d+(?:[EeDd][+-]?\d+)?
+               |\d+[EeDd][+-]?\d+)
+    | (?P<INT>\d+)
+    | (?P<NAME>[A-Za-z][A-Za-z0-9_]*)
+    | (?P<DCOLON>::)
+    | (?P<POW>\*\*)
+    | (?P<LE><=)|(?P<GE>>=)|(?P<EQEQ>==)|(?P<NE>/=)
+    | (?P<OP>[-+*/(),:=<>\[\]])
+    | (?P<WS>[ \t]+)
+    """,
+    re.VERBOSE,
+)
+
+_HPF_PREFIX = re.compile(r"^\s*!HPF\$", re.IGNORECASE)
+_CHPF_PREFIX = re.compile(r"^\s*CHPF\$", re.IGNORECASE)
+
+
+def _logical_lines(source: str) -> Iterator[tuple[int, str, bool]]:
+    """Yield (first_line_number, joined_text, is_directive) logical lines.
+
+    Handles both continuation styles the paper's figures use: free-form
+    (previous line ends with ``&``) and fixed-form (continuation line
+    begins with ``&``, traditionally in column 6).  Comments are stripped;
+    ``!HPF$``/``CHPF$`` lines are flagged as directives.
+    """
+    pending: str | None = None
+    pending_line = 0
+    pending_dir = False
+    trailing_amp = False
+
+    def flush() -> Iterator[tuple[int, str, bool]]:
+        nonlocal pending
+        if pending is not None:
+            yield pending_line, pending, pending_dir
+            pending = None
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        is_dir = bool(_HPF_PREFIX.match(raw) or _CHPF_PREFIX.match(raw))
+        if is_dir:
+            text = re.sub(r"^\s*(!HPF\$|CHPF\$)", "", raw,
+                          flags=re.IGNORECASE)
+        else:
+            # strip comment (no string literals in the subset)
+            bang = raw.find("!")
+            text = raw[:bang] if bang >= 0 else raw
+        text = text.rstrip()
+        if not text.strip():
+            continue
+        leading_amp = text.lstrip().startswith("&")
+        continues_prev = trailing_amp or leading_amp
+        if leading_amp:
+            # drop through the '&' but keep the text afterwards
+            text = text.lstrip()[1:]
+        trailing_amp = text.rstrip().endswith("&")
+        if trailing_amp:
+            text = text.rstrip()[:-1]
+        if continues_prev and pending is not None:
+            pending += " " + text.strip()
+            continue
+        yield from flush()
+        # keep leading whitespace on fresh lines so columns are accurate
+        pending = text
+        pending_line = lineno
+        pending_dir = is_dir
+    yield from flush()
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a flat list ending with an EOF token.
+
+    Logical lines are separated by NEWLINE tokens; HPF directive lines are
+    introduced by an HPFDIR token.
+    """
+    tokens: list[Token] = []
+    last_line = 0
+    for lineno, text, is_dir in _logical_lines(source):
+        last_line = lineno
+        if is_dir:
+            tokens.append(Token("HPFDIR", "!HPF$", lineno, 1))
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if not m:
+                raise LexError(f"unexpected character {text[pos]!r}",
+                               lineno, pos + 1)
+            kind = m.lastgroup or ""
+            value = m.group()
+            pos = m.end()
+            if kind == "WS":
+                continue
+            col = m.start() + 1
+            if kind == "NAME":
+                upper = value.upper()
+                if upper in KEYWORDS:
+                    tokens.append(Token("KEYWORD", upper, lineno, col))
+                else:
+                    tokens.append(Token("NAME", upper, lineno, col))
+            elif kind == "OP":
+                tokens.append(Token(value, value, lineno, col))
+            elif kind == "DCOLON":
+                tokens.append(Token("::", "::", lineno, col))
+            elif kind == "POW":
+                tokens.append(Token("**", "**", lineno, col))
+            elif kind in ("LE", "GE", "EQEQ", "NE"):
+                tokens.append(Token(value, value, lineno, col))
+            elif kind == "FLOAT":
+                tokens.append(Token("FLOAT", value, lineno, col))
+            elif kind == "INT":
+                tokens.append(Token("INT", value, lineno, col))
+            else:  # pragma: no cover - regex is exhaustive
+                raise LexError(f"unhandled token kind {kind}", lineno, col)
+        tokens.append(Token("NEWLINE", "\n", lineno, len(text) + 1))
+    tokens.append(Token("EOF", "", last_line + 1, 1))
+    return tokens

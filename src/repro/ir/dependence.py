@@ -1,0 +1,211 @@
+"""Statement-level data dependence graph construction.
+
+Context partitioning (paper section 3.2) runs the Kennedy-McKinley typed
+fusion algorithm over the data dependence graph of a basic block.  Within
+a block only loop-independent dependences exist, so the graph is a DAG
+whose edges point from earlier to later statements.
+
+Resources
+---------
+Array state is modelled at the granularity the overlap machinery needs:
+
+* ``A``            — the interior values of array A;
+* ``A.halo[d,+/-]`` — the overlap area of A on one side of dimension d.
+
+An ``OVERLAP_SHIFT(A, s, d)`` *reads* the interior (and, for multi-offset
+sources or RSDs, lower-dimension halos) and *writes* one halo region.  An
+offset reference ``A<+1,-1>`` reads the interior plus the halo regions
+its nonzero components displace into.  A definition of ``A`` writes the
+interior and invalidates (writes) every halo region, which forces
+re-communication after destructive updates.
+
+Edges record whether they are *fusion preventing*: a dependence between
+two computation statements at a nonzero offset cannot be honoured inside
+a single fused loop nest, so typed fusion must keep the statements in
+different groups (the paper's guard against illegal/over fusion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+from repro.ir.nodes import (
+    Allocate, ArrayAssign, ArrayRef, Deallocate, Expr, OffsetRef,
+    OverlapShift, ScalarAssign, ScalarRef, Stmt, section_offsets,
+)
+from repro.ir.program import Program
+
+
+class DepKind(enum.Enum):
+    TRUE = "true"
+    ANTI = "anti"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A dependence from statement index ``src`` to ``dst`` (src < dst)."""
+
+    src: int
+    dst: int
+    kind: DepKind
+    resource: str
+    fusion_preventing: bool = False
+
+    def __str__(self) -> str:
+        bad = " [bad]" if self.fusion_preventing else ""
+        return f"s{self.src} -{self.kind.value}-> s{self.dst} ({self.resource}){bad}"
+
+
+def _halo_resource(name: str, dim0: int, sign: int) -> str:
+    return f"{name}.halo[{dim0},{'+' if sign > 0 else '-'}]"
+
+
+@dataclass
+class _Access:
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    # per-resource read/write offsets for fusion legality; None = unknown
+    read_offsets: dict[str, set[tuple[int, ...]]] = field(
+        default_factory=dict)
+
+
+def _expr_reads(expr: Expr, acc: _Access,
+                lhs_section, program: Program) -> None:
+    for node in expr.walk():
+        if isinstance(node, ScalarRef):
+            acc.reads.add(f"${node.name}")
+        elif isinstance(node, ArrayRef):
+            acc.reads.add(node.name)
+            offs: tuple[int, ...] | None
+            if node.section is None or lhs_section is None:
+                offs = tuple(0 for _ in range(
+                    program.symbols.array(node.name).type.rank))
+            else:
+                offs = section_offsets(node.section, lhs_section)
+            if offs is not None:
+                acc.read_offsets.setdefault(node.name, set()).add(offs)
+        elif isinstance(node, OffsetRef):
+            acc.reads.add(node.name)
+            acc.read_offsets.setdefault(node.name, set()).add(node.offsets)
+            for d, o in enumerate(node.offsets):
+                if o:
+                    acc.reads.add(_halo_resource(node.name, d,
+                                                 1 if o > 0 else -1))
+
+
+def _stmt_access(stmt: Stmt, program: Program) -> _Access:
+    acc = _Access()
+    if isinstance(stmt, ArrayAssign):
+        name = stmt.lhs.name
+        acc.writes.add(name)
+        rank = program.symbols.array(name).type.rank
+        for d in range(rank):
+            acc.writes.add(_halo_resource(name, d, +1))
+            acc.writes.add(_halo_resource(name, d, -1))
+        _expr_reads(stmt.rhs, acc, stmt.lhs.section, program)
+        if stmt.mask is not None:
+            _expr_reads(stmt.mask, acc, stmt.lhs.section, program)
+            # a masked store preserves unselected elements: it also
+            # *reads* its own target
+            acc.reads.add(name)
+            acc.read_offsets.setdefault(name, set()).add(
+                tuple(0 for _ in range(rank)))
+    elif isinstance(stmt, ScalarAssign):
+        acc.writes.add(f"${stmt.name}")
+        _expr_reads(stmt.rhs, acc, None, program)
+    elif isinstance(stmt, OverlapShift):
+        acc.reads.add(stmt.array)
+        sign = 1 if stmt.shift > 0 else -1
+        acc.writes.add(_halo_resource(stmt.array, stmt.dim - 1, sign))
+        if stmt.base_offsets:
+            for d, o in enumerate(stmt.base_offsets):
+                if o:
+                    acc.reads.add(_halo_resource(stmt.array, d,
+                                                 1 if o > 0 else -1))
+        if stmt.rsd is not None:
+            for d, rd in enumerate(stmt.rsd.dims):
+                if rd is None:
+                    continue
+                if rd.lo:
+                    acc.reads.add(_halo_resource(stmt.array, d, -1))
+                if rd.hi:
+                    acc.reads.add(_halo_resource(stmt.array, d, +1))
+    elif isinstance(stmt, (Allocate, Deallocate)):
+        for name in stmt.names:
+            acc.writes.add(name)
+    else:
+        raise PipelineError(
+            f"dependence analysis over compound statement s{stmt.sid}")
+    return acc
+
+
+def _is_fusion_preventing(src: Stmt, dst: Stmt, kind: DepKind,
+                          resource: str, src_acc: _Access,
+                          dst_acc: _Access) -> bool:
+    """A compute-compute dependence at a nonzero offset prevents fusion."""
+    if not (isinstance(src, ArrayAssign) and isinstance(dst, ArrayAssign)):
+        return False
+    if resource.startswith("$") or ".halo[" in resource:
+        return False
+    if kind is DepKind.TRUE:
+        offsets = dst_acc.read_offsets.get(resource)
+    elif kind is DepKind.ANTI:
+        offsets = src_acc.read_offsets.get(resource)
+    else:
+        return False  # output deps on the same aligned LHS fuse fine
+    if offsets is None:
+        return True  # unknown relationship: be conservative
+    return any(any(o != 0 for o in offs) for offs in offsets)
+
+
+def build_ddg(statements: list[Stmt],
+              program: Program) -> list[DepEdge]:
+    """All pairwise dependences among a basic block's statements."""
+    accesses = [_stmt_access(s, program) for s in statements]
+    edges: list[DepEdge] = []
+    for j in range(len(statements)):
+        for i in range(j):
+            a, b = accesses[i], accesses[j]
+            si, sj = statements[i], statements[j]
+            for res in a.writes & b.reads:
+                edges.append(DepEdge(
+                    i, j, DepKind.TRUE, res,
+                    _is_fusion_preventing(si, sj, DepKind.TRUE, res, a, b)))
+            for res in a.reads & b.writes:
+                if _idempotent_halo_write(res, sj):
+                    # an OVERLAP_SHIFT rewrites the overlap area as a pure
+                    # function of the (unchanged) base array, so a read of
+                    # that area before it is not a real anti dependence —
+                    # the paper's DDG has no such edges (section 4.3)
+                    continue
+                edges.append(DepEdge(
+                    i, j, DepKind.ANTI, res,
+                    _is_fusion_preventing(si, sj, DepKind.ANTI, res, a, b)))
+            for res in a.writes & b.writes:
+                if _idempotent_halo_write(res, si) and \
+                        _idempotent_halo_write(res, sj) and \
+                        si.boundary == sj.boundary:  # type: ignore[union-attr]
+                    continue  # two pure re-fills of the same overlap area
+                edges.append(DepEdge(i, j, DepKind.OUTPUT, res))
+    return edges
+
+
+def _idempotent_halo_write(resource: str, stmt: Stmt) -> bool:
+    """True when ``stmt`` writes the halo resource as an OVERLAP_SHIFT —
+    i.e. recomputes it from the base array's current interior values.
+    Two such writes of the same region commute only when they also share
+    the fill kind (both circular or same EOSHIFT boundary); the
+    offset-array pass's fill discipline guarantees same-region shifts
+    share one kind, and the caller double-checks the boundary."""
+    return ".halo[" in resource and isinstance(stmt, OverlapShift)
+
+
+def predecessors(edges: list[DepEdge], n: int) -> list[list[DepEdge]]:
+    """Per-statement incoming edges, index-aligned with the block."""
+    preds: list[list[DepEdge]] = [[] for _ in range(n)]
+    for e in edges:
+        preds[e.dst].append(e)
+    return preds

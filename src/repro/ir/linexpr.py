@@ -1,0 +1,117 @@
+"""Linear integer expressions over named symbols.
+
+Section bounds in the HPF subset are affine in the program's size
+parameters (``2:N-1`` etc.).  :class:`LinExpr` represents
+``c0 + sum(c_i * sym_i)`` exactly, supports arithmetic, comparison under a
+binding, and printing in Fortran style.  Keeping bounds symbolic lets the
+pretty printer reproduce the paper's figures verbatim while the backend
+evaluates them numerically for a bound problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import SemanticError
+
+
+@dataclass(frozen=True)
+class LinExpr:
+    """An affine integer expression ``const + Σ coeffs[name] * name``."""
+
+    const: int = 0
+    coeffs: tuple[tuple[str, int], ...] = field(default=())
+
+    # -- construction -----------------------------------------------------
+    @staticmethod
+    def of(value: "int | str | LinExpr") -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, int):
+            return LinExpr(value)
+        if isinstance(value, str):
+            return LinExpr(0, ((value, 1),))
+        raise TypeError(f"cannot build LinExpr from {value!r}")
+
+    @staticmethod
+    def _normal(const: int, coeffs: dict[str, int]) -> "LinExpr":
+        items = tuple(sorted((k, v) for k, v in coeffs.items() if v != 0))
+        return LinExpr(const, items)
+
+    def _as_dict(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    # -- algebra ----------------------------------------------------------
+    def __add__(self, other: "int | str | LinExpr") -> "LinExpr":
+        other = LinExpr.of(other)
+        coeffs = self._as_dict()
+        for name, c in other.coeffs:
+            coeffs[name] = coeffs.get(name, 0) + c
+        return LinExpr._normal(self.const + other.const, coeffs)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr(-self.const, tuple((n, -c) for n, c in self.coeffs))
+
+    def __sub__(self, other: "int | str | LinExpr") -> "LinExpr":
+        return self + (-LinExpr.of(other))
+
+    def __rsub__(self, other: "int | str | LinExpr") -> "LinExpr":
+        return LinExpr.of(other) + (-self)
+
+    def __mul__(self, k: int) -> "LinExpr":
+        if not isinstance(k, int):
+            raise TypeError("LinExpr multiplication requires an int")
+        return LinExpr._normal(self.const * k,
+                               {n: c * k for n, c in self.coeffs})
+
+    __rmul__ = __mul__
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def constant_value(self) -> int:
+        if not self.is_constant:
+            raise SemanticError(f"expression {self} is not a constant")
+        return self.const
+
+    def evaluate(self, binding: Mapping[str, int]) -> int:
+        """Evaluate under a symbol binding; unknown symbols raise."""
+        total = self.const
+        for name, c in self.coeffs:
+            if name not in binding:
+                raise SemanticError(
+                    f"unbound size parameter {name!r} in {self}")
+            total += c * binding[name]
+        return total
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset(n for n, _ in self.coeffs)
+
+    # -- printing ---------------------------------------------------------
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name, c in self.coeffs:
+            if c == 1:
+                term = name
+            elif c == -1:
+                term = f"-{name}"
+            else:
+                term = f"{c}*{name}"
+            if parts and not term.startswith("-"):
+                parts.append("+" + term)
+            else:
+                parts.append(term)
+        if self.const or not parts:
+            if parts and self.const > 0:
+                parts.append(f"+{self.const}")
+            else:
+                parts.append(str(self.const))
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LinExpr({self})"

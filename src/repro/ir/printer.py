@@ -1,0 +1,58 @@
+"""Fortran-flavoured pretty printer for IR programs.
+
+The printer's output is the format used throughout the paper's figures
+(``CALL OVERLAP_SHIFT(U,SHIFT=+1,DIM=1)``, ``T = T + U<+1,-1>``), which
+lets the golden tests in ``tests/passes/test_paper_example.py`` compare a
+pass pipeline's trace against the paper's Figures 12–15 directly.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    Allocate, ArrayAssign, Deallocate, DoLoop, DoWhile, If, OverlapShift,
+    ScalarAssign, Stmt,
+)
+from repro.ir.program import Program
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, If):
+        lines = [f"{pad}IF ({stmt.cond}) THEN"]
+        for s in stmt.then_body:
+            lines += format_stmt(s, indent + 1)
+        if stmt.else_body:
+            lines.append(f"{pad}ELSE")
+            for s in stmt.else_body:
+                lines += format_stmt(s, indent + 1)
+        lines.append(f"{pad}ENDIF")
+        return lines
+    if isinstance(stmt, DoLoop):
+        lines = [f"{pad}DO {stmt.var} = {stmt.lo}, {stmt.hi}"]
+        for s in stmt.body:
+            lines += format_stmt(s, indent + 1)
+        lines.append(f"{pad}ENDDO")
+        return lines
+    if isinstance(stmt, DoWhile):
+        lines = [f"{pad}DO WHILE ({stmt.cond})"]
+        for s in stmt.body:
+            lines += format_stmt(s, indent + 1)
+        lines.append(f"{pad}ENDDO")
+        return lines
+    if isinstance(stmt, (ArrayAssign, ScalarAssign, Allocate, Deallocate,
+                         OverlapShift)):
+        return [f"{pad}{stmt}"]
+    return [f"{pad}{stmt}"]
+
+
+def format_program(program: Program, declarations: bool = False) -> str:
+    """Render a program; with ``declarations`` include the symbol table."""
+    lines: list[str] = []
+    if declarations:
+        for sym in program.symbols.arrays.values():
+            lines.append(f"! {sym}")
+        for name, value in program.symbols.params.items():
+            lines.append(f"! PARAMETER {name} = {value}")
+    for stmt in program.body:
+        lines += format_stmt(stmt)
+    return "\n".join(lines)

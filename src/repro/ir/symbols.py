@@ -1,0 +1,108 @@
+"""Symbol tables: array declarations, scalars, and size parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.ir.types import ArrayType, Distribution, ScalarKind
+
+
+@dataclass
+class ArraySymbol:
+    """A declared array: its type, HPF distribution, and provenance."""
+
+    name: str
+    type: ArrayType
+    distribution: Distribution
+    is_temporary: bool = False  # compiler-generated (normalization temps)
+
+    def __str__(self) -> str:
+        tag = " [tmp]" if self.is_temporary else ""
+        return f"{self.name}: {self.type} dist{self.distribution}{tag}"
+
+
+@dataclass
+class ScalarSymbol:
+    """A replicated scalar variable."""
+
+    name: str
+    kind: ScalarKind = ScalarKind.DOUBLE
+
+
+@dataclass
+class SymbolTable:
+    """All names visible to a program.
+
+    ``params`` holds compile-time size parameters (the ``N`` of the paper's
+    kernels) bound to concrete integers when the source is parsed.
+    """
+
+    arrays: dict[str, ArraySymbol] = field(default_factory=dict)
+    scalars: dict[str, ScalarSymbol] = field(default_factory=dict)
+    params: dict[str, int] = field(default_factory=dict)
+    _temp_counter: int = 0
+
+    # -- declaration -------------------------------------------------------
+    def declare_array(self, name: str, type_: ArrayType,
+                      distribution: Distribution | None = None,
+                      is_temporary: bool = False) -> ArraySymbol:
+        key = name.upper()
+        if key in self.arrays or key in self.scalars or key in self.params:
+            raise SemanticError(f"duplicate declaration of {name}")
+        if distribution is None:
+            distribution = Distribution.block(type_.rank)
+        if len(distribution.dims) != type_.rank:
+            raise SemanticError(
+                f"distribution rank {len(distribution.dims)} does not match "
+                f"array rank {type_.rank} for {name}")
+        sym = ArraySymbol(key, type_, distribution, is_temporary)
+        self.arrays[key] = sym
+        return sym
+
+    def declare_scalar(self, name: str,
+                       kind: ScalarKind = ScalarKind.DOUBLE) -> ScalarSymbol:
+        key = name.upper()
+        if key in self.arrays or key in self.params:
+            raise SemanticError(f"duplicate declaration of {name}")
+        sym = ScalarSymbol(key, kind)
+        self.scalars[key] = sym
+        return sym
+
+    def bind_param(self, name: str, value: int) -> None:
+        key = name.upper()
+        if key in self.arrays or key in self.scalars:
+            raise SemanticError(f"{name} already declared as a variable")
+        self.params[key] = value
+
+    # -- lookup --------------------------------------------------------------
+    def array(self, name: str) -> ArraySymbol:
+        try:
+            return self.arrays[name.upper()]
+        except KeyError:
+            raise SemanticError(f"undeclared array {name}") from None
+
+    def is_array(self, name: str) -> bool:
+        return name.upper() in self.arrays
+
+    def is_scalar(self, name: str) -> bool:
+        return name.upper() in self.scalars
+
+    # -- temporaries ---------------------------------------------------------
+    def new_temp(self, like: ArraySymbol, prefix: str = "TMP",
+                 type_: ArrayType | None = None) -> ArraySymbol:
+        """Declare a fresh compiler temporary with the same type (unless
+        overridden) and distribution as ``like`` (used by normalization,
+        paper fig. 4, and by WHERE mask materialisation)."""
+        self._temp_counter += 1
+        name = f"{prefix}{self._temp_counter}"
+        while name in self.arrays:
+            self._temp_counter += 1
+            name = f"{prefix}{self._temp_counter}"
+        return self.declare_array(name, type_ or like.type,
+                                  like.distribution, is_temporary=True)
+
+    def drop_array(self, name: str) -> None:
+        """Remove an array that no longer appears in the program (dead
+        temporaries after offset-array optimization, paper 4.2)."""
+        self.arrays.pop(name.upper(), None)

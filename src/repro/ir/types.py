@@ -1,0 +1,136 @@
+"""Types and HPF data distributions.
+
+The paper assumes all arrays are distributed BLOCK-wise (section 2.1:
+"all arrays are distributed in a BLOCK fashion").  We model BLOCK and
+``*`` (on-processor / collapsed) per dimension, plus fully replicated
+scalars.  CYCLIC is recognised by the frontend but rejected with
+:class:`~repro.errors.UnsupportedDistributionError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SemanticError
+
+
+class ScalarKind(enum.Enum):
+    """Fortran scalar type kinds supported by the compiler."""
+
+    REAL = "REAL"
+    DOUBLE = "DOUBLE PRECISION"
+    INTEGER = "INTEGER"
+    LOGICAL = "LOGICAL"
+
+    @property
+    def sizeof(self) -> int:
+        """Size in bytes of one element (REAL*4, DOUBLE*8, ...)."""
+        return _SIZEOF[self]
+
+
+_SIZEOF = {
+    ScalarKind.REAL: 4,
+    ScalarKind.DOUBLE: 8,
+    ScalarKind.INTEGER: 4,
+    ScalarKind.LOGICAL: 4,
+}
+
+_DTYPE = {
+    ScalarKind.REAL: np.float32,
+    ScalarKind.DOUBLE: np.float64,
+    ScalarKind.INTEGER: np.int32,
+    ScalarKind.LOGICAL: np.bool_,
+}
+
+
+def dtype_of(kind: ScalarKind) -> np.dtype:
+    """NumPy dtype corresponding to a Fortran scalar kind."""
+    return np.dtype(_DTYPE[kind])
+
+
+class DistKind(enum.Enum):
+    """Per-dimension distribution kind of an HPF ``DISTRIBUTE`` directive."""
+
+    BLOCK = "BLOCK"
+    COLLAPSED = "*"  # the whole extent lives on each owning processor row
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Distribution of an array over the processor grid.
+
+    ``dims[k]`` gives the distribution of array dimension ``k`` (0-based).
+    A fully replicated object (scalars, coefficients) is represented by
+    ``Distribution(())`` — the :attr:`replicated` singleton.
+    """
+
+    dims: tuple[DistKind, ...]
+
+    REPLICATED: "Distribution" = None  # type: ignore[assignment]
+
+    @property
+    def is_replicated(self) -> bool:
+        return not self.dims
+
+    @property
+    def distributed_dims(self) -> tuple[int, ...]:
+        """Indices of dimensions actually split across processors."""
+        return tuple(i for i, d in enumerate(self.dims)
+                     if d is DistKind.BLOCK)
+
+    def __str__(self) -> str:
+        if self.is_replicated:
+            return "(replicated)"
+        return "(" + ",".join(d.value for d in self.dims) + ")"
+
+    @staticmethod
+    def block(rank: int) -> "Distribution":
+        """The default (BLOCK,...,BLOCK) distribution of the paper."""
+        return Distribution(tuple(DistKind.BLOCK for _ in range(rank)))
+
+
+Distribution.REPLICATED = Distribution(())
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """Static type of an array variable: element kind and extents.
+
+    Extents are resolved to concrete integers when the program is bound
+    to a problem size (see :meth:`repro.frontend.parser.parse_program`),
+    matching how the experiments instantiate one compile per size.
+    """
+
+    element: ScalarKind
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(n <= 0 for n in self.shape):
+            raise SemanticError(
+                f"array extents must be positive, got {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for e in self.shape:
+            n *= e
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.element.sizeof
+
+    @property
+    def dtype(self) -> np.dtype:
+        return dtype_of(self.element)
+
+    def __str__(self) -> str:
+        dims = ",".join(str(n) for n in self.shape)
+        return f"{self.element.value}({dims})"

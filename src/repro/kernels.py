@@ -1,0 +1,183 @@
+"""The paper's benchmark kernels as HPF source strings.
+
+These are the exact codes of the paper's figures (modulo declarations,
+which the figures omit):
+
+* :data:`FIVE_POINT_ARRAY_SYNTAX` — Figure 1, the 5-point array-syntax
+  stencil.
+* :data:`NINE_POINT_CSHIFT` — Figure 2, the single-statement 9-point
+  CSHIFT stencil.
+* :data:`PURDUE_PROBLEM9` — Figure 3, Problem 9 of the Purdue Set as
+  adapted for Fortran D benchmarking (the multi-statement 9-point
+  stencil used throughout sections 4 and 5).
+* :data:`NINE_POINT_ARRAY_SYNTAX` — the interior-only array-syntax
+  9-point stencil of section 5 / Figure 18.
+
+Each takes a size parameter ``N`` via the ``bindings`` argument of
+:func:`repro.frontend.parse_program`.
+"""
+
+from __future__ import annotations
+
+_DECL_2D = """
+      REAL, DIMENSION(N,N) :: {names}
+!HPF$ DISTRIBUTE {first}(BLOCK,BLOCK)
+"""
+
+
+def _decls(*names: str, align_to_first: bool = True) -> str:
+    text = _DECL_2D.format(names=", ".join(names), first=names[0])
+    if align_to_first:
+        for other in names[1:]:
+            text += f"!HPF$ ALIGN {other} WITH {names[0]}\n"
+    return text
+
+
+FIVE_POINT_ARRAY_SYNTAX = _decls("DST", "SRC") + """
+      DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1)
+     &                 + C2 * SRC(2:N-1,1:N-2)
+     &                 + C3 * SRC(2:N-1,2:N-1)
+     &                 + C4 * SRC(3:N  ,2:N-1)
+     &                 + C5 * SRC(2:N-1,3:N  )
+"""
+
+NINE_POINT_CSHIFT = _decls("DST", "SRC") + """
+      DST = C1 * CSHIFT(CSHIFT(SRC,-1,1),-1,2)
+     &    + C2 * CSHIFT(SRC,-1,1)
+     &    + C3 * CSHIFT(CSHIFT(SRC,-1,1),+1,2)
+     &    + C4 * CSHIFT(SRC,-1,2)
+     &    + C5 * SRC
+     &    + C6 * CSHIFT(SRC,+1,2)
+     &    + C7 * CSHIFT(CSHIFT(SRC,+1,1),-1,2)
+     &    + C8 * CSHIFT(SRC,+1,1)
+     &    + C9 * CSHIFT(CSHIFT(SRC,+1,1),+1,2)
+"""
+
+PURDUE_PROBLEM9 = _decls("T", "U", "RIP", "RIN") + """
+      RIP = CSHIFT(U,SHIFT=+1,DIM=1)
+      RIN = CSHIFT(U,SHIFT=-1,DIM=1)
+      T   = U + RIP + RIN
+      T   = T + CSHIFT(U,SHIFT=-1,DIM=2)
+      T   = T + CSHIFT(U,SHIFT=+1,DIM=2)
+      T   = T + CSHIFT(RIP,SHIFT=-1,DIM=2)
+      T   = T + CSHIFT(RIP,SHIFT=+1,DIM=2)
+      T   = T + CSHIFT(RIN,SHIFT=-1,DIM=2)
+      T   = T + CSHIFT(RIN,SHIFT=+1,DIM=2)
+"""
+
+NINE_POINT_ARRAY_SYNTAX = _decls("DST", "SRC") + """
+      DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,1:N-2)
+     &                 + C2 * SRC(1:N-2,2:N-1)
+     &                 + C3 * SRC(1:N-2,3:N  )
+     &                 + C4 * SRC(2:N-1,1:N-2)
+     &                 + C5 * SRC(2:N-1,2:N-1)
+     &                 + C6 * SRC(2:N-1,3:N  )
+     &                 + C7 * SRC(3:N  ,1:N-2)
+     &                 + C8 * SRC(3:N  ,2:N-1)
+     &                 + C9 * SRC(3:N  ,3:N  )
+"""
+
+# Weights of the Problem 9 computation: an unweighted 9-point sum.  Used by
+# examples and tests to cross-check against direct NumPy stencils.
+PROBLEM9_COEFFS = {f"C{i}": 1.0 for i in range(1, 10)}
+
+
+# ---------------------------------------------------------------------------
+# Generated stencils (experiments beyond the paper's three specifications)
+# ---------------------------------------------------------------------------
+
+
+def make_array_syntax_stencil(radius: int, ndim: int = 2,
+                              dst: str = "DST", src: str = "SRC") -> str:
+    """Source text of a dense (2*radius+1)^ndim array-syntax stencil.
+
+    The iteration space is the interior ``1+radius : N-radius`` in every
+    dimension; coefficients are scalars ``W1, W2, ...``.
+    """
+    if ndim not in (2, 3):
+        raise ValueError("only 2-D and 3-D stencils are generated")
+    dims = ",".join("N" for _ in range(ndim))
+    dist = "BLOCK,BLOCK" + (",*" if ndim == 3 else "")
+    lines = [
+        f"      REAL, DIMENSION({dims}) :: {dst}, {src}",
+        f"!HPF$ DISTRIBUTE {dst}({dist})",
+        f"!HPF$ ALIGN {src} WITH {dst}",
+    ]
+    lo, hi = 1 + radius, f"N-{radius}"
+
+    def sec(offset: int) -> str:
+        a = lo + offset
+        b = f"N-{radius - offset}" if radius != offset else "N"
+        return f"{a}:{b}"
+
+    target = ",".join(f"{lo}:{hi}" for _ in range(ndim))
+    offsets = range(-radius, radius + 1)
+    terms = []
+    k = 0
+    import itertools as _it
+    for offs in _it.product(offsets, repeat=ndim):
+        k += 1
+        section = ",".join(sec(o) for o in offs)
+        terms.append(f"W{k} * {src}({section})")
+    body = f"      {dst}({target}) = " + terms[0]
+    for t in terms[1:]:
+        body += f"\n     &    + {t}"
+    lines.append(body)
+    return "\n".join(lines) + "\n"
+
+
+def make_cshift_stencil(offsets: "list[tuple[int, ...]]", ndim: int = 2,
+                        dst: str = "DST", src: str = "SRC") -> str:
+    """Source text of a whole-array CSHIFT stencil over given taps.
+
+    ``offsets`` lists per-tap displacement vectors; tap ``k`` is weighted
+    by scalar ``W<k+1>``.  A zero vector yields a bare ``SRC`` term.
+    """
+    dims = ",".join("N" for _ in range(ndim))
+    dist = "BLOCK,BLOCK" + (",*" if ndim == 3 else "")
+    lines = [
+        f"      REAL, DIMENSION({dims}) :: {dst}, {src}",
+        f"!HPF$ DISTRIBUTE {dst}({dist})",
+        f"!HPF$ ALIGN {src} WITH {dst}",
+    ]
+    terms = []
+    for k, offs in enumerate(offsets, start=1):
+        expr = src
+        for d, o in enumerate(offs, start=1):
+            if o:
+                expr = f"CSHIFT({expr},SHIFT={o:+d},DIM={d})"
+        terms.append(f"W{k} * {expr}")
+    body = f"      {dst} = " + terms[0]
+    for t in terms[1:]:
+        body += f"\n     &    + {t}"
+    lines.append(body)
+    return "\n".join(lines) + "\n"
+
+
+def star_offsets(radius: int, ndim: int) -> "list[tuple[int, ...]]":
+    """Taps of a star (von-Neumann) stencil: axis-aligned out to radius."""
+    out = [tuple(0 for _ in range(ndim))]
+    for d in range(ndim):
+        for r in range(1, radius + 1):
+            for s in (-r, r):
+                offs = [0] * ndim
+                offs[d] = s
+                out.append(tuple(offs))
+    return out
+
+
+def box_offsets(radius: int, ndim: int) -> "list[tuple[int, ...]]":
+    """Taps of a dense box (Moore) stencil of the given radius."""
+    import itertools as _it
+    return [offs for offs in _it.product(range(-radius, radius + 1),
+                                         repeat=ndim)]
+
+
+#: 25-point dense 2-D stencil (radius 2), array syntax.
+TWENTYFIVE_POINT_ARRAY_SYNTAX = make_array_syntax_stencil(radius=2, ndim=2)
+
+#: 7-point 3-D star stencil via CSHIFTs, (BLOCK,BLOCK,*) distribution.
+SEVEN_POINT_3D_CSHIFT = make_cshift_stencil(star_offsets(1, 3), ndim=3)
+
+#: 27-point 3-D box stencil via CSHIFTs.
+TWENTYSEVEN_POINT_3D_CSHIFT = make_cshift_stencil(box_offsets(1, 3), ndim=3)

@@ -1,0 +1,20 @@
+"""The simulated distributed-memory machine.
+
+The paper's experiments ran on a 4-processor IBM SP-2 with MPI.  This
+package substitutes a deterministic simulator: a grid of processing
+elements with private memories (:mod:`repro.machine.memory`), an explicit
+message-passing network with per-message records
+(:mod:`repro.machine.network`), and an SP-2-class analytic cost model
+(:mod:`repro.machine.cost_model`).  Data movement is *actually performed*
+on NumPy arrays so results can be checked against serial references; the
+cost model supplies modelled execution times with the paper's structure
+(message startup, bandwidth, intraprocessor copies, memory-bound loop
+bodies).
+"""
+
+from repro.machine.topology import ProcessorGrid  # noqa: F401
+from repro.machine.cost_model import CostModel, SP2_COST_MODEL  # noqa: F401
+from repro.machine.network import Network, MessageRecord  # noqa: F401
+from repro.machine.memory import MemoryManager  # noqa: F401
+from repro.machine.machine import Machine  # noqa: F401
+from repro.machine.presets import PRESETS, by_name, scaled  # noqa: F401

@@ -1,0 +1,80 @@
+"""Named machine presets.
+
+The default :data:`~repro.machine.cost_model.SP2_COST_MODEL` models the
+paper's 4-processor IBM SP-2.  These presets span the balance space the
+sensitivity study sweeps, with rough provenance for each:
+
+=================  =====================================================
+``SP2``            the paper's machine: tens-of-MB/s network with heavy
+                   per-message software overhead, ~25 ns memory loads
+``ETHERNET_NOW``   the same nodes on a shared 10 Mb Ethernet — the
+                   workstation-cluster setting HPF also targeted
+``T3E``            a tightly coupled late-90s MPP: much lower message
+                   latency, similar memory
+``MODERN_NODE``    one contemporary multicore socket: memory an order of
+                   magnitude faster, message costs unchanged (helpful
+                   for what-if runs against the 1997 network)
+``MODERN_CLUSTER`` contemporary HPC: microsecond-class latency and fast
+                   memory — where message *counts* matter far less than
+                   traffic, foreshadowed by the sensitivity study
+=================  =====================================================
+
+These are modelling instruments, not certified machine specs; absolute
+times are indicative, structure (which term dominates) is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.machine.cost_model import CostModel, SP2_COST_MODEL
+
+
+def scaled(base: CostModel, network: float = 1.0,
+           memory: float = 1.0) -> CostModel:
+    """Scale a model's network terms (alpha, beta) and memory terms
+    (loads, stores, copies) independently."""
+    return replace(
+        base,
+        alpha=base.alpha * network,
+        beta=base.beta * network,
+        mem_load=base.mem_load * memory,
+        cached_load=base.cached_load * memory,
+        store=base.store * memory,
+        copy_elem=base.copy_elem * memory,
+    )
+
+
+#: the paper's machine (see cost_model.py for the calibration notes)
+SP2: CostModel = SP2_COST_MODEL
+
+#: SP-2-class nodes on shared 10 Mb Ethernet
+ETHERNET_NOW: CostModel = scaled(SP2_COST_MODEL, network=8.0)
+
+#: tightly coupled MPP (low-latency interconnect, similar memory)
+T3E: CostModel = scaled(SP2_COST_MODEL, network=0.15)
+
+#: contemporary single node: much faster memory, 1997 network kept
+MODERN_NODE: CostModel = scaled(SP2_COST_MODEL, memory=0.2)
+
+#: contemporary cluster: fast everything
+MODERN_CLUSTER: CostModel = scaled(SP2_COST_MODEL, network=0.05,
+                                   memory=0.1)
+
+PRESETS: dict[str, CostModel] = {
+    "sp2": SP2,
+    "ethernet": ETHERNET_NOW,
+    "t3e": T3E,
+    "modern-node": MODERN_NODE,
+    "modern-cluster": MODERN_CLUSTER,
+}
+
+
+def by_name(name: str) -> CostModel:
+    """Look up a preset by its CLI-friendly name."""
+    try:
+        return PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; choose from "
+            f"{sorted(PRESETS)}") from None

@@ -1,0 +1,74 @@
+"""Processor grid topology.
+
+PEs are arranged in a d-dimensional torus (CSHIFT wraps, so neighbor
+relations wrap too).  Ranks are row-major over grid coordinates, matching
+the usual MPI Cartesian communicator convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A d-dimensional torus of processing elements."""
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(p <= 0 for p in self.shape):
+            raise MachineError(f"bad grid shape {self.shape}")
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        """Grid coordinates of a PE rank (row-major)."""
+        if not (0 <= rank < self.size):
+            raise MachineError(f"rank {rank} out of range for {self.shape}")
+        out = []
+        for extent in reversed(self.shape):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def rank(self, coords: tuple[int, ...]) -> int:
+        """PE rank of grid coordinates (wrapping each coordinate)."""
+        if len(coords) != self.ndim:
+            raise MachineError(
+                f"coordinate rank mismatch: {coords} on grid {self.shape}")
+        r = 0
+        for c, extent in zip(coords, self.shape):
+            r = r * extent + (c % extent)
+        return r
+
+    def neighbor(self, rank: int, grid_dim: int, direction: int) -> int:
+        """Rank of the torus neighbor along ``grid_dim`` (0-based) in
+        ``direction`` (+1 or -1)."""
+        if direction not in (-1, 1):
+            raise MachineError("direction must be +1 or -1")
+        if not (0 <= grid_dim < self.ndim):
+            raise MachineError(f"grid dim {grid_dim} out of range")
+        coords = list(self.coords(rank))
+        coords[grid_dim] += direction
+        return self.rank(tuple(coords))
+
+    def ranks(self) -> range:
+        return range(self.size)
+
+    def all_coords(self) -> list[tuple[int, ...]]:
+        return [tuple(c) for c in itertools.product(
+            *(range(e) for e in self.shape))]
+
+    def __str__(self) -> str:
+        return "x".join(map(str, self.shape))

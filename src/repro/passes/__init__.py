@@ -1,0 +1,24 @@
+"""Optimization passes implementing the paper's compilation strategy.
+
+Pipeline order (paper section 3):
+
+1. :mod:`repro.passes.normalize` — translate every stencil into the
+   normal form of section 2.1 (singleton whole-array CSHIFTs into
+   temporaries; aligned computation operands).
+2. :mod:`repro.passes.offset_arrays` — eliminate intraprocessor data
+   movement (section 3.1).
+3. :mod:`repro.passes.context_partition` — statement reordering via
+   typed fusion (section 3.2).
+4. :mod:`repro.passes.comm_union` — minimise interprocessor data
+   movement (section 3.3).
+
+Scalarization, loop fusion, and memory optimization (sections 3.4/4.5)
+live in :mod:`repro.compiler.codegen` and :mod:`repro.passes.memopt`
+because they operate on loop nests rather than array statements.
+"""
+
+from repro.passes.pass_manager import Pass, PassManager, PassTrace  # noqa: F401
+from repro.passes.normalize import NormalizePass  # noqa: F401
+from repro.passes.offset_arrays import OffsetArrayPass  # noqa: F401
+from repro.passes.context_partition import ContextPartitionPass  # noqa: F401
+from repro.passes.comm_union import CommUnionPass  # noqa: F401

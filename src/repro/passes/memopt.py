@@ -1,0 +1,175 @@
+"""Memory-optimization analysis for subgrid loop nests (paper 3.4).
+
+The paper hands its final fused loop nest to an optimizing node compiler
+that applies loop permutation, scalar replacement, and unroll-and-jam.
+This module performs the corresponding *analysis* on a nest's reference
+set and produces the per-point :class:`~repro.machine.cost_model.LoopStats`
+the cost model prices:
+
+* without memory optimization, every distinct array reference is a
+  memory load and every statement stores its result (the memory-bound
+  behaviour of section 2.2);
+* values written earlier in the same fused nest at the same offset are
+  register/cache hits — fusion's data-reuse benefit (section 3.2);
+* scalar replacement keeps the innermost-dimension neighbors of each
+  reference group in registers, so each (array, non-inner offsets) group
+  costs one load per point;
+* unroll-and-jam by ``u`` on the outermost loop amortises row loads
+  across unrolled iterations: a group spanning ``s`` outer offsets needs
+  ``(s + u - 1)/u`` loads per point — the CM-2 stencil compiler's
+  "multi-stencil swath" effect;
+* scalar replacement also coalesces the per-statement stores of an
+  accumulation chain into one store per distinct target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import PipelineError
+from repro.ir.nodes import (
+    ArrayRef, BinOp, Compare, Const, Expr, Intrinsic, OffsetRef,
+    ScalarRef, UnaryOp,
+)
+from repro.machine.cost_model import LoopStats
+
+#: flop weights of elementwise intrinsics (ABS is one instruction; the
+#: transcendentals cost an order of magnitude more)
+_INTRINSIC_FLOPS = {"ABS": 1, "MIN": 1, "MAX": 1,
+                    "SQRT": 10, "EXP": 20, "LOG": 20}
+
+
+@dataclass
+class NestProfile:
+    """Raw per-point reference behaviour of a nest."""
+
+    reads: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
+    writes: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
+    flops: int = 0
+    statements: int = 0
+
+
+def _collect_expr(expr: Expr, rank_of, profile: NestProfile) -> None:
+    if isinstance(expr, (Const, ScalarRef)):
+        return
+    if isinstance(expr, OffsetRef):
+        profile.reads.append((expr.name, expr.offsets))
+        return
+    if isinstance(expr, ArrayRef):
+        profile.reads.append((expr.name,
+                              tuple(0 for _ in range(rank_of(expr.name)))))
+        return
+    if isinstance(expr, BinOp):
+        profile.flops += 1
+        _collect_expr(expr.left, rank_of, profile)
+        _collect_expr(expr.right, rank_of, profile)
+        return
+    if isinstance(expr, UnaryOp):
+        profile.flops += 1
+        _collect_expr(expr.operand, rank_of, profile)
+        return
+    if isinstance(expr, Intrinsic):
+        # transcendental/elementwise calls cost a few flops each
+        profile.flops += _INTRINSIC_FLOPS.get(expr.name, 2)
+        for a in expr.args:
+            _collect_expr(a, rank_of, profile)
+        return
+    if isinstance(expr, Compare):
+        _collect_expr(expr.left, rank_of, profile)
+        _collect_expr(expr.right, rank_of, profile)
+        return
+    raise PipelineError(
+        f"unexpected {type(expr).__name__} in a scalarized nest")
+
+
+def profile_nest(statements, rank_of) -> NestProfile:
+    """Collect the reference profile of a list of NestStmt."""
+    profile = NestProfile()
+    for stmt in statements:
+        _collect_expr(stmt.rhs, rank_of, profile)
+        if getattr(stmt, "mask", None) is not None:
+            _collect_expr(stmt.mask, rank_of, profile)
+        profile.writes.append((stmt.lhs,
+                               tuple(0 for _ in range(rank_of(stmt.lhs)))))
+        profile.statements += 1
+    return profile
+
+
+def analyze_nest(statements, rank_of, memopt: bool = False,
+                 unroll_jam: int = 1) -> LoopStats:
+    """Per-point LoopStats for a (possibly fused) nest.
+
+    Returns stats with ``points=1``; the executor scales by each PE's
+    iteration count via :func:`scaled_to_points`.
+    """
+    prof = profile_nest(statements, rank_of)
+    written: set[tuple[str, tuple[int, ...]]] = set()
+    mem_groups: dict[tuple, set[int]] = {}  # (array, offs sans inner) -> rows
+    total_reads = 0
+
+    # replay in statement order.  The hardware cache keeps the rows a
+    # stencil touches resident across the (stride-1) inner loop, so the
+    # first reference of each (array, offsets-ignoring-innermost) group
+    # misses and the rest hit; values written earlier in the same fused
+    # nest are register/cache hits outright.
+    for stmt in statements:
+        sub = NestProfile()
+        _collect_expr(stmt.rhs, rank_of, sub)
+        if getattr(stmt, "mask", None) is not None:
+            _collect_expr(stmt.mask, rank_of, sub)
+        for array, offs in sub.reads:
+            total_reads += 1
+            if (array, offs) in written:
+                continue
+            key = (array, offs[:-1]) if offs else (array, ())
+            outer = offs[0] if len(offs) >= 2 else 0
+            mem_groups.setdefault(key, set()).add(outer)
+        written.add((stmt.lhs, tuple(0 for _ in range(rank_of(stmt.lhs)))))
+
+    if not memopt:
+        loads = float(len(mem_groups))
+        return LoopStats(points=1,
+                         statements=prof.statements,
+                         mem_loads=loads,
+                         cached_loads=total_reads - loads,
+                         stores=float(prof.statements),
+                         flops=float(prof.flops))
+
+    # unroll-and-jam by u on the outermost loop amortises row loads:
+    # the rows a group spans are shared by the u unrolled iterations
+    u = max(1, unroll_jam)
+    outer_groups: dict[tuple, set[int]] = {}
+    for (array, outer_offs), _rows in mem_groups.items():
+        key = (array, outer_offs[1:]) if outer_offs else (array, ())
+        outer = outer_offs[0] if outer_offs else 0
+        outer_groups.setdefault(key, set()).add(outer)
+    loads = 0.0
+    for outers in outer_groups.values():
+        span = max(outers) - min(outers) + 1
+        loads += (span + u - 1) / u
+    loads = min(loads, float(len(mem_groups)))
+    # scalar replacement keeps each accumulation target in a register:
+    # one store per distinct LHS instead of one per statement
+    stores = float(len(set(prof.writes)))
+    return LoopStats(points=1,
+                     statements=prof.statements,
+                     mem_loads=loads,
+                     cached_loads=total_reads - loads,
+                     stores=stores,
+                     flops=float(prof.flops))
+
+
+def analyze_reduction(arg, rank_of) -> LoopStats:
+    """Per-point LoopStats of a reduction operand's evaluation loop."""
+    prof = NestProfile()
+    _collect_expr(arg, rank_of, prof)
+    groups = {(a, o[:-1] if o else ()) for a, o in prof.reads}
+    loads = float(len(groups))
+    return LoopStats(points=1, statements=1, mem_loads=loads,
+                     cached_loads=len(prof.reads) - loads, stores=0.0,
+                     flops=float(prof.flops) + 1.0)
+
+
+def scaled_to_points(stats: LoopStats, points: int) -> LoopStats:
+    """Stats for a PE executing ``points`` iteration points."""
+    return replace(stats, points=points)

@@ -1,0 +1,367 @@
+"""Offset-array optimization (paper section 3.1).
+
+Eliminates the *intraprocessor* component of shift data movement.  For
+every normal-form shift statement ``DST = CSHIFT(SRC, s, d)`` (or
+``EOSHIFT`` — the generalization the paper states in section 2.1) whose
+safety criteria hold, the pass:
+
+1. replaces the statement with ``CALL OVERLAP_SHIFT(SRC, s, d)`` — only
+   the off-processor slab moves, into SRC's overlap area;
+2. rewrites reached uses of ``DST`` into annotated offset references of
+   the (ultimate) source, ``SRC<+s...>``;
+3. when some use cannot be rewritten — or ``DST`` is live out of the
+   routine — inserts a compensating copy ``DST = SRC<...>`` that performs
+   exactly the intraprocessor movement that was avoided, preserving the
+   original semantics (the paper's criterion-violation repair).
+
+Shifts of offset arrays compose: ``TMP = CSHIFT(RIP, -1, 2)`` with
+``RIP -> U<+1,0>`` becomes ``OVERLAP_SHIFT(U<+1,0>, -1, 2)`` and uses of
+``TMP`` become ``U<+1,-1>`` — the multi-offset arrays of Figure 13.
+
+The propagation is optimistic in the paper's sense: the relationship
+``DST = base<offsets>`` is tracked through control flow with a forward
+must-analysis (intersection at joins, conservative invalidation around
+loop back edges) and every use where the relationship still holds is
+rewritten; everything else falls back to the compensating copy.
+
+Fill-kind discipline
+--------------------
+An overlap region physically holds one set of values, but CSHIFT wants
+wrapped data and EOSHIFT boundary-filled data.  The pass therefore
+tracks the *fill kind* established for each (base, dimension, direction)
+region since the base was last redefined; converting a shift whose fill
+conflicts with the region's established kind would corrupt earlier
+readers, so such shifts keep their full data movement.  Multi-offset
+chains must be fill-homogeneous for the same reason.  This invariant is
+also what keeps the dependence relaxation of
+:mod:`repro.ir.dependence` (idempotent halo rewrites) sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import (
+    Allocate, ArrayAssign, ArrayRef, BinOp, Compare, CShift, Deallocate,
+    DoLoop, DoWhile, EOShift, Expr, If, Intrinsic, OffsetRef, OverlapShift,
+    Reduction, ScalarAssign, Stmt, UnaryOp, array_names, section_offsets,
+)
+from repro.ir.program import Program
+from repro.passes.pass_manager import Pass
+
+# fill kind: None = circular (CSHIFT), float = end-off boundary (EOSHIFT)
+Fill = float | None
+
+# tracked relationship: name -> (base array, accumulated offsets, fill)
+Entry = tuple[str, tuple[int, ...], Fill]
+
+
+@dataclass
+class _State:
+    """Flow state: tracked offset relationships plus per-region fills."""
+
+    off: dict[str, Entry] = field(default_factory=dict)
+    fills: dict[tuple[str, int, int], Fill] = field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(dict(self.off), dict(self.fills))
+
+    def meet(self, other: "_State") -> "_State":
+        return _State(
+            {k: v for k, v in self.off.items()
+             if other.off.get(k) == v},
+            {k: v for k, v in self.fills.items()
+             if k in other.fills and other.fills[k] == v},
+        )
+
+    def kill(self, name: str) -> None:
+        for key in list(self.off):
+            base, _, _ = self.off[key]
+            if key == name or base == name:
+                del self.off[key]
+        for key in list(self.fills):
+            if key[0] == name:
+                del self.fills[key]
+
+
+@dataclass
+class OffsetArrayStats:
+    """What the pass did — consumed by tests and the experiment reports."""
+
+    shifts_converted: int = 0
+    shifts_kept: int = 0
+    uses_rewritten: int = 0
+    copies_inserted: int = 0
+    copies_elided: int = 0
+    dead_defs_removed: int = 0
+    fill_conflicts: int = 0
+    dead_arrays: list[str] = field(default_factory=list)
+
+
+class OffsetArrayPass(Pass):
+    """SSA-flavoured offset-array conversion with copy repair."""
+
+    name = "offset-arrays"
+
+    def __init__(self, max_offset: int = 4,
+                 outputs: set[str] | None = None,
+                 convert_eoshift: bool = True) -> None:
+        """``max_offset`` bounds the per-dimension offset magnitude (the
+        paper's "small constant" criterion — it becomes the overlap-area
+        width).  ``outputs`` names the arrays whose final values are live
+        out of the routine; ``None`` means every user-declared array.
+        ``convert_eoshift`` enables the EOSHIFT generalization."""
+        self.max_offset = max_offset
+        self.outputs = outputs
+        self.convert_eoshift = convert_eoshift
+        self.stats = OffsetArrayStats()
+
+    # -- driver ------------------------------------------------------------
+    def run(self, program: Program) -> None:
+        self.stats = OffsetArrayStats()
+        self._program = program
+        self._tentative: list[tuple[ArrayAssign, str]] = []
+        program.body = self._walk(program.body, _State())
+        self._resolve_copies(program)
+        self._remove_dead_defs(program)
+        self.stats.dead_arrays = program.prune_dead_arrays()
+
+    # -- structured walk -----------------------------------------------------
+    def _walk(self, body: list[Stmt], state: _State) -> list[Stmt]:
+        out: list[Stmt] = []
+        for stmt in body:
+            if isinstance(stmt, ArrayAssign):
+                out.extend(self._visit_assign(stmt, state))
+            elif isinstance(stmt, If):
+                s_then = state.copy()
+                s_else = state.copy()
+                stmt.then_body = self._walk(stmt.then_body, s_then)
+                stmt.else_body = self._walk(stmt.else_body, s_else)
+                merged = s_then.meet(s_else)
+                state.off = merged.off
+                state.fills = merged.fills
+                out.append(stmt)
+            elif isinstance(stmt, (DoLoop, DoWhile)):
+                # conservative around the back edge: anything the body
+                # kills is unavailable on entry to any iteration
+                for name in self._killed_in(stmt.body):
+                    state.kill(name)
+                stmt.body = self._walk(stmt.body, state)
+                out.append(stmt)
+            elif isinstance(stmt, (Allocate, Deallocate)):
+                for name in stmt.names:
+                    state.kill(name)
+                out.append(stmt)
+            elif isinstance(stmt, ScalarAssign):
+                stmt.rhs = self._rewrite_expr(stmt.rhs, None, state)
+                out.append(stmt)
+            else:
+                out.append(stmt)
+        return out
+
+    def _killed_in(self, body: list[Stmt]) -> set[str]:
+        killed: set[str] = set()
+        for stmt in body:
+            for s in stmt.walk():
+                if isinstance(s, ArrayAssign):
+                    killed.add(s.lhs.name)
+                elif isinstance(s, (Allocate, Deallocate)):
+                    killed.update(s.names)
+        return killed
+
+    # -- per-statement transformation ---------------------------------------------
+    def _visit_assign(self, stmt: ArrayAssign,
+                      state: _State) -> list[Stmt]:
+        rhs = stmt.rhs
+        is_shift = isinstance(rhs, (CShift, EOShift)) and \
+            stmt.lhs.section is None and \
+            isinstance(rhs.array, ArrayRef) and rhs.array.section is None
+        if is_shift and (isinstance(rhs, CShift) or self.convert_eoshift):
+            converted = self._try_convert_shift(stmt, rhs, state)
+            if converted is not None:
+                return converted
+        # ordinary statement: rewrite reached uses, then apply kills
+        stmt.rhs = self._rewrite_expr(stmt.rhs, stmt, state)
+        if stmt.mask is not None:
+            stmt.mask = self._rewrite_expr(stmt.mask, stmt, state)
+        state.kill(stmt.lhs.name)
+        return [stmt]
+
+    def _try_convert_shift(self, stmt: ArrayAssign,
+                           rhs: "CShift | EOShift",
+                           state: _State) -> list[Stmt] | None:
+        symbols = self._program.symbols
+        dst = stmt.lhs.name
+        src = rhs.array.name
+        fill: Fill = rhs.boundary if isinstance(rhs, EOShift) else None
+        entry = state.off.get(src)
+        if entry is not None:
+            base, boffs, src_fill = entry
+            # multi-offset chains must be fill-homogeneous
+            if src_fill != fill and any(boffs):
+                self.stats.fill_conflicts += 1
+                self.stats.shifts_kept += 1
+                state.kill(dst)
+                return None
+        else:
+            base = src
+            boffs = tuple(0 for _ in range(
+                symbols.array(src).type.rank))
+        dst_sym = symbols.array(dst)
+        base_sym = symbols.array(base)
+        new_offs = list(boffs)
+        d = rhs.dim - 1
+        if d >= len(new_offs):
+            return None
+        new_offs[d] += rhs.shift
+        sign = 1 if rhs.shift > 0 else -1
+        region = (base, d, sign)
+        established = state.fills.get(region, fill)
+        criteria_ok = (
+            dst_sym.type == base_sym.type
+            and dst_sym.distribution == base_sym.distribution
+            and dst != base
+            and all(abs(o) <= self.max_offset for o in new_offs)
+            and established == fill
+        )
+        if not criteria_ok:
+            if established != fill:
+                self.stats.fill_conflicts += 1
+            self.stats.shifts_kept += 1
+            state.kill(dst)
+            return None
+        offsets = tuple(new_offs)
+        ovl = OverlapShift(base, rhs.shift, rhs.dim,
+                           base_offsets=boffs if any(boffs) else None,
+                           boundary=fill)
+        copy = ArrayAssign(ArrayRef(dst), OffsetRef(base, offsets, fill))
+        self._tentative.append((copy, dst))
+        state.kill(dst)
+        state.off[dst] = (base, offsets, fill)
+        state.fills[region] = fill
+        self.stats.shifts_converted += 1
+        return [ovl, copy]
+
+    # -- use rewriting -----------------------------------------------------------
+    def _rewrite_expr(self, expr: Expr, stmt: ArrayAssign,
+                      state: _State) -> Expr:
+        if isinstance(expr, ArrayRef) and expr.name in state.off:
+            base, offs, fill = state.off[expr.name]
+            delta = self._ref_delta(expr, stmt)
+            if delta is not None:
+                # a nonzero delta composes a circular displacement on top
+                # of the tracked one; only sound when fills agree
+                if any(delta) and fill is not None:
+                    return expr
+                total = tuple(o + d for o, d in zip(offs, delta))
+                if all(abs(o) <= self.max_offset for o in total):
+                    self.stats.uses_rewritten += 1
+                    return OffsetRef(base, total, fill)
+            return expr
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op,
+                         self._rewrite_expr(expr.left, stmt, state),
+                         self._rewrite_expr(expr.right, stmt, state))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op,
+                           self._rewrite_expr(expr.operand, stmt, state))
+        if isinstance(expr, Intrinsic):
+            return Intrinsic(expr.name, tuple(
+                self._rewrite_expr(a, stmt, state) for a in expr.args))
+        if isinstance(expr, Reduction):
+            return Reduction(expr.op,
+                             self._rewrite_expr(expr.arg, None, state))
+        if isinstance(expr, Compare):
+            return Compare(expr.op,
+                           self._rewrite_expr(expr.left, stmt, state),
+                           self._rewrite_expr(expr.right, stmt, state))
+        if isinstance(expr, (CShift, EOShift)):
+            # non-normal-form residue: left untouched (kept full shifts)
+            return expr
+        return expr
+
+    def _ref_delta(self, ref: ArrayRef,
+                   stmt: "ArrayAssign | None") -> tuple[int, ...] | None:
+        rank = self._program.symbols.array(ref.name).type.rank
+        if ref.section is None:
+            return tuple(0 for _ in range(rank))
+        if stmt is None or stmt.lhs.section is None:
+            return None
+        return section_offsets(ref.section, stmt.lhs.section)
+
+    # -- copy repair ------------------------------------------------------------
+    def _resolve_copies(self, program: Program) -> None:
+        """Drop tentative compensating copies whose destination is never
+        read afterwards and is not live out of the routine."""
+        outputs = self.outputs
+        if outputs is None:
+            outputs = {name for name, sym in
+                       program.symbols.arrays.items()
+                       if not sym.is_temporary}
+        else:
+            outputs = {n.upper() for n in outputs}
+        copy_sids = {copy.sid for copy, _ in self._tentative}
+        reads = self._collect_reads(program, exclude_sids=copy_sids)
+        for copy, dst in self._tentative:
+            if dst in reads or dst in outputs:
+                self.stats.copies_inserted += 1
+            else:
+                self._remove_stmt(program.body, copy)
+                self.stats.copies_elided += 1
+
+    def _collect_reads(self, program: Program,
+                       exclude_sids: set[int]) -> set[str]:
+        reads: set[str] = set()
+        for stmt in program.leaf_statements():
+            if stmt.sid in exclude_sids:
+                # a compensating copy reads only its base, which stays
+                # live through the OVERLAP_SHIFT that precedes it
+                assert isinstance(stmt, ArrayAssign)
+                reads |= array_names(stmt.rhs)
+                continue
+            if isinstance(stmt, (ArrayAssign, ScalarAssign)):
+                reads |= array_names(stmt.rhs)
+                if isinstance(stmt, ArrayAssign) and stmt.mask is not None:
+                    reads |= array_names(stmt.mask)
+            elif isinstance(stmt, OverlapShift):
+                reads.add(stmt.array)
+            elif isinstance(stmt, If):
+                reads |= array_names(stmt.cond)
+        return reads
+
+    def _remove_stmt(self, body: list[Stmt], target: Stmt) -> bool:
+        for i, stmt in enumerate(body):
+            if stmt is target:
+                del body[i]
+                return True
+            if isinstance(stmt, If):
+                if self._remove_stmt(stmt.then_body, target) or \
+                        self._remove_stmt(stmt.else_body, target):
+                    return True
+            elif isinstance(stmt, (DoLoop, DoWhile)):
+                if self._remove_stmt(stmt.body, target):
+                    return True
+        return False
+
+    # -- dead definition cleanup --------------------------------------------------
+    def _remove_dead_defs(self, program: Program) -> None:
+        """Remove assignments to temporaries that are never read and not
+        live-out (Figure 13: the TMP/RIP/RIN defs disappear)."""
+        outputs = self.outputs
+        if outputs is None:
+            outputs = {name for name, sym in
+                       program.symbols.arrays.items()
+                       if not sym.is_temporary}
+        else:
+            outputs = {n.upper() for n in outputs}
+        changed = True
+        while changed:
+            changed = False
+            reads = self._collect_reads(program, exclude_sids=set())
+            for stmt in list(program.body):
+                if isinstance(stmt, ArrayAssign) and \
+                        stmt.lhs.name not in reads and \
+                        stmt.lhs.name not in outputs:
+                    program.body.remove(stmt)
+                    self.stats.dead_defs_removed += 1
+                    changed = True

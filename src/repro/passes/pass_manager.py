@@ -1,0 +1,66 @@
+"""Pass framework: ordered pipeline with validation and IR traces."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+from repro.ir.printer import format_program
+from repro.ir.program import Program
+
+
+class Pass(abc.ABC):
+    """One program transformation.  Subclasses set :attr:`name` and
+    implement :meth:`run`, mutating the program in place."""
+
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, program: Program) -> None:
+        ...
+
+
+@dataclass
+class PassTrace:
+    """IR snapshots taken after each pass — the golden-test hook that lets
+    us compare the pipeline against the paper's Figures 12-15."""
+
+    snapshots: list[tuple[str, str]] = field(default_factory=list)
+
+    def record(self, name: str, program: Program) -> None:
+        self.snapshots.append((name, format_program(program)))
+
+    def after(self, pass_name: str) -> str:
+        for name, text in self.snapshots:
+            if name == pass_name:
+                return text
+        raise KeyError(f"no snapshot for pass {pass_name!r}")
+
+    def __str__(self) -> str:
+        out = []
+        for name, text in self.snapshots:
+            out.append(f"=== after {name} ===")
+            out.append(text)
+        return "\n".join(out)
+
+
+@dataclass
+class PassManager:
+    """Runs a pass list in order, validating the IR after every step."""
+
+    passes: list[Pass]
+    trace: PassTrace | None = None
+
+    def run(self, program: Program) -> Program:
+        if self.trace is not None:
+            self.trace.record("input", program)
+        for p in self.passes:
+            try:
+                p.run(program)
+                program.validate()
+            except PipelineError as exc:
+                raise PipelineError(f"after pass {p.name}: {exc}") from exc
+            if self.trace is not None:
+                self.trace.record(p.name, program)
+        return program

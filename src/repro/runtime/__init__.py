@@ -1,0 +1,16 @@
+"""Runtime for compiled stencil programs on the simulated machine.
+
+* :mod:`repro.runtime.distribution` — HPF BLOCK layouts and index math.
+* :mod:`repro.runtime.darray` — distributed arrays with overlap areas.
+* :mod:`repro.runtime.overlap` — ``OVERLAP_SHIFT`` (interprocessor
+  component only, with RSD support).
+* :mod:`repro.runtime.cshift` — full ``CSHIFT``/``EOSHIFT`` (both
+  components), as a naive backend would call.
+* :mod:`repro.runtime.executor` — runs compiled plans.
+* :mod:`repro.runtime.reference` — serial NumPy semantics of IR programs.
+"""
+
+from repro.runtime.distribution import Layout, BlockDim  # noqa: F401
+from repro.runtime.darray import DArray  # noqa: F401
+from repro.runtime.overlap import overlap_shift  # noqa: F401
+from repro.runtime.cshift import full_cshift, full_eoshift  # noqa: F401

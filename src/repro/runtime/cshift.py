@@ -1,0 +1,96 @@
+"""Full ``CSHIFT``/``EOSHIFT``: both data-movement components.
+
+This is what a naive backend (CM Fortran / xlhpf style, paper Figure 4)
+executes for every shift intrinsic: the interprocessor slab exchange
+*plus* an intraprocessor copy of the entire local subgrid into the
+destination array.  The offset-array optimization exists to delete the
+second component; keeping this routine lets the O0 baseline and the
+ablation experiments execute the unoptimized program faithfully.
+
+The exchange goes through a private per-PE communication buffer (a
+padded copy of the local block), never through the source array's
+overlap area: a runtime shift must not clobber overlap data that offset
+references elsewhere still read (and the naive path's source arrays
+need no overlap areas at all).  The buffer's extra copy is charged to
+the cost model — it is part of what made library CSHIFTs expensive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.machine.machine import Machine
+from repro.runtime.darray import DArray
+from repro.runtime.distribution import Layout
+from repro.runtime.overlap import overlap_shift
+
+
+def _scratch_like(machine: Machine, src: DArray, shift: int,
+                  dim0: int) -> DArray:
+    """A transient padded copy of ``src`` with just enough overlap for
+    the shift; models the runtime's communication buffer."""
+    s = abs(shift)
+    halo = tuple((0, 0) if k != dim0 else
+                 ((0, s) if shift > 0 else (s, 0))
+                 for k in range(src.rank))
+    scratch = DArray.create(machine, f"__shiftbuf_{src.name}__",
+                            src.layout, src.dtype, halo)
+    for pe in src.layout.grid.ranks():
+        block = src.interior(pe)
+        scratch.interior(pe)[...] = block
+        machine.charge_copy(pe, int(block.size), block.itemsize)
+    return scratch
+
+
+def _shifted_interior(buf: DArray, pe: int, shift: int,
+                      dim0: int) -> np.ndarray:
+    """View of ``buf``'s padded block displaced by ``shift`` along
+    ``dim0`` — the source values of ``dst(i) = src(i + shift)``."""
+    padded = buf.padded(pe)
+    idx = []
+    for k in range(buf.rank):
+        lo, hi = buf.halo[k]
+        n_local = padded.shape[k] - lo - hi
+        if k == dim0:
+            start = lo + shift
+            stop = lo + n_local + shift
+            if start < 0 or stop > padded.shape[k]:
+                raise ExecutionError(
+                    f"{buf.name}: buffer too small for shift {shift:+d} "
+                    f"along dim {dim0 + 1}")
+            idx.append(slice(start, stop))
+        else:
+            idx.append(slice(lo, lo + n_local))
+    return padded[tuple(idx)]
+
+
+def _full_shift(machine: Machine, dst: DArray, src: DArray, shift: int,
+                dim: int, boundary: float | None) -> None:
+    if dst.layout.shape != src.layout.shape:
+        raise ExecutionError(
+            f"shift shape mismatch: {dst.name} vs {src.name}")
+    d = dim - 1
+    scratch = _scratch_like(machine, src, shift, d)
+    try:
+        overlap_shift(machine, scratch, shift, dim, boundary=boundary)
+        for pe in src.layout.grid.ranks():
+            block = _shifted_interior(scratch, pe, shift, d)
+            dst.interior(pe)[...] = block
+            machine.charge_copy(pe, int(block.size), block.itemsize)
+    finally:
+        scratch.free(machine)
+
+
+def full_cshift(machine: Machine, dst: DArray, src: DArray, shift: int,
+                dim: int) -> None:
+    """``dst = CSHIFT(src, shift, dim)`` with explicit buffering and
+    intraprocessor copying — the costs the offset-array optimization
+    eliminates."""
+    _full_shift(machine, dst, src, shift, dim, boundary=None)
+
+
+def full_eoshift(machine: Machine, dst: DArray, src: DArray, shift: int,
+                 dim: int, boundary: float = 0.0) -> None:
+    """``dst = EOSHIFT(src, shift, dim, boundary)`` (end-off shift)."""
+    _full_shift(machine, dst, src, shift, dim, boundary=boundary)

@@ -1,0 +1,134 @@
+"""Distributed arrays with overlap (ghost) areas.
+
+Each PE stores a padded local block: the owned subgrid plus ``halo[d] =
+(lo, hi)`` extra planes per dimension.  Overlap areas receive data moved
+by :func:`repro.runtime.overlap.overlap_shift`; offset references
+(``U<+1,-1>``) read straight into them, which is how the offset-array
+optimization eliminates intraprocessor copying (paper section 3.1,
+exploiting the overlap areas of Gerndt [11]).
+
+Convention: Fortran global index ``g`` (1-based) along dim ``d`` maps to
+NumPy axis ``d`` index ``halo[d][0] + (g - owned_lo)`` in the padded
+local array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError, MachineError
+from repro.machine.machine import Machine
+from repro.runtime.distribution import Layout
+
+Halo = tuple[tuple[int, int], ...]
+
+
+@dataclass
+class DArray:
+    """A BLOCK-distributed array materialised on a machine."""
+
+    name: str
+    layout: Layout
+    dtype: np.dtype
+    halo: Halo
+    locals: list[np.ndarray]
+
+    # -- construction ------------------------------------------------------
+    @staticmethod
+    def create(machine: Machine, name: str, layout: Layout,
+               dtype: np.dtype, halo: Halo | None = None) -> "DArray":
+        """Allocate on every PE, charging the memory manager (so a too-big
+        allocation raises :class:`SimulatedOutOfMemoryError` exactly as a
+        real node would fail)."""
+        rank = len(layout.shape)
+        halo = halo or tuple((0, 0) for _ in range(rank))
+        if len(halo) != rank:
+            raise MachineError(f"halo rank mismatch for {name}")
+        for d, (lo, hi) in enumerate(halo):
+            limit = layout.max_shift(d)
+            if max(lo, hi) > limit:
+                raise MachineError(
+                    f"{name}: halo {max(lo, hi)} along dim {d + 1} exceeds "
+                    f"the minimum local extent {limit}; use a smaller shift "
+                    f"or fewer processors")
+        dtype = np.dtype(dtype)
+        shapes = []
+        for pe in machine.topology.ranks():
+            local = layout.local_shape(pe)
+            shapes.append(tuple(n + lo + hi
+                                for n, (lo, hi) in zip(local, halo)))
+        nbytes = [int(np.prod(s)) * dtype.itemsize for s in shapes]
+        machine.memory.allocate_all(name, nbytes)
+        locals_ = [np.zeros(s, dtype=dtype) for s in shapes]
+        return DArray(name, layout, dtype, halo, locals_)
+
+    def free(self, machine: Machine) -> None:
+        machine.memory.free_all(self.name)
+        self.locals = []
+
+    # -- views ---------------------------------------------------------------
+    def padded(self, pe: int) -> np.ndarray:
+        try:
+            return self.locals[pe]
+        except IndexError:
+            raise ExecutionError(
+                f"{self.name}: no local block for PE {pe}") from None
+
+    def interior(self, pe: int) -> np.ndarray:
+        """View of the owned subgrid (no overlap area)."""
+        padded = self.padded(pe)
+        slices = tuple(
+            slice(lo, padded.shape[d] - hi)
+            for d, (lo, hi) in enumerate(self.halo))
+        return padded[slices]
+
+    def interior_slices(self, pe: int) -> tuple[slice, ...]:
+        padded = self.padded(pe)
+        return tuple(slice(lo, padded.shape[d] - hi)
+                     for d, (lo, hi) in enumerate(self.halo))
+
+    # -- global <-> local ------------------------------------------------------
+    def scatter(self, global_array: np.ndarray) -> None:
+        """Distribute a global array's values into the local interiors."""
+        if tuple(global_array.shape) != self.layout.shape:
+            raise MachineError(
+                f"{self.name}: scatter shape {global_array.shape} != "
+                f"declared {self.layout.shape}")
+        for pe in self.layout.grid.ranks():
+            box = self.layout.owned_box(pe)
+            src = tuple(slice(lo - 1, hi) for lo, hi in box)
+            self.interior(pe)[...] = global_array[src]
+
+    def gather(self) -> np.ndarray:
+        """Assemble the global array from the local interiors."""
+        out = np.zeros(self.layout.shape, dtype=self.dtype)
+        for pe in self.layout.grid.ranks():
+            box = self.layout.owned_box(pe)
+            dst = tuple(slice(lo - 1, hi) for lo, hi in box)
+            out[dst] = self.interior(pe)
+        return out
+
+    # -- geometry helpers ----------------------------------------------------
+    def owned_box(self, pe: int) -> tuple[tuple[int, int], ...]:
+        return self.layout.owned_box(pe)
+
+    def local_index_of(self, pe: int, gidx: tuple[int, ...]) -> tuple[int, ...]:
+        """Padded-array index of a *globally owned* element on this PE."""
+        box = self.owned_box(pe)
+        out = []
+        for d, ((lo, hi), g) in enumerate(zip(box, gidx)):
+            if not (lo <= g <= hi):
+                raise ExecutionError(
+                    f"{self.name}: global index {gidx} not owned by PE {pe}")
+            out.append(self.halo[d][0] + (g - lo))
+        return tuple(out)
+
+    @property
+    def rank(self) -> int:
+        return len(self.layout.shape)
+
+    def __str__(self) -> str:
+        return (f"DArray({self.name}, shape={self.layout.shape}, "
+                f"halo={self.halo})")

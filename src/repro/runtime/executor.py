@@ -1,0 +1,437 @@
+"""Plan executor: runs compiled programs on the simulated machine.
+
+The executor performs real data movement (NumPy) so results are exact,
+and charges every operation to the machine's cost model so the modelled
+execution time reflects the paper's cost structure.  SPMD loop-bounds
+reduction happens here: each PE executes only the intersection of a
+nest's global iteration box with its owned block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.compiler.plan import (
+    AllocOp, CondOp, FreeOp, FullShiftOp, LoopNestOp, OverlappedOp,
+    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
+)
+from repro.ir.nodes import (
+    BinOp, Compare, Const, Expr, Intrinsic, OffsetRef, Reduction,
+    ScalarRef, UnaryOp,
+)
+from repro.runtime.reference import apply_intrinsic
+from repro.machine.cost_model import CostReport
+from repro.machine.machine import Machine
+from repro.passes.memopt import scaled_to_points
+from repro.runtime.cshift import full_cshift, full_eoshift
+from repro.runtime.darray import DArray
+from repro.runtime.distribution import Layout
+from repro.runtime.overlap import overlap_shift
+
+
+@dataclass
+class ExecutionResult:
+    """Final array values plus the accumulated cost report."""
+
+    arrays: dict[str, np.ndarray]
+    scalars: dict[str, float]
+    report: CostReport
+    peak_memory_per_pe: int
+    modelled_time: float
+
+    def summary(self) -> dict[str, float]:
+        out = self.report.summary()
+        out["peak_memory_per_pe"] = float(self.peak_memory_per_pe)
+        return out
+
+
+class _Exec:
+    def __init__(self, plan: Plan, machine: Machine,
+                 scalars: Mapping[str, float] | None,
+                 hpf_overhead: bool) -> None:
+        self.plan = plan
+        self.machine = machine
+        self.darrays: dict[str, DArray] = {}
+        self.scalars: dict[str, float] = {n: 0.0 for n in plan.scalar_names}
+        for k, v in (scalars or {}).items():
+            self.scalars[k.upper()] = float(v)
+        self.overhead = (machine.cost_model.hpf_overhead_factor
+                         if hpf_overhead else 1.0)
+
+    # -- array lifecycle -----------------------------------------------------
+    def materialize(self, name: str,
+                    initial: np.ndarray | None = None) -> None:
+        decl = self.plan.arrays[name]
+        layout = Layout(decl.shape, decl.distribution,
+                        self.machine.topology)
+        da = DArray.create(self.machine, name, layout, decl.dtype,
+                           decl.halo)
+        if initial is not None:
+            da.scatter(np.asarray(initial))
+        self.darrays[name] = da
+
+    def release(self, name: str) -> None:
+        da = self.darrays.pop(name, None)
+        if da is None:
+            raise ExecutionError(f"DEALLOCATE of unallocated {name}")
+        da.free(self.machine)
+
+    def darray(self, name: str) -> DArray:
+        try:
+            return self.darrays[name]
+        except KeyError:
+            raise ExecutionError(
+                f"array {name} used before allocation") from None
+
+    # -- scalar evaluation --------------------------------------------------
+    def scalar(self, expr: Expr) -> float:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, ScalarRef):
+            if expr.name in self.scalars:
+                return self.scalars[expr.name]
+            if expr.name in self.plan.params:
+                return float(self.plan.params[expr.name])
+            raise ExecutionError(f"unbound scalar {expr.name}")
+        if isinstance(expr, BinOp):
+            lv, rv = self.scalar(expr.left), self.scalar(expr.right)
+            if expr.op == "+":
+                return lv + rv
+            if expr.op == "-":
+                return lv - rv
+            if expr.op == "*":
+                return lv * rv
+            if expr.op == "/":
+                return lv / rv
+            return lv ** rv
+        if isinstance(expr, Intrinsic):
+            return float(apply_intrinsic(
+                expr.name, [self.scalar(a) for a in expr.args]))
+        if isinstance(expr, UnaryOp):
+            return -self.scalar(expr.operand)
+        if isinstance(expr, Compare):
+            lv, rv = self.scalar(expr.left), self.scalar(expr.right)
+            return float({"<": lv < rv, ">": lv > rv, "<=": lv <= rv,
+                          ">=": lv >= rv, "==": lv == rv,
+                          "/=": lv != rv}[expr.op])
+        if isinstance(expr, Reduction):
+            return self._reduce(expr)
+        raise ExecutionError(
+            f"cannot evaluate scalar {type(expr).__name__}")
+
+    def _reduce(self, expr: Reduction) -> float:
+        """Distributed reduction: each PE reduces its owned subgrid of
+        the operand, then the partials combine via a logarithmic
+        exchange and the result replicates (the HPF lowering of
+        SUM/MAXVAL/MINVAL).  Charges both the per-PE reduction loop and
+        the allreduce messages."""
+        refs = [n for n in expr.arg.walk() if isinstance(n, OffsetRef)]
+        if not refs:
+            raise ExecutionError(
+                f"reduction {expr} references no arrays")
+        first = self.darray(refs[0].name)
+        rank_of = lambda name: self.darray(name).rank
+        from repro.passes.memopt import analyze_reduction, \
+            scaled_to_points
+        per_point = analyze_reduction(expr.arg, rank_of)
+        combine = {"SUM": np.sum, "MAXVAL": np.max,
+                   "MINVAL": np.min}[expr.op]
+        fold = {"SUM": np.add, "MAXVAL": np.maximum,
+                "MINVAL": np.minimum}[expr.op]
+        total: float | None = None
+        npes = self.machine.npes
+        rounds = (npes - 1).bit_length() if npes > 1 else 0
+        for pe in self.machine.topology.ranks():
+            box = [(lo, hi) for lo, hi in first.owned_box(pe)]
+            local = self._eval(expr.arg, pe, box)
+            partial = float(combine(local))
+            total = partial if total is None else float(
+                fold(total, partial))
+            points = 1
+            for lo, hi in box:
+                points *= hi - lo + 1
+            self.machine.charge_loop(
+                pe, scaled_to_points(per_point, points), self.overhead)
+            for _ in range(rounds):
+                self.machine.report.add_message(
+                    pe, 8, self.machine.cost_model)
+        assert total is not None
+        return total
+
+    def bound(self, e) -> int:
+        binding = dict(self.plan.params)
+        for k, v in self.scalars.items():
+            if float(v).is_integer():
+                binding[k] = int(v)
+        return e.evaluate(binding)
+
+    # -- op dispatch -----------------------------------------------------------
+    def run_ops(self, ops: list[PlanOp]) -> None:
+        for op in ops:
+            if isinstance(op, LoopNestOp):
+                self.run_nest(op)
+            elif isinstance(op, OverlapShiftOp):
+                overlap_shift(self.machine, self.darray(op.array),
+                              op.shift, op.dim, rsd=op.rsd,
+                              base_offsets=op.base_offsets,
+                              boundary=op.boundary)
+            elif isinstance(op, FullShiftOp):
+                dst, src = self.darray(op.dst), self.darray(op.src)
+                if op.boundary is None:
+                    full_cshift(self.machine, dst, src, op.shift, op.dim)
+                else:
+                    full_eoshift(self.machine, dst, src, op.shift, op.dim,
+                                 op.boundary)
+            elif isinstance(op, AllocOp):
+                for name in op.names:
+                    self.materialize(name)
+            elif isinstance(op, FreeOp):
+                for name in op.names:
+                    self.release(name)
+            elif isinstance(op, ScalarAssignOp):
+                self.scalars[op.name] = self.scalar(op.rhs)
+            elif isinstance(op, SeqLoopOp):
+                lo, hi = self.bound(op.lo), self.bound(op.hi)
+                for k in range(lo, hi + 1):
+                    self.scalars[op.var] = float(k)
+                    self.run_ops(op.body)
+            elif isinstance(op, WhileOp):
+                guard = 0
+                while self.scalar(op.cond):
+                    self.run_ops(op.body)
+                    guard += 1
+                    if guard > 1_000_000:
+                        raise ExecutionError(
+                            "DO WHILE exceeded 1e6 iterations; "
+                            "non-converging loop?")
+            elif isinstance(op, CondOp):
+                branch = op.then_ops if self.scalar(op.cond) else op.else_ops
+                self.run_ops(branch)
+            elif isinstance(op, OverlappedOp):
+                self.run_overlapped(op)
+            else:
+                raise ExecutionError(
+                    f"unknown plan op {type(op).__name__}")
+
+    # -- loop nests ----------------------------------------------------------
+    def run_nest(self, op: LoopNestOp) -> None:
+        space = tuple((self.bound(lo), self.bound(hi))
+                      for lo, hi in op.space)
+        for pe in self.machine.topology.ranks():
+            points = self._run_nest_on_pe(op, space, pe)
+            if points:
+                self.machine.charge_loop(
+                    pe, scaled_to_points(op.stats, points), self.overhead)
+
+    def run_overlapped(self, op) -> None:
+        """Communication overlapped with interior computation: execute
+        comm then the nest split into interior/boundary, and credit each
+        PE with min(comm, interior) — the time hidden behind the
+        messages."""
+        report = self.machine.report
+        before = list(report.pe_times)
+        self.run_ops(op.comm_ops)
+        comm_delta = [t1 - t0 for t0, t1 in zip(before, report.pe_times)]
+
+        nest = op.nest
+        space = tuple((self.bound(lo), self.bound(hi))
+                      for lo, hi in nest.space)
+        shrink = self._nest_reach(nest)
+        for pe in self.machine.topology.ranks():
+            box = self._nest_box(nest, space, pe)
+            if box is None:
+                continue
+            interior, strips = self._split_interior(box, pe, nest, shrink)
+            t_interior = 0.0
+            for region in ([interior] if interior else []):
+                pts = self._exec_nest_box(nest, region, pe)
+                stats = scaled_to_points(nest.stats, pts)
+                t_interior = self.machine.cost_model.loop_time(
+                    stats, self.overhead)
+                self.machine.charge_loop(pe, stats, self.overhead)
+            for region in strips:
+                pts = self._exec_nest_box(nest, region, pe)
+                if pts:
+                    self.machine.charge_loop(
+                        pe, scaled_to_points(nest.stats, pts),
+                        self.overhead)
+            hidden = min(comm_delta[pe], t_interior)
+            report.pe_times[pe] -= hidden
+
+    def _nest_reach(self, nest: LoopNestOp) -> list[tuple[int, int]]:
+        """Per-dimension (lo, hi) stencil reach of a nest's references."""
+        rank = len(nest.space)
+        reach = [[0, 0] for _ in range(rank)]
+        for stmt in nest.statements:
+            exprs = [stmt.rhs] + ([stmt.mask]
+                                  if stmt.mask is not None else [])
+            for expr in exprs:
+                for node in expr.walk():
+                    if isinstance(node, OffsetRef):
+                        for d, o in enumerate(node.offsets):
+                            if o < 0:
+                                reach[d][0] = max(reach[d][0], -o)
+                            elif o > 0:
+                                reach[d][1] = max(reach[d][1], o)
+        return [tuple(r) for r in reach]
+
+    def _nest_box(self, nest: LoopNestOp, space, pe):
+        first = self.darray(nest.statements[0].lhs)
+        owned = first.owned_box(pe)
+        box = []
+        for (slo, shi), (olo, ohi) in zip(space, owned):
+            lo, hi = max(slo, olo), min(shi, ohi)
+            if lo > hi:
+                return None
+            box.append((lo, hi))
+        return box
+
+    def _split_interior(self, box, pe, nest, shrink):
+        """Split a compute box into the interior (no overlap-cell reads)
+        and disjoint boundary strips."""
+        first = self.darray(nest.statements[0].lhs)
+        owned = first.owned_box(pe)
+        interior = []
+        for (lo, hi), (olo, ohi), (rlo, rhi) in zip(box, owned, shrink):
+            ilo = max(lo, olo + rlo)
+            ihi = min(hi, ohi - rhi)
+            if ilo > ihi:
+                return None, [box]
+            interior.append((ilo, ihi))
+        strips = []
+        current = list(box)
+        for d in range(len(box)):
+            lo, hi = current[d]
+            ilo, ihi = interior[d]
+            if ilo > lo:
+                strip = list(current)
+                strip[d] = (lo, ilo - 1)
+                strips.append(strip)
+            if ihi < hi:
+                strip = list(current)
+                strip[d] = (ihi + 1, hi)
+                strips.append(strip)
+            current[d] = interior[d]
+        return interior, strips
+
+    def _run_nest_on_pe(self, op: LoopNestOp,
+                        space: tuple[tuple[int, int], ...], pe: int) -> int:
+        box = self._nest_box(op, space, pe)
+        if box is None:
+            return 0
+        return self._exec_nest_box(op, box, pe)
+
+    def _exec_nest_box(self, op: LoopNestOp,
+                       box: list[tuple[int, int]], pe: int) -> int:
+        points = 1
+        for lo, hi in box:
+            points *= hi - lo + 1
+        for stmt in op.statements:
+            dst = self.darray(stmt.lhs)
+            dst_slices = self._local_slices(dst, pe, box,
+                                            (0,) * len(box))
+            value = self._eval(stmt.rhs, pe, box)
+            if stmt.mask is None:
+                dst.padded(pe)[dst_slices] = value
+            else:
+                mask = self._eval(stmt.mask, pe, box)
+                target = dst.padded(pe)[dst_slices]
+                dst.padded(pe)[dst_slices] = np.where(
+                    np.asarray(mask, dtype=bool), value, target)
+        return points
+
+    def _local_slices(self, da: DArray, pe: int,
+                      box: list[tuple[int, int]] | tuple,
+                      offsets: tuple[int, ...]) -> tuple[slice, ...]:
+        owned = da.owned_box(pe)
+        slices = []
+        for d, ((lo, hi), (olo, _), off) in enumerate(
+                zip(box, owned, offsets)):
+            halo_lo = da.halo[d][0]
+            start = halo_lo + (lo - olo) + off
+            stop = start + (hi - lo + 1)
+            if start < 0 or stop > da.padded(pe).shape[d]:
+                raise ExecutionError(
+                    f"{da.name}: offset {off} along dim {d + 1} escapes "
+                    f"the overlap area (halo={da.halo[d]})")
+            slices.append(slice(start, stop))
+        return tuple(slices)
+
+    def _eval(self, expr: Expr, pe: int,
+              box: list[tuple[int, int]]) -> np.ndarray | float:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, ScalarRef):
+            return self.scalar(expr)
+        if isinstance(expr, OffsetRef):
+            da = self.darray(expr.name)
+            return da.padded(pe)[
+                self._local_slices(da, pe, box, expr.offsets)]
+        if isinstance(expr, BinOp):
+            lv = self._eval(expr.left, pe, box)
+            rv = self._eval(expr.right, pe, box)
+            if expr.op == "+":
+                return lv + rv
+            if expr.op == "-":
+                return lv - rv
+            if expr.op == "*":
+                return lv * rv
+            if expr.op == "**":
+                return lv ** rv
+            return lv / rv
+        if isinstance(expr, UnaryOp):
+            return -self._eval(expr.operand, pe, box)
+        if isinstance(expr, Compare):
+            lv = self._eval(expr.left, pe, box)
+            rv = self._eval(expr.right, pe, box)
+            return {"<": lv < rv, ">": lv > rv, "<=": lv <= rv,
+                    ">=": lv >= rv, "==": lv == rv,
+                    "/=": lv != rv}[expr.op]
+        if isinstance(expr, Intrinsic):
+            args = [self._eval(a, pe, box) for a in expr.args]
+            return apply_intrinsic(expr.name, args)
+        raise ExecutionError(
+            f"cannot evaluate {type(expr).__name__} in a nest")
+
+
+def execute(plan: Plan, machine: Machine,
+            inputs: Mapping[str, np.ndarray] | None = None,
+            scalars: Mapping[str, float] | None = None,
+            iterations: int = 1,
+            hpf_overhead: bool = False,
+            reset_machine: bool = True) -> ExecutionResult:
+    """Run a compiled plan.
+
+    ``inputs`` seeds entry arrays (by name, case-insensitive); arrays not
+    provided start zeroed.  ``iterations`` repeats the whole op sequence,
+    modelling an iterative solver driving the kernel.  ``hpf_overhead``
+    applies the cost model's interpretive-node-code factor to loop time
+    (the xlhpf-like baseline).
+    """
+    if reset_machine:
+        machine.reset()
+    if plan.processors is not None and \
+            tuple(machine.grid) != tuple(plan.processors):
+        raise ExecutionError(
+            f"program declares !HPF$ PROCESSORS {plan.processors} but "
+            f"the machine grid is {tuple(machine.grid)}")
+    ex = _Exec(plan, machine, scalars, hpf_overhead)
+    inputs_up = {k.upper(): v for k, v in (inputs or {}).items()}
+    for name in plan.entry_arrays:
+        ex.materialize(name, inputs_up.get(name))
+    for _ in range(iterations):
+        ex.run_ops(plan.ops)
+    arrays = {name: da.gather() for name, da in ex.darrays.items()}
+    for name in list(ex.darrays):
+        ex.release(name)
+    return ExecutionResult(
+        arrays=arrays,
+        scalars=dict(ex.scalars),
+        report=machine.report,
+        peak_memory_per_pe=machine.memory.peak_per_pe,
+        modelled_time=machine.report.modelled_time,
+    )

@@ -1,0 +1,147 @@
+"""``OVERLAP_SHIFT``: the interprocessor component of a circular shift.
+
+``overlap_shift(machine, U, shift=s, dim=d)`` fills the overlap area of
+``U`` on the ``sign(s)`` side of dimension ``d`` with the values a
+``CSHIFT(U, s, d)`` destination would have needed from the neighboring
+PE — and nothing else.  No intraprocessor data moves; downstream code
+reads through offset references (paper section 3.1).
+
+The optional RSD widens the transferred slab in the non-shifted
+dimensions so the message also carries overlap cells filled by earlier
+(lower-dimension) shifts — the corner pickup of Figures 9/10.  When the
+shift's *source* is itself an offset array (``OVERLAP_CSHIFT(U<+1,0>,
+SHIFT=-1, DIM=2)`` in Figure 13), the equivalent slab widening is derived
+from the base offsets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.ir.rsd import RSD
+from repro.machine.machine import Machine
+from repro.runtime.darray import DArray
+
+
+def _effective_rsd(da: DArray, dim0: int, rsd: RSD | None,
+                   base_offsets: tuple[int, ...] | None) -> RSD:
+    if rsd is not None:
+        return rsd
+    if base_offsets is not None:
+        return RSD.from_offsets(base_offsets, dim0)
+    return RSD.trivial(da.rank, dim0)
+
+
+def _ortho_slice(da: DArray, pe: int, k: int, ext_lo: int,
+                 ext_hi: int) -> slice:
+    """Padded-coordinate slice of dim ``k``: interior extended by
+    ``ext_lo``/``ext_hi`` overlap cells."""
+    halo_lo, halo_hi = da.halo[k]
+    if ext_lo > halo_lo or ext_hi > halo_hi:
+        raise ExecutionError(
+            f"{da.name}: RSD extension ({ext_lo},{ext_hi}) exceeds halo "
+            f"({halo_lo},{halo_hi}) in dim {k + 1}")
+    n_local = da.padded(pe).shape[k] - halo_lo - halo_hi
+    return slice(halo_lo - ext_lo, halo_lo + n_local + ext_hi)
+
+
+def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
+                  rsd: RSD | None = None,
+                  base_offsets: tuple[int, ...] | None = None,
+                  boundary: float | None = None) -> None:
+    """Fill overlap areas of ``da`` for a shift of ``shift`` along the
+    1-based dimension ``dim``.
+
+    ``boundary`` switches from circular (CSHIFT) to end-off (EOSHIFT)
+    semantics: overlap cells beyond the global array edge are filled with
+    the boundary value instead of wrapped data.
+
+    A positive ``shift`` serves reads ``U(i + shift)`` and therefore fills
+    the *high*-side overlap area; negative fills the low side.  One
+    message per PE is sent (self-messages on 1-wide grid dimensions are
+    priced as local copies by the network).
+    """
+    if shift == 0:
+        raise ExecutionError("overlap_shift with zero shift")
+    d = dim - 1
+    if not (0 <= d < da.rank):
+        raise ExecutionError(
+            f"{da.name}: shift dim {dim} out of range (rank {da.rank})")
+    s = abs(shift)
+    sign = 1 if shift > 0 else -1
+    halo_lo, halo_hi = da.halo[d]
+    if (sign > 0 and halo_hi < s) or (sign < 0 and halo_lo < s):
+        raise ExecutionError(
+            f"{da.name}: overlap area too small for shift {shift:+d} along "
+            f"dim {dim} (halo={da.halo[d]})")
+    eff = _effective_rsd(da, d, rsd, base_offsets)
+    if eff.rank != da.rank or eff.shift_dim != d:
+        raise ExecutionError(
+            f"{da.name}: RSD {eff} incompatible with shift dim {dim}")
+
+    layout = da.layout
+    n_global = layout.shape[d]
+    tag = f"ovl:{da.name}:d{dim}:{shift:+d}"
+
+    for pe in layout.grid.ranks():
+        padded = da.padded(pe)
+        n_local = padded.shape[d] - halo_lo - halo_hi
+        # destination: the halo slab on the sign side
+        dst_idx: list[slice] = []
+        for k in range(da.rank):
+            if k == d:
+                if sign > 0:
+                    dst_idx.append(slice(halo_lo + n_local,
+                                         halo_lo + n_local + s))
+                else:
+                    dst_idx.append(slice(halo_lo - s, halo_lo))
+            else:
+                rd = eff.dims[k]
+                assert rd is not None
+                dst_idx.append(_ortho_slice(da, pe, k, rd.lo, rd.hi))
+
+        if not layout.is_distributed(d):
+            # collapsed dimension: the "interprocessor" component is a
+            # purely local circular wrap of the slab
+            src_idx = list(dst_idx)
+            if sign > 0:
+                src_idx[d] = slice(halo_lo, halo_lo + s)
+            else:
+                src_idx[d] = slice(halo_lo + n_local - s, halo_lo + n_local)
+            slab = padded[tuple(src_idx)]
+            if boundary is not None:
+                slab = np.full_like(slab, boundary)
+            padded[tuple(dst_idx)] = slab
+            machine.charge_copy(pe, int(np.prod(slab.shape)),
+                                padded.itemsize)
+            continue
+
+        # boundary (EOSHIFT) handling: a PE at the global edge fills its
+        # slab with the boundary value, no message needed
+        box_lo, box_hi = layout.owned_box(pe)[d]
+        at_edge = (box_hi == n_global) if sign > 0 else (box_lo == 1)
+        if boundary is not None and at_edge:
+            shape = tuple(sl.stop - sl.start for sl in dst_idx)
+            padded[tuple(dst_idx)] = np.full(shape, boundary,
+                                             dtype=padded.dtype)
+            continue
+
+        sender = layout.neighbor(pe, d, sign)
+        sender_padded = da.padded(sender)
+        sender_n = sender_padded.shape[d] - halo_lo - halo_hi
+        src_idx = []
+        for k in range(da.rank):
+            if k == d:
+                if sign > 0:
+                    src_idx.append(slice(halo_lo, halo_lo + s))
+                else:
+                    src_idx.append(slice(halo_lo + sender_n - s,
+                                         halo_lo + sender_n))
+            else:
+                rd = eff.dims[k]
+                assert rd is not None
+                src_idx.append(_ortho_slice(da, sender, k, rd.lo, rd.hi))
+        payload = sender_padded[tuple(src_idx)]
+        received = machine.network.send(sender, pe, payload, tag=tag)
+        padded[tuple(dst_idx)] = received

@@ -1,0 +1,166 @@
+"""Differential-testing utilities: random stencil programs.
+
+The strongest evidence that the optimization pipeline is
+semantics-preserving is *differential execution*: generate a random
+program from the supported HPF subset, run it through every optimization
+level on several machine shapes, and demand bit-level agreement with the
+serial NumPy reference.  This module provides the generator and checker
+used by ``tests/test_differential.py``; they are public so downstream
+changes can fuzz themselves.
+
+The generator is deliberately adversarial within the subset: it mixes
+CSHIFT chains, EOSHIFT (single fill value, keeping programs inside the
+fill discipline where conversion succeeds — conflicting programs are
+still *correct*, just less optimized), WHERE masks, reductions feeding
+later scalars, elementwise intrinsics, accumulation chains creating
+dependences, and optional DO-loop wrapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.driver import compile_hpf
+from repro.frontend.parser import parse_program
+from repro.machine.machine import Machine
+from repro.runtime.reference import evaluate
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the random program generator."""
+
+    n: int = 12                   # array extent per dimension
+    ndim: int = 2
+    n_arrays: int = 3
+    n_statements: int = 6
+    max_offset: int = 2
+    allow_eoshift: bool = True
+    allow_where: bool = True
+    allow_reductions: bool = True
+    allow_intrinsics: bool = True
+    allow_do_loop: bool = True
+    eoshift_boundary: float = 0.5
+
+
+@dataclass
+class GeneratedProgram:
+    """Source text plus the metadata needed to run it."""
+
+    source: str
+    arrays: list[str]
+    scalars: dict[str, float] = field(default_factory=dict)
+    bindings: dict[str, int] = field(default_factory=dict)
+
+
+def _shifted_ref(rng: np.random.Generator, array: str,
+                 cfg: GeneratorConfig, eoshift: bool) -> str:
+    expr = array
+    for d in range(1, cfg.ndim + 1):
+        if rng.random() < 0.6:
+            s = int(rng.integers(1, cfg.max_offset + 1)) * \
+                (1 if rng.random() < 0.5 else -1)
+            if eoshift:
+                expr = (f"EOSHIFT({expr},SHIFT={s},"
+                        f"BOUNDARY={cfg.eoshift_boundary},DIM={d})")
+            else:
+                expr = f"CSHIFT({expr},SHIFT={s},DIM={d})"
+    return expr
+
+
+def _term(rng: np.random.Generator, arrays: list[str],
+          cfg: GeneratorConfig, eoshift: bool) -> str:
+    src = str(rng.choice(arrays))
+    ref = _shifted_ref(rng, src, cfg, eoshift)
+    coeff = round(float(rng.uniform(0.1, 2.0)), 3)
+    term = f"{coeff} * {ref}"
+    if cfg.allow_intrinsics and rng.random() < 0.2:
+        fn = rng.choice(["ABS", "SQRT"])
+        inner = f"ABS({ref})" if fn == "SQRT" else ref
+        term = f"{coeff} * {fn}({inner})"
+    return term
+
+
+def random_program(seed: int,
+                   cfg: GeneratorConfig | None = None) -> GeneratedProgram:
+    """Generate a random program from the supported subset."""
+    cfg = cfg or GeneratorConfig()
+    rng = np.random.default_rng(seed)
+    arrays = [f"A{i}" for i in range(cfg.n_arrays)]
+    dims = ",".join("N" for _ in range(cfg.ndim))
+    # distribute the first two dimensions over the (2-D) processor grid;
+    # higher dimensions stay on-processor
+    dist = ",".join("BLOCK" if d < 2 else "*" for d in range(cfg.ndim))
+    lines = [f"      REAL, DIMENSION({dims}) :: {', '.join(arrays)}",
+             f"!HPF$ DISTRIBUTE {arrays[0]}({dist})"]
+    for other in arrays[1:]:
+        lines.append(f"!HPF$ ALIGN {other} WITH {arrays[0]}")
+
+    # EOSHIFT programs stick to one fill value so most shifts convert
+    use_eoshift = cfg.allow_eoshift and rng.random() < 0.3
+    body: list[str] = []
+    n_scalars = 0
+    for _ in range(cfg.n_statements):
+        kind = rng.random()
+        dst = str(rng.choice(arrays))
+        if cfg.allow_reductions and kind < 0.15:
+            n_scalars += 1
+            src = str(rng.choice(arrays))
+            op = str(rng.choice(["SUM", "MAXVAL", "MINVAL"]))
+            body.append(f"S{n_scalars} = {op}({src} * 0.125)")
+            body.append(f"{dst} = {dst} + S{n_scalars} * 0.01")
+        elif cfg.allow_where and kind < 0.3:
+            mask_src = str(rng.choice(arrays))
+            term = _term(rng, arrays, cfg, use_eoshift)
+            body.append(f"WHERE ({mask_src} > 0.0) {dst} = {term}")
+        else:
+            nterms = int(rng.integers(1, 4))
+            terms = [_term(rng, arrays, cfg, use_eoshift)
+                     for _ in range(nterms)]
+            acc = f"{dst} + " if rng.random() < 0.5 else ""
+            body.append(f"{dst} = {acc}" + " + ".join(terms))
+    if cfg.allow_do_loop and rng.random() < 0.3 and len(body) >= 2:
+        split = len(body) // 2
+        wrapped = ["DO KK = 1, 2"] + \
+                  ["  " + s for s in body[:split]] + ["ENDDO"]
+        body = wrapped + body[split:]
+    lines += ["      " + s for s in body]
+    return GeneratedProgram(source="\n".join(lines) + "\n",
+                            arrays=arrays,
+                            bindings={"N": cfg.n})
+
+
+def random_inputs(seed: int, program: GeneratedProgram,
+                  cfg: GeneratorConfig | None = None) -> dict[str, np.ndarray]:
+    cfg = cfg or GeneratorConfig()
+    rng = np.random.default_rng(seed + 10_000)
+    shape = (cfg.n,) * cfg.ndim
+    return {name: rng.uniform(0.1, 1.0, shape).astype(np.float64)
+            for name in program.arrays}
+
+
+def differential_check(program: GeneratedProgram,
+                       inputs: dict[str, np.ndarray],
+                       levels: tuple[str, ...] = ("O0", "O1", "O2", "O3",
+                                                  "O4"),
+                       grids: tuple[tuple[int, ...], ...] = ((2, 2),),
+                       rtol: float = 1e-6) -> None:
+    """Run the program at every level/grid; raise on any divergence
+    from the serial reference."""
+    parsed = parse_program(program.source, bindings=program.bindings)
+    ref = evaluate(parsed, inputs=inputs, scalars=program.scalars)
+    for level in levels:
+        compiled = compile_hpf(program.source, bindings=program.bindings,
+                               level=level, outputs=set(program.arrays))
+        for grid in grids:
+            machine = Machine(grid=grid, keep_message_log=False)
+            result = compiled.run(machine, inputs=inputs,
+                                  scalars=program.scalars)
+            for name in program.arrays:
+                np.testing.assert_allclose(
+                    result.arrays[name], ref[name], rtol=rtol,
+                    atol=1e-12,
+                    err_msg=(f"level {level}, grid {grid}, array {name}\n"
+                             f"program:\n{program.source}"))

@@ -1,0 +1,74 @@
+"""Data-movement trace tests (the paper's Figures 5-10 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.analysis.movement import trace_movement
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+
+def trace(src, out, level, n=8, array=None):
+    cp = compile_hpf(src, bindings={"N": n}, level=level, outputs={out})
+    return trace_movement(cp.plan, Machine(grid=(2, 2)), array=array)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def t(self):
+        return trace(kernels.PURDUE_PROBLEM9, "T", "O3", array="U")
+
+    def test_four_ops(self, t):
+        assert len(t.op_labels) == 4
+
+    def test_every_overlap_cell_filled(self, t):
+        for fills in t.arrays["U"]:
+            assert (fills != 0).all()  # no cell left unfilled
+
+    def test_corners_filled_by_dim2_ops(self, t):
+        # ops 3 and 4 are the dim-2 shifts carrying the RSDs; on every
+        # PE all four corner cells must carry their digits
+        for fills in t.arrays["U"]:
+            corners = [fills[0, 0], fills[0, -1],
+                       fills[-1, 0], fills[-1, -1]]
+            assert set(corners) <= {3, 4}
+
+    def test_row_halos_filled_first(self, t):
+        for fills in t.arrays["U"]:
+            assert set(fills[0, 1:-1]) | set(fills[-1, 1:-1]) == {1, 2}
+
+    def test_interior_untouched(self, t):
+        for fills in t.arrays["U"]:
+            assert (fills[1:-1, 1:-1] == -1).all()
+
+
+class TestPreUnioning:
+    def test_eight_ops_cover_everything(self):
+        t = trace(kernels.PURDUE_PROBLEM9, "T", "O2", array="U")
+        assert len(t.op_labels) == 8
+        for fills in t.arrays["U"]:
+            assert (fills != 0).all()
+
+
+class TestFivePoint:
+    def test_corners_never_filled(self):
+        t = trace(kernels.FIVE_POINT_ARRAY_SYNTAX, "DST", "O3",
+                  array="SRC")
+        assert len(t.op_labels) == 4
+        for fills in t.arrays["SRC"]:
+            corners = [fills[0, 0], fills[0, -1],
+                       fills[-1, 0], fills[-1, -1]]
+            assert corners == [0, 0, 0, 0]  # a star needs no corners
+
+
+class TestRendering:
+    def test_render_symbols(self):
+        t = trace(kernels.PURDUE_PROBLEM9, "T", "O3", array="U")
+        text = t.render("U", 0)
+        assert "." in text and "1" in text and "3" in text
+
+    def test_render_grid_layout(self):
+        t = trace(kernels.PURDUE_PROBLEM9, "T", "O3", array="U")
+        text = t.render_grid("U", (2, 2))
+        assert "|" in text and "---" in text

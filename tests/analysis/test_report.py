@@ -1,0 +1,73 @@
+"""Plan/report pretty-printer tests."""
+
+import numpy as np
+
+from repro import kernels
+from repro.analysis.report import describe_plan, describe_result
+from repro.compiler import compile_hpf
+from repro.machine import Machine
+
+
+def compiled(level="O4", src=None, outputs=None, **opts):
+    return compile_hpf(src or kernels.PURDUE_PROBLEM9,
+                       bindings={"N": 32},
+                       level=level, outputs=outputs or {"T"}, **opts)
+
+
+class TestDescribePlan:
+    def test_arrays_section(self):
+        text = describe_plan(compiled().plan)
+        assert "U: 32x32 float32 dist(BLOCK,BLOCK) overlap=(1,1)x(1,1)" \
+            in text
+
+    def test_overlap_shift_lines(self):
+        text = describe_plan(compiled().plan)
+        assert "overlap_shift U shift=-1 dim=1" in text
+        assert "rsd=[0:n1+1,*]" in text
+
+    def test_fused_nest_block(self):
+        text = describe_plan(compiled().plan)
+        assert "fused subgrid loop nest" in text
+        assert "per-point: 2 memory loads" in text
+        assert "(unroll-and-jam x2)" in text
+
+    def test_naive_plan_full_shifts(self):
+        text = describe_plan(compiled(level="O0").plan)
+        assert "full_cshift" in text
+        assert "allocate TMP1" in text
+
+    def test_do_loop_structure(self):
+        src = """
+        REAL A(32,32)
+        DO K = 1, 5
+          A = A + 1.0
+        ENDDO
+        """
+        text = describe_plan(compiled(src=src, outputs={"A"}).plan)
+        assert "do K = 1, 5" in text
+        assert "end do" in text
+
+    def test_if_structure(self):
+        src = """
+        REAL A(32,32)
+        IF (X < 1) THEN
+          A = 1.0
+        ELSE
+          A = 2.0
+        ENDIF
+        """
+        text = describe_plan(compiled(src=src, outputs={"A"}).plan)
+        assert "if (X < 1)" in text
+        assert "else" in text
+
+
+class TestDescribeResult:
+    def test_summary_fields(self):
+        cp = compiled()
+        res = cp.run(Machine(grid=(2, 2)),
+                     inputs={"U": np.ones((32, 32), np.float32)})
+        text = describe_result(res)
+        assert "messages: 16" in text
+        assert "modelled time:" in text
+        assert "communication fraction:" in text
+        assert "peak memory per PE:" in text

@@ -1,0 +1,133 @@
+"""Halo-coverage verifier tests: it must accept every pipeline output
+(implicitly covered by the whole suite, since the compiler runs it on
+every compile) and reject hand-broken programs."""
+
+import pytest
+
+from repro import kernels
+from repro.analysis.verify_offsets import verify_offset_coverage
+from repro.frontend import parse_program
+from repro.ir.nodes import (
+    ArrayAssign, ArrayRef, BinOp, OffsetRef, OverlapShift,
+)
+from repro.ir.rsd import RSD, RSDim
+from repro.passes.comm_union import CommUnionPass
+from repro.passes.context_partition import ContextPartitionPass
+from repro.passes.normalize import NormalizePass
+from repro.passes.offset_arrays import OffsetArrayPass
+
+
+def optimized_p9():
+    p = parse_program(kernels.PURDUE_PROBLEM9, bindings={"N": 16})
+    NormalizePass().run(p)
+    OffsetArrayPass(outputs={"T"}).run(p)
+    ContextPartitionPass().run(p)
+    CommUnionPass().run(p)
+    return p
+
+
+def shifts_of(p):
+    return [s for s in p.body if isinstance(s, OverlapShift)]
+
+
+class TestAcceptsSoundPrograms:
+    def test_problem9_pipeline(self):
+        assert verify_offset_coverage(optimized_p9()) == []
+
+    def test_pre_union_form(self):
+        p = parse_program(kernels.PURDUE_PROBLEM9, bindings={"N": 16})
+        NormalizePass().run(p)
+        OffsetArrayPass(outputs={"T"}).run(p)
+        assert verify_offset_coverage(p) == []
+
+    def test_zero_offsets_need_nothing(self):
+        p = parse_program("REAL A(8,8), B(8,8)\nA = B + 1")
+        p.body[0].rhs = OffsetRef("B", (0, 0))
+        assert verify_offset_coverage(p) == []
+
+
+class TestCatchesBrokenPrograms:
+    def test_missing_shift(self):
+        p = optimized_p9()
+        # delete one direction's shift: its offsets lose coverage
+        victim = next(s for s in shifts_of(p)
+                      if s.dim == 1 and s.shift == 1)
+        p.body.remove(victim)
+        problems = verify_offset_coverage(p)
+        assert problems
+        assert any("no overlap fill" in str(x) for x in problems)
+
+    def test_insufficient_depth(self):
+        p = optimized_p9()
+        use = next(s for s in p.body if isinstance(s, ArrayAssign))
+        # deepen a reference beyond the 1-cell fills
+        deep = OffsetRef("U", (2, 0))
+        use.rhs = BinOp("+", use.rhs, deep)
+        problems = verify_offset_coverage(p)
+        assert any("overlap depth" in str(x) for x in problems)
+
+    def test_corner_without_rsd(self):
+        p = optimized_p9()
+        for s in shifts_of(p):
+            s.rsd = None  # strip the corner pickup
+        problems = verify_offset_coverage(p)
+        assert any("corner cells" in str(x) for x in problems)
+
+    def test_redefinition_invalidates(self):
+        p = optimized_p9()
+        # redefine U between the shifts and the uses
+        first_use = next(i for i, s in enumerate(p.body)
+                         if isinstance(s, ArrayAssign))
+        from repro.ir.nodes import Const
+        p.body.insert(first_use, ArrayAssign(ArrayRef("U"), Const(0.0)))
+        problems = verify_offset_coverage(p)
+        assert problems
+
+    def test_fill_kind_mismatch(self):
+        p = optimized_p9()
+        for s in shifts_of(p):
+            s.boundary = 0.0  # pretend the fills were EOSHIFT
+        problems = verify_offset_coverage(p)
+        assert any("fill kind mismatch" in str(x) for x in problems)
+
+    def test_use_in_mask_checked(self):
+        p = parse_program("REAL A(8,8), B(8,8)\nA = B + 1")
+        stmt = p.body[0]
+        stmt.mask = Compare_safe()
+        problems = verify_offset_coverage(p)
+        assert problems
+
+
+def Compare_safe():
+    from repro.ir.nodes import Compare, Const
+    return Compare(">", OffsetRef("B", (1, 0)), Const(0.0))
+
+
+class TestControlFlowConservatism:
+    def test_branch_local_fill_not_available_after_join(self):
+        src = """
+        REAL A(16,16), B(16,16), C(16,16)
+        IF (X < 1) THEN
+          B = CSHIFT(A,SHIFT=1,DIM=1)
+        ENDIF
+        C = B + 0
+        """
+        p = parse_program(src)
+        NormalizePass().run(p)
+        OffsetArrayPass(outputs={"C"}).run(p)
+        # the pass itself must have produced a coverage-sound program
+        assert verify_offset_coverage(p) == []
+
+    def test_loop_killed_base(self):
+        src = """
+        REAL A(16,16), B(16,16), C(16,16)
+        B = CSHIFT(A,SHIFT=1,DIM=1)
+        DO K = 1, 3
+          C = C + B
+          A = A + 1
+        ENDDO
+        """
+        p = parse_program(src)
+        NormalizePass().run(p)
+        OffsetArrayPass(outputs={"C"}).run(p)
+        assert verify_offset_coverage(p) == []

@@ -1,0 +1,81 @@
+"""xlhpf-like baseline tests."""
+
+import numpy as np
+
+from repro import kernels
+from repro.baselines.naive import compile_xlhpf_like
+from repro.compiler import compile_hpf
+from repro.frontend import parse_program
+from repro.machine import Machine
+from repro.runtime.reference import evaluate
+
+
+class TestCShiftPath:
+    def test_full_shift_movement(self):
+        cp = compile_xlhpf_like(kernels.PURDUE_PROBLEM9,
+                                bindings={"N": 16}, outputs={"T"})
+        assert cp.report.full_shifts == 8
+        assert cp.report.overlap_shifts == 0
+
+    def test_overhead_applied(self):
+        # large enough that subgrid loops dominate communication
+        naive = compile_xlhpf_like(kernels.PURDUE_PROBLEM9,
+                                   bindings={"N": 256}, outputs={"T"})
+        plain = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": 256},
+                            level="O0", outputs={"T"})
+        tn = naive.run(Machine(grid=(2, 2))).modelled_time
+        tp = plain.run(Machine(grid=(2, 2))).modelled_time
+        assert tn > 5 * tp
+
+    def test_results_still_correct(self):
+        u = np.random.default_rng(0).standard_normal(
+            (16, 16)).astype(np.float32)
+        ref = evaluate(parse_program(kernels.PURDUE_PROBLEM9,
+                                     bindings={"N": 16}),
+                       inputs={"U": u})["T"]
+        cp = compile_xlhpf_like(kernels.PURDUE_PROBLEM9,
+                                bindings={"N": 16}, outputs={"T"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"U": u})
+        np.testing.assert_allclose(res.arrays["T"], ref, rtol=1e-5)
+
+    def test_twelve_temporaries_single_statement(self):
+        cp = compile_xlhpf_like(kernels.NINE_POINT_CSHIFT,
+                                bindings={"N": 16}, outputs={"DST"})
+        assert cp.report.temporaries == 12
+
+
+class TestArraySyntaxPath:
+    def test_no_temporaries(self):
+        cp = compile_xlhpf_like(kernels.NINE_POINT_ARRAY_SYNTAX,
+                                bindings={"N": 16}, outputs={"DST"})
+        assert cp.report.temporaries == 0
+        assert cp.report.full_shifts == 0
+        assert cp.report.overlap_shifts > 0
+
+    def test_no_overhead_on_good_path(self):
+        cp = compile_xlhpf_like(kernels.NINE_POINT_ARRAY_SYNTAX,
+                                bindings={"N": 16}, outputs={"DST"})
+        assert "hpf_overhead" not in cp.report.pass_stats
+
+    def test_close_to_our_best(self):
+        n = 256
+        base = compile_xlhpf_like(kernels.NINE_POINT_ARRAY_SYNTAX,
+                                  bindings={"N": n}, outputs={"DST"})
+        best = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": n},
+                           level="O4", outputs={"T"})
+        tb = base.run(Machine(grid=(2, 2))).modelled_time
+        to = best.run(Machine(grid=(2, 2))).modelled_time
+        # paper: tracks within ~10%
+        assert to <= tb <= 1.25 * to
+
+    def test_correct_results(self):
+        u = np.random.default_rng(1).standard_normal(
+            (16, 16)).astype(np.float32)
+        c = {f"C{i}": float(i) for i in range(1, 10)}
+        ref = evaluate(parse_program(kernels.NINE_POINT_ARRAY_SYNTAX,
+                                     bindings={"N": 16}),
+                       inputs={"SRC": u}, scalars=c)["DST"]
+        cp = compile_xlhpf_like(kernels.NINE_POINT_ARRAY_SYNTAX,
+                                bindings={"N": 16}, outputs={"DST"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"SRC": u}, scalars=c)
+        np.testing.assert_allclose(res.arrays["DST"], ref, rtol=1e-5)

@@ -1,0 +1,113 @@
+"""CM-2-style pattern-matcher baseline tests (paper section 6).
+
+The robustness comparison: the pattern compiler accepts only the exact
+sum-of-products single-statement CSHIFT shape; the paper's strategy
+handles everything."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.baselines.pattern import (
+    PatternStencilCompiler, match_stencil,
+)
+from repro.errors import PatternMatchError
+from repro.frontend import parse_program
+from repro.machine import Machine
+
+
+def parse(src, n=16):
+    return parse_program(src, bindings={"N": n})
+
+
+class TestAccepted:
+    def test_nine_point_cshift(self):
+        pattern = match_stencil(parse(kernels.NINE_POINT_CSHIFT))
+        assert pattern.source == "SRC"
+        assert pattern.destination == "DST"
+        assert pattern.points == 9
+        offs = {o for o, _ in pattern.taps}
+        assert offs == {(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)}
+
+    def test_coefficients_captured(self):
+        pattern = match_stencil(parse(kernels.NINE_POINT_CSHIFT))
+        assert all(c is not None for _, c in pattern.taps)
+
+    def test_unweighted_terms(self):
+        src = """
+        REAL A(8,8), B(8,8)
+        A = CSHIFT(B,1,1) + CSHIFT(B,-1,1)
+        """
+        pattern = match_stencil(parse(src))
+        assert pattern.points == 2
+        assert all(c is None for _, c in pattern.taps)
+
+    def test_compiles_and_runs(self):
+        cc = PatternStencilCompiler()
+        cp = cc.compile(kernels.NINE_POINT_CSHIFT, bindings={"N": 16})
+        u = np.ones((16, 16), np.float32)
+        res = cp.run(Machine(grid=(2, 2)), inputs={"SRC": u},
+                     scalars={f"C{i}": 1.0 for i in range(1, 10)})
+        assert res.arrays["DST"][4, 4] == 9.0
+        assert cp.report.overlap_shifts == 4
+
+
+class TestRejected:
+    """Everything the paper says the CM-2 compiler could not handle."""
+
+    def reject(self, src, fragment, n=16):
+        with pytest.raises(PatternMatchError) as exc:
+            match_stencil(parse(src, n))
+        assert fragment in str(exc.value)
+
+    def test_multi_statement_problem9(self):
+        self.reject(kernels.PURDUE_PROBLEM9, "single array assignment")
+
+    def test_array_syntax(self):
+        self.reject(kernels.FIVE_POINT_ARRAY_SYNTAX, "sectioned")
+
+    def test_two_source_arrays(self):
+        self.reject("""
+        REAL A(8,8), B(8,8), C(8,8)
+        A = CSHIFT(B,1,1) + CSHIFT(C,1,1)
+        """, "one source array")
+
+    def test_non_sum_structure(self):
+        self.reject("""
+        REAL A(8,8), B(8,8)
+        A = CSHIFT(B,1,1) / CSHIFT(B,-1,1)
+        """, "sums of products")
+
+    def test_negated_term(self):
+        self.reject("""
+        REAL A(8,8), B(8,8)
+        A = CSHIFT(B,1,1) - CSHIFT(B,-1,1)
+        """, "negated")
+
+    def test_nonshift_operand(self):
+        self.reject("""
+        REAL A(8,8), B(8,8)
+        A = 2.0 * (CSHIFT(B,1,1) + B)
+        """, "CSHIFT chain")
+
+    def test_compiler_raises(self):
+        with pytest.raises(PatternMatchError):
+            PatternStencilCompiler().compile(kernels.PURDUE_PROBLEM9,
+                                             bindings={"N": 16})
+
+
+class TestRobustnessContrast:
+    """Our strategy succeeds exactly where the pattern matcher fails."""
+
+    @pytest.mark.parametrize("src,out", [
+        (kernels.PURDUE_PROBLEM9, "T"),
+        (kernels.FIVE_POINT_ARRAY_SYNTAX, "DST"),
+        (kernels.NINE_POINT_ARRAY_SYNTAX, "DST"),
+    ])
+    def test_general_strategy_handles_rejected_inputs(self, src, out):
+        from repro.compiler import compile_hpf
+        with pytest.raises(PatternMatchError):
+            PatternStencilCompiler().compile(src, bindings={"N": 16})
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={out})
+        assert cp.report.overlap_shifts == 4

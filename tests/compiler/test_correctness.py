@@ -1,0 +1,211 @@
+"""End-to-end correctness: every optimization level must compute the
+serial reference semantics exactly, for every kernel, grid, and input.
+
+This is the semantics-preservation guarantee behind the whole paper:
+the optimizations eliminate data movement without changing values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.compiler import compile_hpf
+from repro.frontend import parse_program
+from repro.machine import Machine
+from repro.runtime.reference import evaluate
+
+LEVELS = ["O0", "O1", "O2", "O3", "O4"]
+
+
+def check(src, outputs, inputs, scalars=None, bindings=None,
+          grids=((2, 2),), levels=LEVELS, iterations=1):
+    bindings = bindings or {"N": 16}
+    ref_prog = parse_program(src, bindings=bindings)
+    ref = evaluate(ref_prog, inputs=inputs, scalars=scalars)
+    if iterations > 1:
+        for _ in range(iterations - 1):
+            ref = evaluate(ref_prog, inputs=ref, scalars=scalars)
+    for level in levels:
+        cp = compile_hpf(src, bindings=bindings, level=level,
+                         outputs=set(outputs))
+        for grid in grids:
+            res = cp.run(Machine(grid=grid), inputs=inputs,
+                         scalars=scalars, iterations=iterations)
+            for name in outputs:
+                np.testing.assert_allclose(
+                    res.arrays[name.upper()], ref[name.upper()],
+                    rtol=1e-5,
+                    err_msg=f"{level} on grid {grid}, array {name}")
+
+
+def grid16(seed):
+    return np.random.default_rng(seed).standard_normal(
+        (16, 16)).astype(np.float32)
+
+
+COEFFS5 = {f"C{i}": float(i) for i in range(1, 6)}
+COEFFS9 = {f"C{i}": float(i) / 2 for i in range(1, 10)}
+
+
+class TestPaperKernels:
+    def test_five_point(self):
+        check(kernels.FIVE_POINT_ARRAY_SYNTAX, ["DST"],
+              {"SRC": grid16(0)}, COEFFS5)
+
+    def test_nine_point_cshift(self):
+        check(kernels.NINE_POINT_CSHIFT, ["DST"],
+              {"SRC": grid16(1)}, COEFFS9)
+
+    def test_nine_point_array_syntax(self):
+        check(kernels.NINE_POINT_ARRAY_SYNTAX, ["DST"],
+              {"SRC": grid16(2)}, COEFFS9)
+
+    def test_problem9(self):
+        check(kernels.PURDUE_PROBLEM9, ["T"], {"U": grid16(3)})
+
+    def test_problem9_all_outputs(self):
+        check(kernels.PURDUE_PROBLEM9, ["T", "RIP", "RIN"],
+              {"U": grid16(4)})
+
+    def test_twentyfive_point(self):
+        w = {f"W{k}": float(k % 5 + 1) for k in range(1, 26)}
+        check(kernels.TWENTYFIVE_POINT_ARRAY_SYNTAX, ["DST"],
+              {"SRC": grid16(5)}, w, bindings={"N": 16})
+
+    def test_3d_seven_point(self):
+        u = np.random.default_rng(6).standard_normal(
+            (8, 8, 8)).astype(np.float32)
+        w = {f"W{k}": 1.0 for k in range(1, 8)}
+        check(kernels.SEVEN_POINT_3D_CSHIFT, ["DST"], {"SRC": u}, w,
+              bindings={"N": 8})
+
+    def test_3d_twentyseven_point(self):
+        u = np.random.default_rng(7).standard_normal(
+            (8, 8, 8)).astype(np.float32)
+        w = {f"W{k}": float(k) for k in range(1, 28)}
+        check(kernels.TWENTYSEVEN_POINT_3D_CSHIFT, ["DST"], {"SRC": u}, w,
+              bindings={"N": 8})
+
+
+class TestGrids:
+    @pytest.mark.parametrize("grid", [(1, 1), (1, 2), (2, 1), (2, 2),
+                                      (4, 2), (2, 4), (4, 4)])
+    def test_problem9_grid(self, grid):
+        check(kernels.PURDUE_PROBLEM9, ["T"], {"U": grid16(8)},
+              grids=(grid,), levels=["O0", "O4"])
+
+    def test_uneven_blocks(self):
+        u = np.random.default_rng(9).standard_normal(
+            (18, 18)).astype(np.float32)
+        check(kernels.PURDUE_PROBLEM9, ["T"], {"U": u},
+              bindings={"N": 18}, grids=((2, 2), (4, 2)),
+              levels=["O0", "O4"])
+
+    def test_iterated_execution(self):
+        check(kernels.PURDUE_PROBLEM9, ["T"], {"U": grid16(10)},
+              iterations=3, levels=["O0", "O4"])
+
+
+class TestEOShift:
+    SRC = """
+    REAL A(16,16), B(16,16)
+    A = B + EOSHIFT(B,SHIFT=1,BOUNDARY=4.5,DIM=1)
+    A = A + EOSHIFT(B,SHIFT=-1,DIM=2)
+    """
+
+    def test_eoshift_all_levels(self):
+        check(self.SRC, ["A"], {"B": grid16(11)})
+
+
+class TestControlFlow:
+    def test_do_loop_jacobi_style(self):
+        src = """
+        REAL U(16,16), T(16,16)
+        DO K = 1, 4
+          T = U + CSHIFT(U,1,1) + CSHIFT(U,-1,1)
+     &      + CSHIFT(U,1,2) + CSHIFT(U,-1,2)
+          U = T * 0.2
+        ENDDO
+        """
+        check(src, ["U"], {"U": grid16(12)})
+
+    def test_if_branches(self):
+        src = """
+        REAL A(16,16), B(16,16)
+        X = 0.5
+        IF (X < 1) THEN
+          A = CSHIFT(B,1,1) + 1
+        ELSE
+          A = CSHIFT(B,-1,1) + 2
+        ENDIF
+        """
+        check(src, ["A"], {"B": grid16(13)})
+
+    def test_scalar_updates_inside_loop(self):
+        src = """
+        REAL A(16,16)
+        S = 0.0
+        DO K = 1, 3
+          S = S + 1.0
+          A = A + S
+        ENDDO
+        """
+        check(src, ["A"], {"A": grid16(14)})
+
+
+class TestMixedPrecision:
+    def test_double_precision(self):
+        src = """
+        DOUBLE PRECISION A(16,16), B(16,16)
+        A = 0.25 * (CSHIFT(B,1,1) + CSHIFT(B,-1,1)
+     &     + CSHIFT(B,1,2) + CSHIFT(B,-1,2))
+        """
+        b = np.random.default_rng(15).standard_normal((16, 16))
+        check(src, ["A"], {"B": b})
+
+
+@st.composite
+def random_stencil_program(draw):
+    """A random multi-statement CSHIFT stencil over two arrays."""
+    nstmt = draw(st.integers(1, 5))
+    lines = ["REAL T(12,12), U(12,12)"]
+    first = True
+    for _ in range(nstmt):
+        nterms = draw(st.integers(1, 4))
+        terms = []
+        for _ in range(nterms):
+            dx = draw(st.integers(-2, 2))
+            dy = draw(st.integers(-2, 2))
+            expr = "U"
+            if dx:
+                expr = f"CSHIFT({expr},SHIFT={dx},DIM=1)"
+            if dy:
+                expr = f"CSHIFT({expr},SHIFT={dy},DIM=2)"
+            coeff = draw(st.integers(1, 5))
+            terms.append(f"{coeff} * {expr}")
+        rhs = " + ".join(terms)
+        if first:
+            lines.append(f"T = {rhs}")
+            first = False
+        else:
+            lines.append(f"T = T + {rhs}")
+    return "\n".join(lines)
+
+
+class TestPropertyRandomStencils:
+    @settings(max_examples=25, deadline=None)
+    @given(src=random_stencil_program(), seed=st.integers(0, 100))
+    def test_random_stencil_all_levels(self, src, seed):
+        u = np.random.default_rng(seed).standard_normal(
+            (12, 12)).astype(np.float64)
+        bindings = {"N": 12}
+        ref = evaluate(parse_program(src, bindings=bindings),
+                       inputs={"U": u})["T"]
+        for level in ("O0", "O2", "O4"):
+            cp = compile_hpf(src, bindings=bindings, level=level,
+                             outputs={"T"})
+            res = cp.run(Machine(grid=(2, 2)), inputs={"U": u})
+            np.testing.assert_allclose(res.arrays["T"], ref, rtol=1e-6,
+                                       err_msg=level)

@@ -1,0 +1,92 @@
+"""1-D stencils end to end (BLOCK over a 1-D processor grid).
+
+The paper's machinery is dimension-generic; these tests pin the 1-D
+degenerate case: single-dim shifts, unioning, halos, reductions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_hpf
+from repro.frontend import parse_program
+from repro.machine import Machine
+from repro.runtime.reference import evaluate
+
+TRIDIAG = """
+      REAL, DIMENSION(N) :: U, T
+!HPF$ DISTRIBUTE U(BLOCK)
+!HPF$ ALIGN T WITH U
+      T = 0.25 * CSHIFT(U,-1,1) + 0.5 * U + 0.25 * CSHIFT(U,1,1)
+"""
+
+
+def vec(n=32, seed=0):
+    return np.random.default_rng(seed).standard_normal(n).astype(
+        np.float32)
+
+
+class TestOneD:
+    def test_all_levels_correct(self):
+        u = vec()
+        ref = evaluate(parse_program(TRIDIAG, bindings={"N": 32}),
+                       inputs={"U": u})["T"]
+        for level in ("O0", "O1", "O2", "O3", "O4"):
+            cp = compile_hpf(TRIDIAG, bindings={"N": 32}, level=level,
+                             outputs={"T"})
+            res = cp.run(Machine(grid=(4,)), inputs={"U": u})
+            np.testing.assert_allclose(res.arrays["T"], ref, rtol=1e-5,
+                                       err_msg=level)
+
+    def test_two_messages_per_pe(self):
+        cp = compile_hpf(TRIDIAG, bindings={"N": 32}, level="O4",
+                         outputs={"T"})
+        res = cp.run(Machine(grid=(4,)), inputs={"U": vec()})
+        assert res.report.messages == 2 * 4
+
+    def test_single_pe(self):
+        cp = compile_hpf(TRIDIAG, bindings={"N": 32}, level="O4",
+                         outputs={"T"})
+        res = cp.run(Machine(grid=(1,)), inputs={"U": vec()})
+        assert res.report.messages == 0  # wraps are self-copies
+
+    def test_radius3_smoother(self):
+        src = """
+        REAL U(64), T(64)
+        !HPF$ DISTRIBUTE U(BLOCK)
+        !HPF$ ALIGN T WITH U
+        T = CSHIFT(U,-3,1) + CSHIFT(U,-1,1) + U
+     &    + CSHIFT(U,1,1) + CSHIFT(U,3,1)
+        """
+        u = vec(64, seed=1)
+        ref = evaluate(parse_program(src, bindings={"N": 64}),
+                       inputs={"U": u})["T"]
+        cp = compile_hpf(src, bindings={"N": 64}, level="O4",
+                         outputs={"T"})
+        # unioning: one shift of amount 3 per direction
+        assert cp.report.overlap_shifts == 2
+        res = cp.run(Machine(grid=(4,)), inputs={"U": u})
+        np.testing.assert_allclose(res.arrays["T"], ref, rtol=1e-5)
+
+    def test_1d_reduction(self):
+        src = """
+        REAL U(32), T(32)
+        !HPF$ DISTRIBUTE U(BLOCK)
+        !HPF$ ALIGN T WITH U
+        S = SUM(U * U)
+        T = U / SQRT(S)
+        """
+        u = vec(seed=2)
+        cp = compile_hpf(src, bindings={"N": 32}, level="O4",
+                         outputs={"T"})
+        res = cp.run(Machine(grid=(4,)), inputs={"U": u})
+        expected = u / np.sqrt((u.astype(np.float64) ** 2).sum())
+        np.testing.assert_allclose(res.arrays["T"], expected, rtol=1e-4)
+
+    def test_uneven_1d_blocks(self):
+        u = vec(n=35, seed=3)
+        ref = evaluate(parse_program(TRIDIAG, bindings={"N": 35}),
+                       inputs={"U": u})["T"]
+        cp = compile_hpf(TRIDIAG, bindings={"N": 35}, level="O4",
+                         outputs={"T"})
+        res = cp.run(Machine(grid=(4,)), inputs={"U": u})
+        np.testing.assert_allclose(res.arrays["T"], ref, rtol=1e-5)

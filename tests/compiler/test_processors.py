@@ -1,0 +1,54 @@
+"""!HPF$ PROCESSORS directive tests."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_hpf
+from repro.errors import ExecutionError
+from repro.frontend import parse_program
+from repro.machine import Machine
+
+SRC = """
+      REAL, DIMENSION(N,N) :: A, B
+!HPF$ PROCESSORS P(2,2)
+!HPF$ DISTRIBUTE A(BLOCK,BLOCK)
+!HPF$ ALIGN B WITH A
+      A = B + CSHIFT(B,1,1)
+"""
+
+
+class TestProcessors:
+    def test_recorded_on_program(self):
+        p = parse_program(SRC, bindings={"N": 16})
+        assert p.processors == (2, 2)
+
+    def test_threaded_to_plan(self):
+        cp = compile_hpf(SRC, bindings={"N": 16}, outputs={"A"})
+        assert cp.plan.processors == (2, 2)
+
+    def test_matching_grid_runs(self):
+        cp = compile_hpf(SRC, bindings={"N": 16}, outputs={"A"})
+        b = np.ones((16, 16), np.float32)
+        res = cp.run(Machine(grid=(2, 2)), inputs={"B": b})
+        assert (res.arrays["A"] == 2.0).all()
+
+    def test_mismatched_grid_rejected(self):
+        cp = compile_hpf(SRC, bindings={"N": 16}, outputs={"A"})
+        with pytest.raises(ExecutionError) as exc:
+            cp.run(Machine(grid=(4, 1)))
+        assert "PROCESSORS" in str(exc.value)
+
+    def test_symbolic_extents(self):
+        src = """
+        REAL A(16,16)
+!HPF$ PROCESSORS GRID(NP,NP)
+        A = 1.0
+        """
+        p = parse_program(src, bindings={"N": 16, "NP": 4})
+        assert p.processors == (4, 4)
+
+    def test_no_directive_means_any_grid(self):
+        src = "REAL A(16,16)\nA = 1.0"
+        cp = compile_hpf(src, bindings={"N": 16}, outputs={"A"})
+        for grid in ((1, 1), (2, 2), (4, 4)):
+            cp.run(Machine(grid=grid))

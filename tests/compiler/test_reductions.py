@@ -1,0 +1,179 @@
+"""Distributed reduction tests (SUM / MAXVAL / MINVAL).
+
+Each PE reduces its owned subgrid; partials combine with a logarithmic
+exchange, charged to the cost model as an allreduce — the standard HPF
+lowering of reduction intrinsics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_hpf
+from repro.errors import SemanticError
+from repro.frontend import parse_program
+from repro.ir.nodes import Reduction
+from repro.machine import Machine
+from repro.runtime.reference import evaluate
+
+
+def grid(n=16, seed=0):
+    return np.random.default_rng(seed).standard_normal(
+        (n, n)).astype(np.float32)
+
+
+class TestParsing:
+    def test_sum_node(self):
+        p = parse_program("REAL A(8,8)\nS = SUM(A)")
+        assert isinstance(p.body[0].rhs, Reduction)
+        assert p.body[0].rhs.op == "SUM"
+
+    def test_nested_in_scalar_expr(self):
+        p = parse_program("REAL R(8,8)\nERR = SQRT(SUM(R * R))")
+        rhs = p.body[0].rhs
+        assert rhs.name == "SQRT"
+        assert isinstance(rhs.args[0], Reduction)
+
+    def test_bare_array_in_scalar_still_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_program("REAL A(8,8)\nS = A + 1")
+
+    def test_array_outside_reduction_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_program("REAL A(8,8)\nS = SUM(A) + A")
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("op,np_op", [("SUM", np.sum),
+                                          ("MAXVAL", np.max),
+                                          ("MINVAL", np.min)])
+    def test_reduction_value(self, op, np_op):
+        src = f"""
+        REAL A(16,16), OUT(16,16)
+        S = {op}(A)
+        OUT = OUT + S
+        """
+        a = grid(seed=1)
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"OUT"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"A": a})
+        expected = float(np_op(a.astype(np.float32)))
+        np.testing.assert_allclose(res.arrays["OUT"][0, 0], expected,
+                                   rtol=1e-5)
+        assert res.scalars["S"] == pytest.approx(expected, rel=1e-5)
+
+    def test_dot_product_style(self):
+        src = """
+        REAL R(16,16), OUT(16,16)
+        NRM = SQRT(SUM(R * R))
+        OUT = OUT + NRM
+        """
+        r = grid(seed=2)
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"OUT"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"R": r})
+        expected = float(np.sqrt((r.astype(np.float64) ** 2).sum()))
+        assert res.scalars["NRM"] == pytest.approx(expected, rel=1e-4)
+
+    def test_reduction_of_shifted_expression(self):
+        # normalization hoists the shift; the reduction sees the temp
+        src = """
+        REAL U(16,16), OUT(16,16)
+        S = SUM(U * CSHIFT(U,1,1))
+        OUT = OUT + S
+        """
+        u = grid(seed=3)
+        ref = evaluate(parse_program(src, bindings={"N": 16}),
+                       inputs={"U": u})
+        for level in ("O0", "O4"):
+            cp = compile_hpf(src, bindings={"N": 16}, level=level,
+                             outputs={"OUT"})
+            res = cp.run(Machine(grid=(2, 2)), inputs={"U": u})
+            assert res.scalars["S"] == pytest.approx(ref["OUT"][0, 0],
+                                                     rel=1e-4)
+
+    def test_matches_reference_on_grids(self):
+        src = """
+        REAL A(16,16), OUT(16,16)
+        S = MAXVAL(ABS(A))
+        OUT = A / S
+        """
+        a = grid(seed=4)
+        ref = evaluate(parse_program(src, bindings={"N": 16}),
+                       inputs={"A": a})["OUT"]
+        for g in ((1, 1), (2, 2), (4, 4)):
+            cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                             outputs={"OUT"})
+            res = cp.run(Machine(grid=g), inputs={"A": a})
+            np.testing.assert_allclose(res.arrays["OUT"], ref, rtol=1e-5)
+
+
+class TestCosts:
+    def test_allreduce_messages_charged(self):
+        src = """
+        REAL A(16,16), OUT(16,16)
+        S = SUM(A)
+        OUT = OUT + S
+        """
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"OUT"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"A": grid()})
+        # 4 PEs -> 2 rounds x 4 PEs = 8 reduction messages
+        assert res.report.messages == 8
+
+    def test_single_pe_no_messages(self):
+        src = """
+        REAL A(16,16), OUT(16,16)
+        S = SUM(A)
+        OUT = OUT + S
+        """
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"OUT"})
+        res = cp.run(Machine(grid=(1, 1)), inputs={"A": grid()})
+        assert res.report.messages == 0
+
+    def test_reduction_loop_charged(self):
+        src = """
+        REAL A(16,16), OUT(16,16)
+        S = SUM(A)
+        OUT = OUT + S
+        """
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"OUT"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"A": grid()})
+        # reduction traverses all 256 points plus the OUT update's 256
+        assert res.report.loop_points == 512
+
+
+class TestControlFlow:
+    def test_reduction_in_if_condition(self):
+        src = """
+        REAL A(16,16), OUT(16,16)
+        IF (MAXVAL(A) > 100.0) THEN
+          OUT = 1.0
+        ELSE
+          OUT = 2.0
+        ENDIF
+        """
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"OUT"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"A": grid(seed=5)})
+        assert (res.arrays["OUT"] == 2.0).all()
+
+    def test_convergence_loop(self):
+        # scaled power-iteration-flavoured loop with a reduction per step
+        src = """
+        REAL U(16,16), T(16,16)
+        DO K = 1, 3
+          T = 0.25 * (CSHIFT(U,1,1) + CSHIFT(U,-1,1)
+     &              + CSHIFT(U,1,2) + CSHIFT(U,-1,2))
+          S = MAXVAL(ABS(T))
+          U = T / S
+        ENDDO
+        """
+        u = np.abs(grid(seed=6)) + 0.1
+        ref = evaluate(parse_program(src, bindings={"N": 16}),
+                       inputs={"U": u})["U"]
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"U"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"U": u})
+        np.testing.assert_allclose(res.arrays["U"], ref, rtol=1e-4)

@@ -1,0 +1,190 @@
+"""WHERE masked-assignment tests.
+
+The frontend lowers each WHERE construct to a materialised LOGICAL mask
+temporary (Fortran's evaluate-once semantics) plus masked statements;
+the whole optimization pipeline then applies unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_hpf
+from repro.errors import SemanticError, UnsupportedFeatureError
+from repro.frontend import parse_program
+from repro.ir.nodes import ArrayAssign
+from repro.machine import Machine
+from repro.runtime.reference import evaluate
+
+
+def grid(n=16, seed=0):
+    return np.random.default_rng(seed).standard_normal(
+        (n, n)).astype(np.float32)
+
+
+def check(src, out, inputs, levels=("O0", "O2", "O4"), n=16):
+    ref = evaluate(parse_program(src, bindings={"N": n}),
+                   inputs=inputs)[out]
+    for level in levels:
+        cp = compile_hpf(src, bindings={"N": n}, level=level,
+                         outputs={out})
+        res = cp.run(Machine(grid=(2, 2)), inputs=inputs)
+        np.testing.assert_allclose(res.arrays[out], ref, rtol=1e-5,
+                                   err_msg=level)
+    return cp
+
+
+class TestParsing:
+    def test_single_line_where(self):
+        p = parse_program("REAL A(8,8), U(8,8)\nWHERE (U > 0) A = 1.0")
+        # mask materialisation + the masked statement
+        assert len(p.body) == 2
+        mask_def, masked = p.body
+        assert isinstance(mask_def, ArrayAssign)
+        assert mask_def.lhs.name.startswith("MASK")
+        assert masked.mask is not None
+
+    def test_block_where_elsewhere(self):
+        p = parse_program("""
+        REAL A(8,8), U(8,8)
+        WHERE (U > 0)
+          A = 1.0
+        ELSEWHERE
+          A = -1.0
+        END WHERE
+        """)
+        assert len(p.body) == 3
+        assert str(p.body[2].mask).endswith("== 0")
+
+    def test_endwhere_one_word(self):
+        p = parse_program("""
+        REAL A(8,8), U(8,8)
+        WHERE (U > 0)
+          A = 1.0
+        ENDWHERE
+        """)
+        assert len(p.body) == 2
+
+    def test_mask_temp_is_logical(self):
+        from repro.ir.types import ScalarKind
+        p = parse_program("REAL A(8,8), U(8,8)\nWHERE (U > 0) A = 1.0")
+        mask_sym = p.symbols.array(p.body[0].lhs.name)
+        assert mask_sym.type.element is ScalarKind.LOGICAL
+        assert mask_sym.is_temporary
+
+    def test_scalar_mask_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_program("REAL A(8,8)\nWHERE (X > 0) A = 1.0")
+
+    def test_nested_where_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_program("""
+            REAL A(8,8), U(8,8)
+            WHERE (U > 0)
+              WHERE (U > 1) A = 2.0
+            END WHERE
+            """)
+
+    def test_mismatched_sections_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_program("""
+            REAL A(8,8), U(8,8)
+            WHERE (U(1:4,1:4) > 0) A(2:5,2:5) = 1.0
+            """)
+
+
+class TestSemantics:
+    def test_threshold(self):
+        src = """
+        REAL A(16,16), U(16,16)
+        WHERE (U > 0) A = U
+        """
+        u = grid()
+        cp = check(src, "A", {"U": u})
+        ref = np.where(u > 0, u, 0).astype(np.float32)
+        res = cp.run(Machine(grid=(2, 2)), inputs={"U": u})
+        np.testing.assert_allclose(res.arrays["A"], ref)
+
+    def test_elsewhere(self):
+        src = """
+        REAL S(16,16), U(16,16)
+        WHERE (U > 0)
+          S = 1.0
+        ELSEWHERE
+          S = -1.0
+        END WHERE
+        """
+        u = grid(seed=1)
+        cp = check(src, "S", {"U": u})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"U": u})
+        np.testing.assert_allclose(res.arrays["S"],
+                                   np.where(u > 0, 1.0, -1.0))
+
+    def test_mask_evaluated_once(self):
+        # classic: WHERE (A > 0) A = -A must not re-negate
+        src = """
+        REAL A(16,16)
+        WHERE (A > 0)
+          A = -A
+          A = A * 2.0
+        END WHERE
+        """
+        a = grid(seed=2)
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"A"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"A": a})
+        expected = np.where(a > 0, -a * 2.0, a).astype(np.float32)
+        np.testing.assert_allclose(res.arrays["A"], expected, rtol=1e-6)
+
+    def test_unselected_elements_preserved(self):
+        src = """
+        REAL A(16,16), U(16,16)
+        WHERE (U > 0) A = 9.0
+        """
+        a0 = grid(seed=3)
+        u = grid(seed=4)
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"A"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"A": a0, "U": u})
+        np.testing.assert_allclose(
+            res.arrays["A"], np.where(u > 0, 9.0, a0), rtol=1e-6)
+
+
+class TestWithStencils:
+    def test_masked_stencil_update(self):
+        # limiter-style: update interior points only where a shifted
+        # indicator is positive
+        src = """
+        REAL A(16,16), U(16,16)
+        WHERE (CSHIFT(U,1,1) > 0) A = U + CSHIFT(U,1,2)
+        """
+        check(src, "A", {"U": grid(seed=5)})
+
+    def test_masked_stencil_minimal_comm(self):
+        src = """
+        REAL A(16,16), U(16,16)
+        WHERE (CSHIFT(U,1,1) > 0) A = U + CSHIFT(U,1,2)
+        """
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"A"})
+        assert cp.report.overlap_shifts == 2
+        assert cp.report.temporaries == 1  # the LOGICAL mask
+
+    def test_where_in_time_loop(self):
+        src = """
+        REAL A(16,16), U(16,16)
+        DO K = 1, 3
+          WHERE (A < 10.0) A = A + U
+        ENDDO
+        """
+        check(src, "A", {"U": np.abs(grid(seed=6)),
+                         "A": np.abs(grid(seed=7))})
+
+    def test_pattern_matcher_rejects_where(self):
+        from repro.baselines.pattern import match_stencil
+        from repro.errors import PatternMatchError
+        src = """
+        REAL A(16,16), U(16,16)
+        WHERE (U > 0) A = CSHIFT(U,1,1)
+        """
+        with pytest.raises(PatternMatchError):
+            match_stencil(parse_program(src, bindings={"N": 16}))

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+
+
+@pytest.fixture
+def machine2x2() -> Machine:
+    return Machine(grid=(2, 2))
+
+
+@pytest.fixture
+def machine1d() -> Machine:
+    return Machine(grid=(4,))
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_grid(n: int, seed: int = 0, dtype=np.float32) -> np.ndarray:
+    return rng(seed).standard_normal((n, n)).astype(dtype)

@@ -1,0 +1,66 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.experiments.charts import AsciiChart
+
+
+def chart(**kw):
+    c = AsciiChart("test chart", ["10", "20", "30"], **kw)
+    return c
+
+
+class TestAsciiChart:
+    def test_render_contains_series(self):
+        c = chart()
+        c.add("alpha", [1.0, 2.0, 4.0])
+        c.add("beta", [2.0, 4.0, 8.0])
+        text = c.render()
+        assert "test chart" in text
+        assert "o=alpha" in text and "x=beta" in text
+
+    def test_monotone_series_rows_ordered(self):
+        c = chart(height=10)
+        c.add("s", [1.0, 10.0, 100.0])
+        rows = c.render().splitlines()
+        cols = []
+        for r, line in enumerate(rows):
+            for x in range(len(line)):
+                if line[x] == "o":
+                    cols.append((x, r))
+        cols.sort()
+        # larger values plot on higher rows (smaller row index)
+        assert cols[0][1] > cols[1][1] > cols[2][1]
+
+    def test_length_mismatch(self):
+        c = chart()
+        with pytest.raises(ValueError):
+            c.add("bad", [1.0, 2.0])
+
+    def test_nonpositive_rejected(self):
+        c = chart()
+        with pytest.raises(ValueError):
+            c.add("bad", [1.0, 0.0, 2.0])
+
+    def test_empty_chart(self):
+        assert "(no data)" in chart().render()
+
+    def test_constant_series(self):
+        c = chart()
+        c.add("flat", [5.0, 5.0, 5.0])
+        assert c.render()
+
+    def test_x_labels_rendered(self):
+        c = chart()
+        c.add("s", [1.0, 2.0, 3.0])
+        assert "10" in c.render().splitlines()[-2]
+
+    def test_fig17_chart_builds(self):
+        from repro.experiments import fig17
+        result = fig17.run(sizes=(64, 128))
+        assert fig17.build_chart(result).render()
+
+    def test_fig18_chart_builds(self):
+        from repro.experiments import fig18
+        result = fig18.run(sizes=(64, 128))
+        assert fig18.build_chart(result).render()

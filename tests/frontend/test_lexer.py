@@ -1,0 +1,88 @@
+"""Lexer tests: continuations, directives, comments, literals."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind not in ("NEWLINE", "EOF")]
+
+
+class TestBasics:
+    def test_simple_assignment(self):
+        assert texts("A = B + 1") == ["A", "=", "B", "+", "1"]
+
+    def test_case_insensitive_upcased(self):
+        assert texts("real x") == ["REAL", "X"]
+
+    def test_float_forms(self):
+        assert texts("1.5 1.0E-3 .5 2D0") == ["1.5", "1.0E-3", ".5", "2D0"]
+
+    def test_comment_stripped(self):
+        assert texts("A = 1 ! trailing comment") == ["A", "=", "1"]
+
+    def test_blank_lines_skipped(self):
+        toks = tokenize("\n\nA = 1\n\n")
+        assert [t.kind for t in toks] == ["NAME", "=", "INT", "NEWLINE",
+                                          "EOF"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("A = #")
+
+    def test_position_reported(self):
+        tok = tokenize("  FOO")[0]
+        assert (tok.line, tok.column) == (1, 3)
+
+
+class TestContinuations:
+    def test_trailing_ampersand(self):
+        assert texts("A = B + &\n    C") == ["A", "=", "B", "+", "C"]
+
+    def test_leading_ampersand_fixed_form(self):
+        assert texts("A = B\n     & + C") == ["A", "=", "B", "+", "C"]
+
+    def test_both_styles(self):
+        assert texts("A = B + &\n     & C") == ["A", "=", "B", "+", "C"]
+
+    def test_multi_line_paper_style(self):
+        src = ("DST = C1 * SRC\n"
+               "     & + C2 * SRC\n"
+               "     & + C3 * SRC\n")
+        assert texts(src).count("SRC") == 3
+        assert kinds(src).count("NEWLINE") == 1
+
+
+class TestDirectives:
+    def test_hpf_directive_flagged(self):
+        toks = tokenize("!HPF$ DISTRIBUTE U(BLOCK,BLOCK)")
+        assert toks[0].kind == "HPFDIR"
+        assert toks[1].text == "DISTRIBUTE"
+
+    def test_chpf_directive(self):
+        toks = tokenize("CHPF$ ALIGN T WITH U")
+        assert toks[0].kind == "HPFDIR"
+
+    def test_plain_comment_not_directive(self):
+        assert tokenize("! just a comment")[0].kind == "EOF"
+
+    def test_case_insensitive_directive(self):
+        assert tokenize("!hpf$ DISTRIBUTE U(BLOCK)")[0].kind == "HPFDIR"
+
+
+class TestOperators:
+    def test_relational(self):
+        assert texts("A <= B >= C == D /= E") == [
+            "A", "<=", "B", ">=", "C", "==", "D", "/=", "E"]
+
+    def test_double_colon(self):
+        assert texts("REAL :: X")[1] == "::"
+
+    def test_brackets(self):
+        assert texts("[0:5]") == ["[", "0", ":", "5", "]"]

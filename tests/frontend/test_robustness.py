@@ -1,0 +1,98 @@
+"""Frontend robustness: fuzzing and diagnostic quality.
+
+The lexer/parser must never crash with anything but the package's own
+typed errors, and diagnostics must carry source positions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, SourceError
+from repro.frontend import parse_program, tokenize
+from repro.frontend.lexer import Token
+
+
+class TestLexerFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=200))
+    def test_tokenize_never_crashes_unexpectedly(self, text):
+        try:
+            tokens = tokenize(text)
+        except ReproError:
+            return  # typed failure is fine
+        assert tokens[-1].kind == "EOF"
+        assert all(isinstance(t, Token) for t in tokens)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="ABC123+-*/(),:=<>. \n&!", max_size=120))
+    def test_fortran_flavoured_fuzz(self, text):
+        try:
+            tokenize(text)
+        except ReproError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="ABCN(),=+*: \n0123456789", max_size=100))
+    def test_parser_never_crashes_unexpectedly(self, text):
+        try:
+            parse_program(text, bindings={"N": 8})
+        except ReproError:
+            pass
+
+
+class TestDiagnostics:
+    def err(self, src, **bindings):
+        with pytest.raises(SourceError) as exc:
+            parse_program(src, bindings=bindings or None)
+        return str(exc.value)
+
+    def test_lex_error_has_position(self):
+        msg = self.err("REAL A(4)\nA = #")
+        assert "line 2" in msg
+
+    def test_parse_error_names_token(self):
+        msg = self.err("REAL A(4)\nA = +")
+        assert "line 2" in msg
+
+    def test_undeclared_shift_argument(self):
+        msg = self.err("REAL A(4,4)\nA = CSHIFT(B,1,1)\nB = 0")
+        assert "undeclared" in msg and "line 2" in msg
+
+    def test_cyclic_explains_scope(self):
+        msg = self.err("REAL A(4)\n!HPF$ DISTRIBUTE A(CYCLIC)\nA = 0")
+        assert "BLOCK" in msg  # the message points at the paper's scope
+
+    def test_unbound_parameter_named(self):
+        msg = self.err("REAL A(N,N)\nA = 0")
+        assert "N" in msg
+
+    def test_rank_mismatch_message(self):
+        msg = self.err("REAL A(4,4)\nA(1:2) = 0")
+        assert "rank" in msg.lower()
+
+    def test_scalar_array_confusion(self):
+        msg = self.err("REAL A(4,4)\nX = A")
+        assert "SUM" in msg  # suggests the reduction route
+
+
+class TestMixedTypes:
+    def test_integer_arrays_supported(self):
+        import numpy as np
+        from repro.compiler import compile_hpf
+        from repro.machine import Machine
+        src = """
+        INTEGER A(16,16), B(16,16)
+        A = B + CSHIFT(B,1,1)
+        """
+        b = np.arange(256, dtype=np.int32).reshape(16, 16)
+        cp = compile_hpf(src, bindings={"N": 16}, level="O4",
+                         outputs={"A"})
+        res = cp.run(Machine(grid=(2, 2)), inputs={"B": b})
+        expected = b + np.roll(b, -1, axis=0)
+        np.testing.assert_array_equal(res.arrays["A"], expected)
+
+    def test_logical_array_declaration(self):
+        from repro.ir.types import ScalarKind
+        p = parse_program("LOGICAL M(8,8)\nREAL A(8,8)\nA = 0")
+        assert p.symbols.array("M").type.element is ScalarKind.LOGICAL

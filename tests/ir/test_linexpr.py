@@ -1,0 +1,97 @@
+"""Unit and property tests for affine expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SemanticError
+from repro.ir.linexpr import LinExpr
+
+
+class TestBasics:
+    def test_constant(self):
+        e = LinExpr.of(5)
+        assert e.is_constant and e.constant_value() == 5
+
+    def test_symbol(self):
+        e = LinExpr.of("N")
+        assert not e.is_constant
+        assert e.evaluate({"N": 12}) == 12
+
+    def test_arithmetic(self):
+        e = LinExpr.of("N") - 1 + LinExpr.of("N") * 2
+        assert e.evaluate({"N": 10}) == 29
+
+    def test_subtraction_cancels(self):
+        e = LinExpr.of("N") - LinExpr.of("N")
+        assert e.is_constant and e.constant_value() == 0
+
+    def test_rsub(self):
+        e = 3 - LinExpr.of("N")
+        assert e.evaluate({"N": 1}) == 2
+
+    def test_mul_requires_int(self):
+        with pytest.raises(TypeError):
+            LinExpr.of("N") * 1.5  # type: ignore[operator]
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(SemanticError):
+            LinExpr.of("N").evaluate({})
+
+    def test_nonconstant_value_raises(self):
+        with pytest.raises(SemanticError):
+            LinExpr.of("N").constant_value()
+
+
+class TestPrinting:
+    def test_plain_symbol(self):
+        assert str(LinExpr.of("N")) == "N"
+
+    def test_symbol_minus_one(self):
+        assert str(LinExpr.of("N") - 1) == "N-1"
+
+    def test_symbol_plus_const(self):
+        assert str(LinExpr.of("N") + 1) == "N+1"
+
+    def test_zero(self):
+        assert str(LinExpr(0)) == "0"
+
+    def test_negative_coeff(self):
+        assert str(-LinExpr.of("N") + 2) == "-N+2"
+
+    def test_coefficient(self):
+        assert str(LinExpr.of("N") * 2) == "2*N"
+
+
+values = st.integers(min_value=-50, max_value=50)
+syms = st.sampled_from(["N", "M", "K"])
+
+
+@st.composite
+def linexprs(draw):
+    e = LinExpr(draw(values))
+    for _ in range(draw(st.integers(0, 3))):
+        e = e + LinExpr.of(draw(syms)) * draw(values)
+    return e
+
+
+class TestProperties:
+    @given(linexprs(), linexprs(), st.dictionaries(syms, values, min_size=3))
+    def test_addition_homomorphic(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(linexprs(), linexprs(), st.dictionaries(syms, values, min_size=3))
+    def test_subtraction_homomorphic(self, a, b, env):
+        assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+    @given(linexprs(), values, st.dictionaries(syms, values, min_size=3))
+    def test_scaling_homomorphic(self, a, k, env):
+        assert (a * k).evaluate(env) == a.evaluate(env) * k
+
+    @given(linexprs())
+    def test_self_minus_self_is_zero(self, a):
+        assert (a - a).is_constant and (a - a).constant_value() == 0
+
+    @given(linexprs(), st.dictionaries(syms, values, min_size=3))
+    def test_negation(self, a, env):
+        assert (-a).evaluate(env) == -a.evaluate(env)

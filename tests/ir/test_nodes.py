@@ -1,0 +1,136 @@
+"""IR node tests: printing, traversal, section algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SemanticError
+from repro.ir.linexpr import LinExpr
+from repro.ir.nodes import (
+    ArrayRef, BinOp, Compare, Const, CShift, EOShift, Intrinsic,
+    OffsetRef, OverlapShift, Reduction, ScalarRef, Triplet, UnaryOp,
+    array_names, section_offsets,
+)
+from repro.ir.rsd import RSD, RSDim
+
+
+def trip(lo, hi):
+    return Triplet(LinExpr.of(lo), LinExpr.of(hi))
+
+
+class TestPrinting:
+    def test_binop_precedence_parens(self):
+        e = BinOp("*", BinOp("+", Const(1), Const(2)), Const(3))
+        assert str(e) == "(1 + 2) * 3"
+
+    def test_no_redundant_parens(self):
+        e = BinOp("+", BinOp("*", Const(1), Const(2)), Const(3))
+        assert str(e) == "1 * 2 + 3"
+
+    def test_right_associative_subtraction(self):
+        e = BinOp("-", Const(1), BinOp("-", Const(2), Const(3)))
+        assert str(e) == "1 - (2 - 3)"
+
+    def test_offset_ref_paper_notation(self):
+        assert str(OffsetRef("U", (1, -1))) == "U<+1,-1>"
+        assert str(OffsetRef("U", (0, 0))) == "U<0,0>"
+
+    def test_offset_ref_eoshift_notation(self):
+        assert str(OffsetRef("U", (1, 0), 2.5)) == "U<+1,0;EOS=2.5>"
+
+    def test_cshift_printing(self):
+        e = CShift(ArrayRef("SRC"), -1, 2)
+        assert str(e) == "CSHIFT(SRC,SHIFT=-1,DIM=2)"
+
+    def test_overlap_shift_with_rsd_and_boundary(self):
+        s = OverlapShift("U", 1, 2, rsd=RSD((RSDim(1, 1), None)),
+                         boundary=0.0)
+        assert str(s) == ("CALL OVERLAP_SHIFT(U,SHIFT=+1,DIM=2,"
+                          "[0:n1+1,*],BOUNDARY=0)")
+
+    def test_sectioned_ref(self):
+        r = ArrayRef("A", (trip(2, LinExpr.of("N") - 1), trip(1, "N")))
+        assert str(r) == "A(2:N-1,1:N)"
+
+    def test_reduction(self):
+        assert str(Reduction("SUM", ArrayRef("A"))) == "SUM(A)"
+
+
+class TestValidation:
+    def test_bad_binop(self):
+        with pytest.raises(SemanticError):
+            BinOp("%", Const(1), Const(2))
+
+    def test_bad_compare(self):
+        with pytest.raises(SemanticError):
+            Compare("!=", Const(1), Const(2))
+
+    def test_bad_dim(self):
+        with pytest.raises(SemanticError):
+            CShift(ArrayRef("A"), 1, 0)
+
+    def test_bad_intrinsic(self):
+        with pytest.raises(SemanticError):
+            Intrinsic("SIN", (Const(1),))
+
+    def test_bad_reduction(self):
+        with pytest.raises(SemanticError):
+            Reduction("PRODUCT", ArrayRef("A"))
+
+    def test_nonunit_stride_section(self):
+        with pytest.raises(SemanticError):
+            Triplet(LinExpr(1), LinExpr(10), step=2)
+
+    def test_zero_overlap_shift(self):
+        with pytest.raises(SemanticError):
+            OverlapShift("U", 0, 1)
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        e = BinOp("+", ScalarRef("C"), CShift(ArrayRef("A"), 1, 1))
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds == ["BinOp", "ScalarRef", "CShift", "ArrayRef"]
+
+    def test_array_names(self):
+        e = BinOp("*", ArrayRef("A"),
+                  Intrinsic("ABS", (OffsetRef("B", (1,)),)))
+        assert array_names(e) == {"A", "B"}
+
+    def test_array_names_through_reduction(self):
+        e = Reduction("SUM", BinOp("*", ArrayRef("R"), ArrayRef("R")))
+        assert array_names(e) == {"R"}
+
+
+class TestSectionOffsets:
+    def test_paper_example(self):
+        base = (trip(2, LinExpr.of("N") - 1),
+                trip(2, LinExpr.of("N") - 1))
+        ref = (trip(1, LinExpr.of("N") - 2),
+               trip(2, LinExpr.of("N") - 1))
+        assert section_offsets(ref, base) == (-1, 0)
+
+    def test_mismatched_width(self):
+        base = (trip(2, 9),)
+        ref = (trip(1, 9),)  # widths differ: 8 vs 9
+        assert section_offsets(ref, base) is None
+
+    def test_symbolic_mismatch(self):
+        base = (trip(1, "N"),)
+        ref = (trip(1, "M"),)
+        assert section_offsets(ref, base) is None
+
+    def test_rank_mismatch(self):
+        assert section_offsets((trip(1, 4),),
+                               (trip(1, 4), trip(1, 4))) is None
+
+    @given(base_lo=st.integers(1, 10), width=st.integers(0, 10),
+           delta=st.integers(-5, 5))
+    def test_constant_shift_detected(self, base_lo, width, delta):
+        base = (trip(base_lo, base_lo + width),)
+        ref = (trip(base_lo + delta, base_lo + width + delta),)
+        assert section_offsets(ref, base) == (delta,)
+
+    def test_shifted_triplet_helper(self):
+        t = trip(2, 9).shifted(-1)
+        assert str(t) == "1:8"

@@ -1,0 +1,80 @@
+"""Pretty-printer tests: structure, indentation, declarations."""
+
+from repro.frontend import parse_program
+from repro.ir.printer import format_program, format_stmt
+
+
+class TestFormatting:
+    def test_indented_do(self):
+        p = parse_program("""
+        REAL A(8,8)
+        DO K = 1, 3
+          A = A + 1
+        ENDDO
+        """)
+        text = format_program(p)
+        assert text == "DO K = 1, 3\n  A = A + 1\nENDDO"
+
+    def test_nested_structure(self):
+        p = parse_program("""
+        REAL A(8,8)
+        DO K = 1, 3
+          IF (X < 1) THEN
+            A = A + 1
+          ELSE
+            A = A - 1
+          ENDIF
+        ENDDO
+        """)
+        lines = format_program(p).splitlines()
+        assert lines[0] == "DO K = 1, 3"
+        assert lines[1] == "  IF (X < 1) THEN"
+        assert lines[2] == "    A = A + 1"
+        assert lines[3] == "  ELSE"
+        assert lines[5] == "  ENDIF"
+
+    def test_do_while(self):
+        p = parse_program("""
+        REAL A(8,8)
+        S = 1.0
+        DO WHILE (S > 0.5)
+          S = S - 0.6
+        ENDDO
+        """)
+        text = format_program(p)
+        assert "DO WHILE (S > 0.5)" in text
+
+    def test_declarations_flag(self):
+        p = parse_program("REAL A(8,8)\nA = 1", bindings={"M": 3})
+        text = format_program(p, declarations=True)
+        assert "! A: REAL(8,8) dist(BLOCK,BLOCK)" in text
+        assert "! PARAMETER M = 3" in text
+
+    def test_masked_statement(self):
+        p = parse_program("REAL A(8,8), U(8,8)\nWHERE (U > 0) A = 1.0")
+        text = format_program(p)
+        assert "WHERE (MASK1) A = 1" in text
+
+    def test_format_stmt_standalone(self):
+        p = parse_program("REAL A(8,8)\nA = 1")
+        assert format_stmt(p.body[0]) == ["A = 1"]
+        assert format_stmt(p.body[0], indent=2) == ["    A = 1"]
+
+
+class TestPaperFidelity:
+    """The printer must reproduce the paper's exact source notation."""
+
+    def test_figure3_roundtrip(self):
+        from repro import kernels
+        p = parse_program(kernels.PURDUE_PROBLEM9, bindings={"N": 16})
+        text = format_program(p)
+        assert "RIP = CSHIFT(U,SHIFT=+1,DIM=1)" in text
+        assert "T = U + RIP + RIN" in text
+        assert "T = T + CSHIFT(RIN,SHIFT=+1,DIM=2)" in text
+
+    def test_figure1_sections(self):
+        from repro import kernels
+        p = parse_program(kernels.FIVE_POINT_ARRAY_SYNTAX,
+                          bindings={"N": 16})
+        text = format_program(p)
+        assert "DST(2:N-1,2:N-1) = C1 * SRC(1:N-2,2:N-1)" in text

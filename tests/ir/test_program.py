@@ -1,0 +1,113 @@
+"""Program container, validation, dead-array pruning, CFG tests."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.frontend import parse_program
+from repro.ir.nodes import (
+    ArrayAssign, ArrayRef, Const, DoLoop, If, OffsetRef,
+)
+from repro.ir.program import build_cfg, single_block
+
+
+class TestValidation:
+    def test_valid_program(self):
+        p = parse_program("REAL A(8,8), B(8,8)\nA = B + 1")
+        p.validate()
+
+    def test_offset_rank_mismatch_caught(self):
+        p = parse_program("REAL A(8,8), B(8,8)\nA = B")
+        p.body[0].rhs = OffsetRef("B", (1,))  # wrong rank
+        with pytest.raises(PipelineError):
+            p.validate()
+
+    def test_section_rank_mismatch_caught(self):
+        from repro.ir.linexpr import LinExpr
+        from repro.ir.nodes import Triplet
+        p = parse_program("REAL A(8,8)\nA = 1")
+        p.body[0].lhs = ArrayRef(
+            "A", (Triplet(LinExpr(1), LinExpr(4)),))
+        with pytest.raises(PipelineError):
+            p.validate()
+
+
+class TestDeadArrays:
+    def test_prune_unused_temp(self):
+        p = parse_program("REAL A(8,8), B(8,8)\nA = B + 1")
+        p.symbols.new_temp(p.symbols.array("A"))
+        dead = p.prune_dead_arrays()
+        assert dead == ["TMP1"]
+        assert not p.symbols.is_array("TMP1")
+
+    def test_user_arrays_never_pruned(self):
+        p = parse_program("REAL A(8,8), B(8,8), C(8,8)\nA = B + 1")
+        assert p.prune_dead_arrays() == []
+        assert p.symbols.is_array("C")
+
+    def test_alloc_statements_pruned_with_temp(self):
+        from repro.ir.nodes import Allocate, Deallocate
+        p = parse_program("REAL A(8,8), B(8,8)\nA = B + 1")
+        tmp = p.symbols.new_temp(p.symbols.array("A"))
+        p.body.insert(0, Allocate([tmp.name]))
+        p.body.append(Deallocate([tmp.name]))
+        p.prune_dead_arrays()
+        assert not any(isinstance(s, (Allocate, Deallocate))
+                       for s in p.body)
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        p = parse_program("REAL A(8,8)\nA = 1\nA = A + 1")
+        assert single_block(p) is not None
+        cfg = build_cfg(p)
+        # entry, exit, one real block
+        real = [b for b in cfg.blocks if b.statements]
+        assert len(real) == 1
+        assert len(real[0].statements) == 2
+
+    def test_if_creates_branches(self):
+        p = parse_program("""
+        REAL A(8,8)
+        IF (X < 1) THEN
+          A = 1
+        ELSE
+          A = 2
+        ENDIF
+        A = A + 1
+        """)
+        assert single_block(p) is None
+        cfg = build_cfg(p)
+        entry_succ = cfg.block(cfg.entry).successors
+        assert len(entry_succ) == 1
+        head = cfg.block(entry_succ[0])
+        assert len(head.successors) == 2  # then / else
+
+    def test_loop_has_back_edge(self):
+        p = parse_program("""
+        REAL A(8,8)
+        DO K = 1, 3
+          A = A + 1
+        ENDDO
+        """)
+        cfg = build_cfg(p)
+        # some block must have a successor with a smaller index (the
+        # back edge to the loop head)
+        assert any(s < b.index for b in cfg.blocks for s in b.successors)
+
+    def test_leaf_statements_flatten_structure(self):
+        p = parse_program("""
+        REAL A(8,8)
+        DO K = 1, 3
+          IF (X < 1) THEN
+            A = A + 1
+          ENDIF
+        ENDDO
+        A = 0
+        """)
+        leaves = p.leaf_statements()
+        assert len(leaves) == 2
+        assert all(isinstance(s, ArrayAssign) for s in leaves)
+
+    def test_referenced_arrays(self):
+        p = parse_program("REAL A(8,8), B(8,8), C(8,8)\nA = B + 1")
+        assert p.referenced_arrays() == {"A", "B"}

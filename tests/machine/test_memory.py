@@ -1,0 +1,67 @@
+"""Per-PE memory accounting tests (Figure 11's OOM mechanism)."""
+
+import pytest
+
+from repro.errors import MachineError, SimulatedOutOfMemoryError
+from repro.machine.memory import MemoryManager
+
+
+class TestMemory:
+    def test_allocate_and_free(self):
+        mm = MemoryManager(npes=2, capacity=100)
+        mm.allocate(0, "A", 60)
+        assert mm.in_use(0) == 60
+        mm.free(0, "A")
+        assert mm.in_use(0) == 0
+
+    def test_capacity_enforced(self):
+        mm = MemoryManager(npes=1, capacity=100)
+        mm.allocate(0, "A", 80)
+        with pytest.raises(SimulatedOutOfMemoryError) as exc:
+            mm.allocate(0, "B", 40)
+        assert exc.value.pe == 0
+        assert exc.value.requested == 40
+
+    def test_peak_tracking(self):
+        mm = MemoryManager(npes=1)
+        mm.allocate(0, "A", 50)
+        mm.allocate(0, "B", 30)
+        mm.free(0, "A")
+        mm.allocate(0, "C", 10)
+        assert mm.peak(0) == 80
+        assert mm.in_use(0) == 40
+
+    def test_allocate_all_rolls_back_on_oom(self):
+        mm = MemoryManager(npes=3, capacity=100)
+        mm.allocate(2, "X", 90)
+        with pytest.raises(SimulatedOutOfMemoryError):
+            mm.allocate_all("A", [50, 50, 50])
+        # the partial allocations on PEs 0 and 1 must have been undone
+        assert mm.in_use(0) == 0 and mm.in_use(1) == 0
+
+    def test_double_allocation_rejected(self):
+        mm = MemoryManager(npes=1)
+        mm.allocate(0, "A", 10)
+        with pytest.raises(MachineError):
+            mm.allocate(0, "A", 10)
+
+    def test_free_unallocated_rejected(self):
+        mm = MemoryManager(npes=1)
+        with pytest.raises(MachineError):
+            mm.free(0, "A")
+
+    def test_unlimited_default(self):
+        mm = MemoryManager(npes=1)
+        mm.allocate(0, "A", 1 << 40)
+        assert mm.in_use(0) == 1 << 40
+
+    def test_peak_per_pe(self):
+        mm = MemoryManager(npes=2)
+        mm.allocate(0, "A", 10)
+        mm.allocate(1, "A", 99)
+        assert mm.peak_per_pe == 99
+
+    def test_live_blocks(self):
+        mm = MemoryManager(npes=1)
+        mm.allocate(0, "A", 10)
+        assert mm.live_blocks(0) == {"A": 10}

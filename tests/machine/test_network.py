@@ -1,0 +1,66 @@
+"""Network simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.cost_model import CostReport, SP2_COST_MODEL
+from repro.machine.network import Network
+
+
+def network(keep_log=True):
+    report = CostReport()
+    report.ensure_pes(4)
+    return Network(SP2_COST_MODEL, report, keep_log=keep_log)
+
+
+class TestSend:
+    def test_payload_delivered_as_copy(self):
+        net = network()
+        payload = np.arange(8.0)
+        received = net.send(0, 1, payload)
+        np.testing.assert_array_equal(received, payload)
+        payload[0] = 99.0
+        assert received[0] == 0.0  # a real message is a copy
+
+    def test_message_recorded(self):
+        net = network()
+        net.send(0, 1, np.zeros(4), tag="ovl:U")
+        assert net.message_count == 1
+        assert net.log[0].src == 0 and net.log[0].dst == 1
+        assert net.log[0].nbytes == 32
+
+    def test_self_send_is_copy_not_message(self):
+        net = network()
+        net.send(2, 2, np.zeros(16))
+        assert net.message_count == 0
+        assert net.report.copies == 1
+
+    def test_zero_size_rejected(self):
+        net = network()
+        with pytest.raises(MachineError):
+            net.send(0, 1, np.zeros(0))
+
+    def test_sender_charged(self):
+        net = network()
+        net.send(3, 0, np.zeros(1000))
+        assert net.report.pe_times[3] > 0
+        assert net.report.pe_times[0] == 0
+
+    def test_log_disabled(self):
+        net = network(keep_log=False)
+        net.send(0, 1, np.zeros(4))
+        assert net.log == []
+        assert net.message_count == 1
+
+    def test_tag_filter(self):
+        net = network()
+        net.send(0, 1, np.zeros(4), tag="ovl:U:d1:+1")
+        net.send(0, 1, np.zeros(4), tag="ovl:V:d2:-1")
+        assert len(net.messages_with_tag("ovl:U")) == 1
+
+    def test_noncontiguous_payload(self):
+        net = network()
+        a = np.arange(16.0).reshape(4, 4)
+        received = net.send(0, 1, a[:, 1])  # strided column
+        np.testing.assert_array_equal(received, a[:, 1])

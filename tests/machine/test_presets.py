@@ -1,0 +1,68 @@
+"""Machine preset tests."""
+
+import pytest
+
+from repro.machine import Machine, PRESETS, by_name, scaled
+from repro.machine.cost_model import SP2_COST_MODEL
+from repro.machine.presets import (
+    ETHERNET_NOW, MODERN_CLUSTER, MODERN_NODE, SP2, T3E,
+)
+
+
+class TestPresets:
+    def test_sp2_is_default(self):
+        assert SP2 is SP2_COST_MODEL
+        assert Machine(grid=(2, 2)).cost_model == SP2
+
+    def test_lookup(self):
+        assert by_name("modern-cluster") is MODERN_CLUSTER
+        assert by_name("T3E") is T3E
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError) as exc:
+            by_name("cray-1")
+        assert "sp2" in str(exc.value)
+
+    def test_all_registered(self):
+        assert set(PRESETS) == {"sp2", "ethernet", "t3e", "modern-node",
+                                "modern-cluster"}
+
+    def test_scaling_orthogonal(self):
+        m = scaled(SP2, network=2.0)
+        assert m.alpha == pytest.approx(2 * SP2.alpha)
+        assert m.mem_load == SP2.mem_load
+        m = scaled(SP2, memory=0.5)
+        assert m.alpha == SP2.alpha
+        assert m.copy_elem == pytest.approx(0.5 * SP2.copy_elem)
+
+    def test_balance_ordering(self):
+        # message latency: ethernet > sp2 > t3e > modern cluster
+        assert ETHERNET_NOW.alpha > SP2.alpha > T3E.alpha \
+            > MODERN_CLUSTER.alpha
+        # memory: modern < sp2
+        assert MODERN_NODE.mem_load < SP2.mem_load
+
+    def test_presets_change_modelled_time(self):
+        from repro import kernels
+        from repro.compiler import compile_hpf
+        cp = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": 64},
+                         level="O4", outputs={"T"})
+        times = {}
+        for name, model in PRESETS.items():
+            machine = Machine(grid=(2, 2), cost_model=model)
+            times[name] = cp.run(machine).modelled_time
+        assert times["modern-cluster"] < times["sp2"] < times["ethernet"]
+
+    def test_results_independent_of_preset(self):
+        import numpy as np
+        from repro import kernels
+        from repro.compiler import compile_hpf
+        cp = compile_hpf(kernels.PURDUE_PROBLEM9, bindings={"N": 16},
+                         level="O4", outputs={"T"})
+        u = np.random.default_rng(0).standard_normal(
+            (16, 16)).astype(np.float32)
+        outs = [cp.run(Machine(grid=(2, 2), cost_model=m),
+                       inputs={"U": u}).arrays["T"]
+                for m in PRESETS.values()]
+        for other in outs[1:]:
+            np.testing.assert_array_equal(outs[0], other)

@@ -1,0 +1,80 @@
+"""Processor grid tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machine.topology import ProcessorGrid
+
+
+class TestGrid:
+    def test_size(self):
+        assert ProcessorGrid((2, 3)).size == 6
+
+    def test_rank_coords_roundtrip(self):
+        g = ProcessorGrid((2, 3))
+        for r in g.ranks():
+            assert g.rank(g.coords(r)) == r
+
+    def test_row_major_order(self):
+        g = ProcessorGrid((2, 3))
+        assert g.coords(0) == (0, 0)
+        assert g.coords(1) == (0, 1)
+        assert g.coords(3) == (1, 0)
+
+    def test_neighbor_wraps(self):
+        g = ProcessorGrid((2, 2))
+        # rank 0 = (0,0); +1 along dim 0 -> (1,0) = rank 2
+        assert g.neighbor(0, 0, +1) == 2
+        # -1 along dim 0 wraps to (1,0) too on a 2-torus
+        assert g.neighbor(0, 0, -1) == 2
+        assert g.neighbor(0, 1, +1) == 1
+
+    def test_one_wide_dim_self_neighbor(self):
+        g = ProcessorGrid((1, 4))
+        assert g.neighbor(0, 0, +1) == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(MachineError):
+            ProcessorGrid((0, 2))
+
+    def test_bad_rank(self):
+        with pytest.raises(MachineError):
+            ProcessorGrid((2,)).coords(5)
+
+    def test_bad_direction(self):
+        with pytest.raises(MachineError):
+            ProcessorGrid((2,)).neighbor(0, 0, 2)
+
+    def test_all_coords(self):
+        g = ProcessorGrid((2, 2))
+        assert len(g.all_coords()) == 4
+
+
+grids = st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple)
+
+
+class TestGridProperties:
+    @given(grids, st.data())
+    def test_roundtrip(self, shape, data):
+        g = ProcessorGrid(shape)
+        r = data.draw(st.integers(0, g.size - 1))
+        assert g.rank(g.coords(r)) == r
+
+    @given(grids, st.data())
+    def test_neighbor_inverse(self, shape, data):
+        g = ProcessorGrid(shape)
+        r = data.draw(st.integers(0, g.size - 1))
+        d = data.draw(st.integers(0, g.ndim - 1))
+        assert g.neighbor(g.neighbor(r, d, +1), d, -1) == r
+
+    @given(grids, st.data())
+    def test_neighbor_cycles(self, shape, data):
+        g = ProcessorGrid(shape)
+        r = data.draw(st.integers(0, g.size - 1))
+        d = data.draw(st.integers(0, g.ndim - 1))
+        cur = r
+        for _ in range(shape[d]):
+            cur = g.neighbor(cur, d, +1)
+        assert cur == r

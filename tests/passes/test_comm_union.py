@@ -1,0 +1,188 @@
+"""Communication unioning tests (paper section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.frontend import parse_program
+from repro.ir.nodes import OverlapShift
+from repro.ir.rsd import RSD, RSDim
+from repro.passes.comm_union import (
+    CommUnionPass, requirement_of, union_requirements,
+)
+from repro.passes.context_partition import ContextPartitionPass
+from repro.passes.normalize import NormalizePass
+from repro.passes.offset_arrays import OffsetArrayPass
+
+
+def optimized(src, outputs, bindings=None):
+    p = parse_program(src, bindings=bindings or {"N": 16})
+    NormalizePass().run(p)
+    OffsetArrayPass(outputs=outputs).run(p)
+    ContextPartitionPass().run(p)
+    pass_ = CommUnionPass()
+    pass_.run(p)
+    p.validate()
+    return p, pass_.stats
+
+
+def shifts_of(p):
+    return [s for s in p.leaf_statements() if isinstance(s, OverlapShift)]
+
+
+class TestRequirementOf:
+    def test_plain_shift(self):
+        s = OverlapShift("U", +1, 1)
+        assert requirement_of(s) == ("U", (1,), None)
+
+    def test_multi_offset(self):
+        s = OverlapShift("U", -1, 2, base_offsets=(1, 0))
+        assert requirement_of(s) == ("U", (1, -1), None)
+
+    def test_accumulates_same_dim(self):
+        s = OverlapShift("U", 2, 1, base_offsets=(1, 0))
+        assert requirement_of(s) == ("U", (3, 0), None)
+
+    def test_eoshift_fill_kind(self):
+        s = OverlapShift("U", 1, 1, boundary=2.5)
+        assert requirement_of(s) == ("U", (1,), 2.5)
+
+
+class TestUnionRequirements:
+    def test_nine_point(self):
+        offsets = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+                   if (dx, dy) != (0, 0)]
+        calls = union_requirements("U", 2, offsets)
+        assert len(calls) == 4
+        by_dim = {(c.dim, 1 if c.shift > 0 else -1): c for c in calls}
+        assert set(by_dim) == {(1, 1), (1, -1), (2, 1), (2, -1)}
+        # dim-1 shifts carry no RSD; dim-2 shifts carry [0:N+1,*]
+        assert by_dim[(1, 1)].rsd is None
+        assert by_dim[(2, 1)].rsd == RSD((RSDim(1, 1), None))
+
+    def test_subsumption_by_amount(self):
+        calls = union_requirements("U", 2, [(2, 0), (1, 0)])
+        assert len(calls) == 1
+        assert calls[0].shift == 2
+
+    def test_directions_kept_separate(self):
+        calls = union_requirements("U", 2, [(1, 0), (-1, 0)])
+        assert {c.shift for c in calls} == {-1, 1}
+
+    def test_star_needs_no_rsd(self):
+        offsets = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+        calls = union_requirements("U", 2, offsets)
+        assert len(calls) == 4
+        assert all(c.rsd is None for c in calls)
+
+    def test_ascending_dim_order(self):
+        offsets = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        calls = union_requirements("U", 2, offsets)
+        dims = [c.dim for c in calls]
+        assert dims == sorted(dims)
+
+    def test_radius2_corner_rsd(self):
+        calls = union_requirements("U", 2, [(2, 2)])
+        dim2 = [c for c in calls if c.dim == 2][0]
+        assert dim2.rsd.dims[0] == RSDim(0, 2)
+        assert dim2.shift == 2
+
+    def test_3d_box(self):
+        import itertools
+        offsets = [o for o in itertools.product((-1, 0, 1), repeat=3)
+                   if any(o)]
+        calls = union_requirements("U", 3, offsets)
+        assert len(calls) == 6
+
+
+class TestPipelineCounts:
+    @pytest.mark.parametrize("src,out,expected", [
+        (kernels.FIVE_POINT_ARRAY_SYNTAX, "DST", 4),
+        (kernels.NINE_POINT_CSHIFT, "DST", 4),
+        (kernels.PURDUE_PROBLEM9, "T", 4),
+        (kernels.NINE_POINT_ARRAY_SYNTAX, "DST", 4),
+        (kernels.TWENTYFIVE_POINT_ARRAY_SYNTAX, "DST", 4),
+    ])
+    def test_minimal_shift_count_2d(self, src, out, expected):
+        p, _ = optimized(src, outputs={out}, bindings={"N": 20})
+        assert len(shifts_of(p)) == expected
+
+    def test_problem9_before_after(self):
+        _, stats = optimized(kernels.PURDUE_PROBLEM9, outputs={"T"})
+        assert stats.shifts_before == 8
+        assert stats.shifts_after == 4
+        assert stats.rsds_emitted == 2
+
+    def test_single_statement_nine_point_12_to_4(self):
+        _, stats = optimized(kernels.NINE_POINT_CSHIFT, outputs={"DST"})
+        assert stats.shifts_before == 12
+        assert stats.shifts_after == 4
+
+    def test_figure15_exact_output(self):
+        p, _ = optimized(kernels.PURDUE_PROBLEM9, outputs={"T"})
+        shifts = shifts_of(p)
+        rendered = sorted(str(s) for s in shifts)
+        assert rendered == sorted([
+            "CALL OVERLAP_SHIFT(U,SHIFT=-1,DIM=1)",
+            "CALL OVERLAP_SHIFT(U,SHIFT=+1,DIM=1)",
+            "CALL OVERLAP_SHIFT(U,SHIFT=-1,DIM=2,[0:n1+1,*])",
+            "CALL OVERLAP_SHIFT(U,SHIFT=+1,DIM=2,[0:n1+1,*])",
+        ])
+
+    def test_idempotent(self):
+        p, _ = optimized(kernels.PURDUE_PROBLEM9, outputs={"T"})
+        again = CommUnionPass()
+        again.run(p)
+        assert len(shifts_of(p)) == 4
+
+    def test_group_broken_by_compute(self):
+        # two comm groups separated by a kill of U union independently
+        src = """
+        REAL A(16,16), B(16,16), C(16,16)
+        B = CSHIFT(A,SHIFT=1,DIM=1)
+        A = A + 1
+        C = CSHIFT(A,SHIFT=1,DIM=1)
+        """
+        p, stats = optimized(src, outputs={"B", "C"})
+        assert stats.groups == 2
+
+
+class TestSoundness:
+    """The unioned communication fills a superset of required cells."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(offsets=st.lists(
+        st.tuples(st.integers(-2, 2), st.integers(-2, 2)).filter(
+            lambda o: any(o)),
+        min_size=1, max_size=10, unique=True))
+    def test_union_covers_requirements(self, offsets):
+        """Execute the unioned calls and check every offset's overlap
+        cells are resident (property over random stencil shapes)."""
+        from repro.ir.types import Distribution
+        from repro.machine import Machine
+        from repro.runtime.darray import DArray
+        from repro.runtime.distribution import Layout
+        from repro.runtime.overlap import overlap_shift
+
+        n = 12
+        machine = Machine(grid=(2, 2))
+        lay = Layout((n, n), Distribution.block(2), machine.topology)
+        da = DArray.create(machine, "U", lay, np.dtype(np.float64),
+                           ((2, 2), (2, 2)))
+        g = np.arange(n * n, dtype=np.float64).reshape(n, n) + 1
+        da.scatter(g)
+        for call in union_requirements("U", 2, list(offsets)):
+            overlap_shift(machine, da, call.shift, call.dim, rsd=call.rsd)
+        # every required displaced cell must hold the wrapped global value
+        for pe in machine.topology.ranks():
+            (lo0, hi0), (lo1, hi1) = da.owned_box(pe)
+            padded = da.padded(pe)
+            for (dx, dy) in offsets:
+                for gi in range(lo0, hi0 + 1):
+                    for gj in range(lo1, hi1 + 1):
+                        li = 2 + (gi - lo0) + dx
+                        lj = 2 + (gj - lo1) + dy
+                        want = g[(gi - 1 + dx) % n, (gj - 1 + dy) % n]
+                        assert padded[li, lj] == want, (pe, gi, gj, dx, dy)

@@ -1,0 +1,161 @@
+"""Normalization pass tests (paper section 2.1 / Figure 4)."""
+
+import pytest
+
+from repro import kernels
+from repro.errors import UnsupportedFeatureError
+from repro.frontend import parse_program
+from repro.ir.nodes import Allocate, ArrayAssign, CShift, Deallocate, EOShift
+from repro.ir.printer import format_program
+from repro.passes.normalize import NormalizePass, is_normal_form
+
+
+def normalize(src, pooled=True, **bindings):
+    p = parse_program(src, bindings=bindings or {"N": 16})
+    NormalizePass(pooled_temps=pooled).run(p)
+    p.validate()
+    return p
+
+
+class TestFivePointFigure4:
+    """The paper's Figure 4: CM Fortran's translation of Figure 1."""
+
+    def test_four_shift_temporaries(self):
+        p = normalize(kernels.FIVE_POINT_ARRAY_SYNTAX, pooled=False)
+        shifts = [s for s in p.leaf_statements()
+                  if isinstance(s, ArrayAssign)
+                  and isinstance(s.rhs, CShift)]
+        assert len(shifts) == 4
+        # whole-array singleton shifts of SRC
+        for s in shifts:
+            assert s.lhs.section is None
+            assert s.rhs.array.name == "SRC"
+
+    def test_shift_amounts_match_figure4(self):
+        p = normalize(kernels.FIVE_POINT_ARRAY_SYNTAX, pooled=False)
+        shifts = {(s.rhs.shift, s.rhs.dim)
+                  for s in p.leaf_statements()
+                  if isinstance(s, ArrayAssign)
+                  and isinstance(s.rhs, CShift)}
+        assert shifts == {(-1, 1), (-1, 2), (1, 1), (1, 2)}
+
+    def test_allocate_deallocate_emitted(self):
+        p = normalize(kernels.FIVE_POINT_ARRAY_SYNTAX, pooled=False)
+        assert isinstance(p.body[0], Allocate)
+        assert isinstance(p.body[-1], Deallocate)
+        assert len(p.body[0].names) == 4
+
+    def test_result_is_normal_form(self):
+        p = normalize(kernels.FIVE_POINT_ARRAY_SYNTAX)
+        assert is_normal_form(p)
+
+    def test_aligned_operand_keeps_section(self):
+        p = normalize(kernels.FIVE_POINT_ARRAY_SYNTAX, pooled=False)
+        compute = [s for s in p.leaf_statements()
+                   if isinstance(s, ArrayAssign)
+                   and not isinstance(s.rhs, CShift)]
+        assert len(compute) == 1
+        text = str(compute[0])
+        # the centre operand stays a direct aligned reference of SRC
+        assert "SRC(2:N-1,2:N-1)" in text
+
+
+class TestTemporaryPolicy:
+    """Figure 11/12 storage behaviour: 12 vs pooled temporaries."""
+
+    def count_temps(self, src, pooled):
+        p = normalize(src, pooled=pooled)
+        return sum(1 for s in p.symbols.arrays.values() if s.is_temporary)
+
+    def test_single_statement_nine_point_needs_12(self):
+        assert self.count_temps(kernels.NINE_POINT_CSHIFT, True) == 12
+
+    def test_problem9_pools_to_one(self):
+        assert self.count_temps(kernels.PURDUE_PROBLEM9, True) == 1
+
+    def test_problem9_fresh_gets_six(self):
+        assert self.count_temps(kernels.PURDUE_PROBLEM9, False) == 6
+
+    def test_singleton_shifts_left_untouched(self):
+        p = normalize(kernels.PURDUE_PROBLEM9)
+        text = format_program(p)
+        assert "RIP = CSHIFT(U,SHIFT=+1,DIM=1)" in text
+        assert "RIN = CSHIFT(U,SHIFT=-1,DIM=1)" in text
+
+
+class TestNestedShifts:
+    def test_nested_cshift_chains(self):
+        p = normalize(kernels.NINE_POINT_CSHIFT)
+        shifts = [s for s in p.leaf_statements()
+                  if isinstance(s, ArrayAssign)
+                  and isinstance(s.rhs, CShift)]
+        assert len(shifts) == 12  # 8 simple + 4 chained corners
+        assert is_normal_form(p)
+
+    def test_inner_before_outer(self):
+        src = """
+        REAL A(8,8), B(8,8)
+        A = CSHIFT(CSHIFT(B,-1,1),+1,2)
+        """
+        p = normalize(src)
+        shifts = [s for s in p.leaf_statements()
+                  if isinstance(s, ArrayAssign)
+                  and isinstance(s.rhs, CShift)]
+        assert len(shifts) == 2
+        # first hoisted statement shifts B, second shifts the temporary
+        assert shifts[0].rhs.array.name == "B"
+        assert shifts[1].rhs.array.name == shifts[0].lhs.name
+
+
+class TestEOShift:
+    def test_eoshift_hoisted(self):
+        src = """
+        REAL A(8,8), B(8,8)
+        A = B + EOSHIFT(B,SHIFT=1,BOUNDARY=2.5,DIM=1)
+        """
+        p = normalize(src)
+        shifts = [s for s in p.leaf_statements()
+                  if isinstance(s, ArrayAssign)
+                  and isinstance(s.rhs, EOShift)]
+        assert len(shifts) == 1
+        assert shifts[0].rhs.boundary == 2.5
+
+
+class TestErrors:
+    def test_whole_array_operand_in_sectioned_stmt(self):
+        src = """
+        REAL A(8,8), B(8,8)
+        A(2:7,2:7) = B
+        """
+        with pytest.raises(UnsupportedFeatureError):
+            normalize(src)
+
+    def test_non_constant_offset_section(self):
+        src = """
+        REAL A(8,8), B(8,8)
+        A(2:7,2:7) = B(2:7,1:6) + B(1:5,1:6)
+        """
+        with pytest.raises(UnsupportedFeatureError):
+            normalize(src)
+
+
+class TestControlFlow:
+    def test_normalizes_inside_do_loop(self):
+        src = """
+        REAL A(8,8), B(8,8)
+        DO K = 1, 3
+          A = A + CSHIFT(B,1,1)
+        ENDDO
+        """
+        p = normalize(src)
+        assert is_normal_form(p)
+
+    def test_normalizes_inside_if(self):
+        src = """
+        REAL A(8,8), B(8,8)
+        IF (X < 1) THEN
+          A = A + CSHIFT(B,1,2)
+        ENDIF
+        """
+        p = normalize(src)
+        assert is_normal_form(p)

@@ -1,0 +1,90 @@
+"""Distributed array tests: scatter/gather, halos, memory charging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError, SimulatedOutOfMemoryError
+from repro.ir.types import Distribution
+from repro.machine import Machine
+from repro.machine.topology import ProcessorGrid
+from repro.runtime.darray import DArray
+from repro.runtime.distribution import Layout
+
+from tests.conftest import random_grid
+
+
+def make_darray(machine, n=8, halo=1, name="U", dtype=np.float32):
+    lay = Layout((n, n), Distribution.block(2), machine.topology)
+    h = tuple(((halo, halo), (halo, halo)))
+    return DArray.create(machine, name, lay, np.dtype(dtype), h)
+
+
+class TestScatterGather:
+    def test_roundtrip(self, machine2x2):
+        da = make_darray(machine2x2)
+        g = random_grid(8)
+        da.scatter(g)
+        np.testing.assert_array_equal(da.gather(), g)
+
+    def test_gather_starts_zero(self, machine2x2):
+        da = make_darray(machine2x2)
+        assert not da.gather().any()
+
+    def test_scatter_shape_mismatch(self, machine2x2):
+        da = make_darray(machine2x2)
+        with pytest.raises(MachineError):
+            da.scatter(np.zeros((4, 4), dtype=np.float32))
+
+    def test_uneven_blocks_roundtrip(self):
+        m = Machine(grid=(3, 2))
+        lay = Layout((10, 7), Distribution.block(2), m.topology)
+        da = DArray.create(m, "A", lay, np.dtype(np.float64),
+                           ((1, 1), (1, 1)))
+        g = np.arange(70, dtype=np.float64).reshape(10, 7)
+        da.scatter(g)
+        np.testing.assert_array_equal(da.gather(), g)
+
+
+class TestGeometry:
+    def test_interior_shape(self, machine2x2):
+        da = make_darray(machine2x2, n=8, halo=2)
+        assert da.interior(0).shape == (4, 4)
+        assert da.padded(0).shape == (8, 8)
+
+    def test_interior_is_view(self, machine2x2):
+        da = make_darray(machine2x2)
+        da.interior(0)[...] = 7.0
+        assert da.padded(0)[1, 1] == 7.0
+        assert da.padded(0)[0, 0] == 0.0  # halo untouched
+
+    def test_local_index_of(self, machine2x2):
+        da = make_darray(machine2x2, n=8, halo=1)
+        # PE 3 owns (5..8, 5..8); global (5,5) -> padded (1,1)
+        assert da.local_index_of(3, (5, 5)) == (1, 1)
+        with pytest.raises(Exception):
+            da.local_index_of(0, (5, 5))
+
+    def test_halo_exceeding_block_rejected(self, machine2x2):
+        with pytest.raises(MachineError):
+            make_darray(machine2x2, n=8, halo=5)
+
+
+class TestMemoryCharging:
+    def test_allocation_charged(self, machine2x2):
+        make_darray(machine2x2, n=8, halo=1)
+        # local (4+2)x(4+2) float32 = 144 bytes
+        assert machine2x2.memory.in_use(0) == 144
+
+    def test_free_releases(self, machine2x2):
+        da = make_darray(machine2x2)
+        da.free(machine2x2)
+        assert machine2x2.memory.in_use(0) == 0
+
+    def test_oom_on_small_machine(self):
+        m = Machine(grid=(2, 2), memory_per_pe=100)
+        with pytest.raises(SimulatedOutOfMemoryError):
+            make_darray(m, n=8, halo=1)
+
+    def test_peak_accounts_halo(self, machine2x2):
+        make_darray(machine2x2, n=8, halo=2)  # (4+4)^2*4 = 256B
+        assert machine2x2.memory.peak(0) == 256

@@ -1,0 +1,112 @@
+"""BLOCK distribution index-math tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.ir.types import DistKind, Distribution
+from repro.machine.topology import ProcessorGrid
+from repro.runtime.distribution import BlockDim, Layout
+
+
+class TestBlockDim:
+    def test_even_split(self):
+        b = BlockDim(8, 4)
+        assert b.block == 2
+        assert b.owner_range(0) == (1, 2)
+        assert b.owner_range(3) == (7, 8)
+
+    def test_uneven_split(self):
+        b = BlockDim(10, 4)  # blocks of 3: (1-3)(4-6)(7-9)(10-10)
+        assert b.owner_range(3) == (10, 10)
+        assert b.local_extent(3) == 1
+        assert b.min_local_extent == 1
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(MachineError):
+            BlockDim(5, 4)  # ceil(5/4)=2 -> proc 3 would be empty
+
+    def test_owner_of(self):
+        b = BlockDim(10, 4)
+        assert b.owner_of(1) == 0
+        assert b.owner_of(10) == 3
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(MachineError):
+            BlockDim(10, 2).owner_of(11)
+
+    def test_to_local(self):
+        b = BlockDim(8, 2)
+        assert b.to_local(5, 1) == 0
+        with pytest.raises(MachineError):
+            b.to_local(5, 0)
+
+    @given(st.integers(1, 64), st.integers(1, 8))
+    def test_partition_property(self, n, p):
+        try:
+            b = BlockDim(n, p)
+        except MachineError:
+            return
+        covered = []
+        for j in range(p):
+            lo, hi = b.owner_range(j)
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, n + 1))
+        for g in range(1, n + 1):
+            j = b.owner_of(g)
+            lo, hi = b.owner_range(j)
+            assert lo <= g <= hi
+
+
+class TestLayout:
+    def _layout(self, shape=(8, 8), dist=None, grid=(2, 2)):
+        dist = dist or Distribution.block(len(shape))
+        return Layout(shape, dist, ProcessorGrid(grid))
+
+    def test_owned_boxes_tile_the_array(self):
+        lay = self._layout()
+        seen = set()
+        for pe in lay.grid.ranks():
+            (l0, h0), (l1, h1) = lay.owned_box(pe)
+            for i in range(l0, h0 + 1):
+                for j in range(l1, h1 + 1):
+                    assert (i, j) not in seen
+                    seen.add((i, j))
+        assert len(seen) == 64
+
+    def test_collapsed_dim_full_everywhere(self):
+        lay = self._layout(dist=Distribution((DistKind.BLOCK,
+                                              DistKind.COLLAPSED)),
+                           grid=(4,))
+        for pe in lay.grid.ranks():
+            assert lay.owned_box(pe)[1] == (1, 8)
+
+    def test_grid_rank_mismatch(self):
+        with pytest.raises(MachineError):
+            self._layout(grid=(4,))
+
+    def test_owner_rank(self):
+        lay = self._layout()
+        assert lay.owner_rank((1, 1)) == 0
+        assert lay.owner_rank((8, 8)) == 3
+        assert lay.owner_rank((8, 1)) == 2
+
+    def test_local_shape(self):
+        lay = self._layout()
+        assert lay.local_shape(0) == (4, 4)
+
+    def test_neighbor_along_array_dim(self):
+        lay = self._layout()
+        assert lay.neighbor(0, 0, +1) == 2  # down the first array dim
+        assert lay.neighbor(0, 1, +1) == 1
+
+    def test_max_shift_distributed(self):
+        lay = self._layout()
+        assert lay.max_shift(0) == 4
+
+    def test_max_shift_collapsed(self):
+        lay = self._layout(dist=Distribution((DistKind.BLOCK,
+                                              DistKind.COLLAPSED)),
+                           grid=(4,))
+        assert lay.max_shift(1) == 8

@@ -1,0 +1,122 @@
+"""CLI tests: python -m repro compile/run/experiments."""
+
+import pytest
+
+from repro import kernels
+from repro.__main__ import main
+
+
+@pytest.fixture
+def p9_file(tmp_path):
+    path = tmp_path / "p9.f90"
+    path.write_text(kernels.PURDUE_PROBLEM9)
+    return str(path)
+
+
+class TestCompile:
+    def test_basic(self, p9_file, capsys):
+        assert main(["compile", p9_file, "--bind", "N=32",
+                     "--output", "T"]) == 0
+        out = capsys.readouterr().out
+        assert "4 overlap shifts" in out
+        assert "1 loop nests" in out
+
+    def test_trace(self, p9_file, capsys):
+        main(["compile", p9_file, "--bind", "N=32", "--output", "T",
+              "--trace"])
+        out = capsys.readouterr().out
+        assert "=== after offset-arrays ===" in out
+        assert "U<+1,-1>" in out
+
+    def test_plan(self, p9_file, capsys):
+        main(["compile", p9_file, "--bind", "N=32", "--output", "T",
+              "--plan"])
+        out = capsys.readouterr().out
+        assert "fused subgrid loop nest" in out
+        assert "rsd=[0:n1+1,*]" in out
+
+    def test_level_o0(self, p9_file, capsys):
+        main(["compile", p9_file, "--bind", "N=32", "--output", "T",
+              "--level", "O0"])
+        out = capsys.readouterr().out
+        assert "8 full shifts" in out
+
+    def test_missing_binding_errors(self, p9_file, capsys):
+        assert main(["compile", p9_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_bind_format(self, p9_file):
+        with pytest.raises(SystemExit):
+            main(["compile", p9_file, "--bind", "N:32"])
+
+
+class TestRun:
+    def test_run_prints_checksums(self, p9_file, capsys):
+        assert main(["run", p9_file, "--bind", "N=32",
+                     "--output", "T"]) == 0
+        out = capsys.readouterr().out
+        assert "T: shape=(32, 32)" in out
+        assert "modelled time:" in out
+        assert "messages: 16" in out
+
+    def test_run_deterministic_seed(self, p9_file, capsys):
+        main(["run", p9_file, "--bind", "N=32", "--output", "T",
+              "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["run", p9_file, "--bind", "N=32", "--output", "T",
+              "--seed", "5"])
+        assert capsys.readouterr().out == first
+
+    def test_run_grid_option(self, p9_file, capsys):
+        main(["run", p9_file, "--bind", "N=32", "--output", "T",
+              "--grid", "4x2"])
+        out = capsys.readouterr().out
+        assert "messages: 32" in out  # 4 shifts x 8 PEs
+
+    def test_run_oom(self, p9_file, capsys):
+        assert main(["run", p9_file, "--bind", "N=2048",
+                     "--output", "T", "--level", "O0",
+                     "--memory-mb", "1"]) == 1
+        assert "exceeds capacity" in capsys.readouterr().err
+
+    def test_run_iters(self, p9_file, capsys):
+        main(["run", p9_file, "--bind", "N=32", "--output", "T",
+              "--iters", "3"])
+        assert "messages: 48" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_messages_experiment(self, capsys):
+        assert main(["experiments", "messages"]) == 0
+        out = capsys.readouterr().out
+        assert "Communication unioning" in out
+
+    def test_storage_experiment(self, capsys):
+        assert main(["experiments", "storage"]) == 0
+        assert "Temporary storage" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_compile_json(self, p9_file, capsys):
+        import json
+        assert main(["compile", p9_file, "--bind", "N=32",
+                     "--output", "T", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["overlap_shifts"] == 4
+        assert data["level"] == "O4"
+
+    def test_run_json(self, p9_file, capsys):
+        import json
+        assert main(["run", p9_file, "--bind", "N=32",
+                     "--output", "T", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["messages"] == 16
+        assert "T" in data["checksums"]
+
+    def test_run_json_deterministic(self, p9_file, capsys):
+        main(["run", p9_file, "--bind", "N=32", "--output", "T",
+              "--json"])
+        first = capsys.readouterr().out
+        main(["run", p9_file, "--bind", "N=32", "--output", "T",
+              "--json"])
+        assert capsys.readouterr().out == first
