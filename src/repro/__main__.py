@@ -8,6 +8,9 @@ Commands
 ``run``       compile and execute on the simulated machine with seeded
               random inputs, printing result digests and the cost
               summary.
+``trace``     compile and execute a named kernel (or file) with the
+              structured tracer enabled, printing a span tree and
+              optionally writing the JSONL trace (``-o``).
 ``experiments``  regenerate the paper's evaluation exhibits.
 
 Examples
@@ -40,12 +43,24 @@ def _parse_bindings(pairs: list[str]) -> dict[str, int]:
         if "=" not in pair:
             raise SystemExit(f"--bind expects NAME=VALUE, got {pair!r}")
         name, value = pair.split("=", 1)
-        out[name.strip()] = int(value)
+        try:
+            out[name.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"--bind expects an integer value, got {pair!r}") from None
     return out
 
 
 def _parse_grid(text: str) -> tuple[int, ...]:
-    return tuple(int(p) for p in text.lower().split("x"))
+    try:
+        grid = tuple(int(p) for p in text.lower().split("x"))
+    except ValueError:
+        raise SystemExit(
+            f"--grid expects NxM (e.g. 2x2), got {text!r}") from None
+    if not grid or any(g < 1 for g in grid):
+        raise SystemExit(
+            f"--grid extents must be positive, got {text!r}")
+    return grid
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -134,6 +149,52 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import kernels
+    from repro.analysis.report import describe_trace
+    from repro.obs import Tracer
+
+    bindings = _parse_bindings(args.bind)
+    outputs = set(args.output) or None
+    if os.path.exists(args.kernel):
+        source = open(args.kernel).read()
+    else:
+        try:
+            spec = kernels.resolve_kernel(args.kernel)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        source = spec.source
+        bindings = {**spec.default_bindings, **bindings}
+        outputs = outputs or set(spec.outputs)
+
+    tracer = Tracer()
+    compiled = compile_hpf(source, bindings=bindings, level=args.level,
+                           outputs=outputs, tracer=tracer)
+    from repro.machine.presets import by_name
+    machine = Machine(grid=_parse_grid(args.grid),
+                      cost_model=by_name(args.machine))
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    for name, decl in compiled.plan.arrays.items():
+        if name in compiled.plan.entry_arrays:
+            inputs[name] = rng.standard_normal(decl.shape).astype(
+                decl.dtype)
+    compiled.run(machine, inputs=inputs, iterations=args.iters,
+                 tracer=tracer)
+    if args.out:
+        tracer.write_jsonl(args.out)
+        print(f"wrote {sum(1 for _ in tracer.spans())} spans to "
+              f"{args.out}", file=sys.stderr)
+    if args.json:
+        sys.stdout.write(tracer.to_jsonl())
+    else:
+        print(describe_trace(tracer))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import (ablations, fig11, fig17, fig18,
                                    messages, robustness, scaling,
@@ -184,6 +245,36 @@ def main(argv: list[str] | None = None) -> int:
                         "t3e, modern-node, modern-cluster")
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser(
+        "trace",
+        help="compile+run a kernel with structured tracing enabled")
+    p.add_argument("kernel",
+                   help="kernel name (e.g. purdue9, five_point, "
+                        "box27_3d) or an HPF source file")
+    p.add_argument("--bind", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="bind a size parameter (default N=64 for named "
+                        "kernels)")
+    p.add_argument("--level", default="O4",
+                   help="optimization level O0..O4 (default O4)")
+    p.add_argument("--output", action="append", default=[],
+                   help="array live out of the routine (repeatable)")
+    p.add_argument("--grid", default="2x2",
+                   help="processor grid, e.g. 2x2 (default)")
+    p.add_argument("--iters", type=int, default=1,
+                   help="repeat the program this many times")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random seed for input arrays")
+    p.add_argument("--machine", default="sp2",
+                   help="cost-model preset: sp2 (default), ethernet, "
+                        "t3e, modern-node, modern-cluster")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="write the trace as JSONL to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSONL trace to stdout instead of "
+                        "the tree summary")
+    p.set_defaults(fn=cmd_trace)
+
     p = sub.add_parser("experiments",
                        help="regenerate the paper's exhibits")
     p.add_argument("name", choices=["fig11", "fig17", "fig18", "messages",
@@ -194,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -104,6 +104,22 @@ def describe_plan(plan: Plan) -> str:
     return "\n".join(lines)
 
 
+def describe_trace(tracer) -> str:
+    """Human-readable tree of a :class:`repro.obs.Tracer`'s spans, with
+    a roll-up of the counters the paper's argument turns on (messages,
+    bytes, copies, compute points)."""
+    totals = tracer.totals()
+    lines = [tracer.summary()]
+    interesting = ["messages", "bytes", "copies", "copy_elements",
+                   "compute_points", "statements_fused"]
+    rollup = ", ".join(f"{k}={totals[k]:g}" for k in interesting
+                       if totals.get(k))
+    if rollup:
+        lines.append("")
+        lines.append(f"totals: {rollup}")
+    return "\n".join(lines)
+
+
 def describe_result(result: ExecutionResult) -> str:
     """Cost summary of one execution."""
     r = result.report

@@ -58,20 +58,42 @@ class HpfCompiler:
     # -- compilation --------------------------------------------------------
     def compile(self, source: "str | Program",
                 bindings: dict[str, int] | None = None,
-                name: str = "MAIN") -> CompiledProgram:
+                name: str = "MAIN",
+                tracer=None) -> CompiledProgram:
         """Compile HPF source text (or an already-parsed program, which is
-        deep-copied, not mutated) into an executable plan."""
-        if isinstance(source, Program):
-            program = copy.deepcopy(source)
-        else:
-            program = parse_program(source, bindings=bindings, name=name)
-        trace = PassTrace() if self.options.keep_trace else None
-        passes = self.build_passes()
-        PassManager(passes, trace).run(program)
-        self._verify_coverage(program)
-        gen = CodeGenerator(program, self.options)
-        plan = gen.generate()
-        report = self._build_report(program, plan, passes, gen)
+        deep-copied, not mutated) into an executable plan.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) receives a ``compile``
+        span with children for parsing, every pass, coverage
+        verification, and codegen.
+        """
+        from repro.obs.tracer import coalesce
+        tracer = coalesce(tracer)
+        with tracer.span("compile", kind="compile",
+                         level=self.options.level.name) as span:
+            with tracer.span("parse", kind="frontend"):
+                if isinstance(source, Program):
+                    program = copy.deepcopy(source)
+                else:
+                    program = parse_program(source, bindings=bindings,
+                                            name=name)
+            trace = PassTrace() if self.options.keep_trace else None
+            passes = self.build_passes()
+            PassManager(passes, trace, tracer=tracer).run(program)
+            with tracer.span("verify-coverage", kind="analysis"):
+                self._verify_coverage(program)
+            with tracer.span("codegen", kind="codegen") as cg_span:
+                gen = CodeGenerator(program, self.options)
+                plan = gen.generate()
+                cg_span.gauge("statements_fused", gen.fused_statements)
+            report = self._build_report(program, plan, passes, gen)
+            if tracer.enabled:
+                span.attrs["source"] = program.name
+                span.gauge("overlap_shifts", report.overlap_shifts)
+                span.gauge("full_shifts", report.full_shifts)
+                span.gauge("loop_nests", report.loop_nests)
+                span.gauge("temporaries", report.temporaries)
+                span.gauge("copies_inserted", report.copies_inserted)
         return CompiledProgram(plan=plan, report=report,
                                source_name=program.name, trace=trace)
 
@@ -121,6 +143,7 @@ def compile_hpf(source: "str | Program",
                 bindings: dict[str, int] | None = None,
                 level: "OptLevel | int | str" = OptLevel.O4,
                 outputs: set[str] | None = None,
+                tracer=None,
                 **options) -> CompiledProgram:
     """One-call compilation at an optimization level.
 
@@ -135,8 +158,10 @@ def compile_hpf(source: "str | Program",
     outputs:
         Names of arrays live out of the routine; lets the offset-array
         optimization drop dead temporaries (paper section 4.2).
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording compile-time spans.
     options:
         Remaining :class:`~repro.compiler.CompilerOptions` fields.
     """
     cc = HpfCompiler(CompilerOptions.make(level, outputs, **options))
-    return cc.compile(source, bindings=bindings)
+    return cc.compile(source, bindings=bindings, tracer=tracer)

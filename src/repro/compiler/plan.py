@@ -227,13 +227,15 @@ class CompiledProgram:
     source_name: str = "MAIN"
     trace: object | None = None  # PassTrace when requested
 
-    def run(self, machine, inputs=None, scalars=None, iterations: int = 1):
+    def run(self, machine, inputs=None, scalars=None, iterations: int = 1,
+            tracer=None):
         """Execute on a machine; see :func:`repro.runtime.executor.execute`."""
         from repro.runtime.executor import execute
         return execute(self.plan, machine, inputs=inputs, scalars=scalars,
                        iterations=iterations,
                        hpf_overhead=self.report.pass_stats.get(
-                           "hpf_overhead", False))
+                           "hpf_overhead", False),
+                       tracer=tracer)
 
     def emit_fortran(self, name: str = "NODE_PROGRAM") -> str:
         """Render the plan as a Fortran77+MPI node-program listing (the

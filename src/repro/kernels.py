@@ -181,3 +181,51 @@ SEVEN_POINT_3D_CSHIFT = make_cshift_stencil(star_offsets(1, 3), ndim=3)
 
 #: 27-point 3-D box stencil via CSHIFTs.
 TWENTYSEVEN_POINT_3D_CSHIFT = make_cshift_stencil(box_offsets(1, 3), ndim=3)
+
+
+# ---------------------------------------------------------------------------
+# Named-kernel registry (CLI convenience: ``python -m repro trace purdue9``)
+# ---------------------------------------------------------------------------
+
+from dataclasses import dataclass as _dataclass
+from dataclasses import field as _field
+
+
+@_dataclass(frozen=True)
+class KernelSpec:
+    """A named kernel with enough metadata to compile+run it directly."""
+
+    name: str
+    source: str
+    outputs: frozenset[str]
+    default_bindings: dict[str, int] = _field(
+        default_factory=lambda: {"N": 64})
+
+
+def _spec(name: str, source: str, *outputs: str) -> KernelSpec:
+    return KernelSpec(name=name, source=source,
+                      outputs=frozenset(outputs))
+
+
+#: Kernels addressable by name from the CLI.
+KERNELS: dict[str, KernelSpec] = {
+    spec.name: spec for spec in [
+        _spec("five_point", FIVE_POINT_ARRAY_SYNTAX, "DST"),
+        _spec("nine_point_cshift", NINE_POINT_CSHIFT, "DST"),
+        _spec("nine_point", NINE_POINT_ARRAY_SYNTAX, "DST"),
+        _spec("purdue9", PURDUE_PROBLEM9, "T"),
+        _spec("twentyfive_point", TWENTYFIVE_POINT_ARRAY_SYNTAX, "DST"),
+        _spec("seven_point_3d", SEVEN_POINT_3D_CSHIFT, "DST"),
+        _spec("box27_3d", TWENTYSEVEN_POINT_3D_CSHIFT, "DST"),
+    ]
+}
+
+
+def resolve_kernel(name: str) -> KernelSpec:
+    """Look up a named kernel; raises ``KeyError`` with the valid names."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known kernels: "
+            f"{', '.join(sorted(KERNELS))}") from None

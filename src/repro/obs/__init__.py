@@ -1,0 +1,9 @@
+"""Observability: structured tracing + metrics across compile and run.
+
+See :mod:`repro.obs.tracer` for the span/counter model and the JSONL
+schema, and the README section "Tracing and metrics" for usage.
+"""
+
+from repro.obs.tracer import (  # noqa: F401
+    NULL_TRACER, NullTracer, Span, TRACE_SCHEMA, Tracer, coalesce,
+)

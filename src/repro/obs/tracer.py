@@ -1,0 +1,295 @@
+"""Structured tracing and metrics for the compiler and the executor.
+
+A :class:`Tracer` produces a forest of hierarchical :class:`Span`\\ s
+(compile -> each pass -> codegen; execute -> each plan op), each carrying
+wall-clock timings, free-form attributes, and named counters/gauges.
+Traces export as JSONL (one event per line, see :data:`TRACE_SCHEMA`) and
+round-trip back via :meth:`Tracer.from_jsonl`; :meth:`Tracer.summary`
+renders a human-readable tree.
+
+Tracing is strictly opt-in: every instrumented entry point defaults to
+:data:`NULL_TRACER`, whose ``span()`` returns a shared no-op context
+manager and whose ``enabled`` flag lets hot paths (the plan executor's op
+loop) skip even the cost-report snapshotting that feeds span counters.
+Benchmarks therefore run the exact pre-instrumentation code path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: JSONL schema, line by line:
+#:
+#: * first line: ``{"type": "trace", "version": 1}``
+#: * every other line: ``{"type": "span", "id": int, "parent": int|null,
+#:   "name": str, "kind": str, "start": float, "end": float, "dur": float,
+#:   "attrs": {...}, "counters": {...}}``
+#:
+#: Span ids are depth-first preorder; a parent always precedes its
+#: children, so a stream consumer can rebuild the tree in one pass.
+TRACE_SCHEMA = {"type": "trace", "version": 1}
+
+
+@dataclass
+class Span:
+    """One timed region with attributes and accumulated counters."""
+
+    name: str
+    kind: str = ""
+    attrs: dict[str, object] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    t_start: float = 0.0
+    t_end: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent inside the span."""
+        return max(0.0, self.t_end - self.t_start)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (accumulating)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set counter ``name`` to ``value`` (last write wins)."""
+        self.counters[name] = float(value)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span":
+        """First descendant (or self) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        raise KeyError(f"no span named {name!r} under {self.name!r}")
+
+
+class _SpanCtx:
+    """Context manager opening/closing one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tr = self._tracer
+        if tr._stack:
+            tr._stack[-1].children.append(self._span)
+        else:
+            tr.roots.append(self._span)
+        tr._stack.append(self._span)
+        self._span.t_start = tr._clock()
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._span.t_end = self._tracer._clock()
+        self._tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects a forest of spans; see the module docstring."""
+
+    enabled: bool = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording -----------------------------------------------------------
+    def span(self, name: str, kind: str = "", **attrs) -> _SpanCtx:
+        """Open a child span of the current span (or a new root)."""
+        return _SpanCtx(self, Span(name=name, kind=kind, attrs=attrs))
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Accumulate onto the current span's counter (no-op at root)."""
+        if self._stack:
+            self._stack[-1].count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge on the current span (no-op at root)."""
+        if self._stack:
+            self._stack[-1].gauge(name, value)
+
+    # -- queries -------------------------------------------------------------
+    def spans(self) -> Iterator[Span]:
+        """All recorded spans, depth-first preorder across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> Span:
+        """First span with the given name anywhere in the forest."""
+        for span in self.spans():
+            if span.name == name:
+                return span
+        raise KeyError(f"no span named {name!r}")
+
+    def totals(self) -> dict[str, float]:
+        """Counters summed over every span in the forest."""
+        out: dict[str, float] = {}
+        for span in self.spans():
+            for k, v in span.counters.items():
+                out[k] = out.get(k, 0.0) + v
+        return out
+
+    # -- JSONL export / import ----------------------------------------------
+    def events(self) -> list[dict]:
+        """Flat event list: header plus one record per span."""
+        out: list[dict] = [dict(TRACE_SCHEMA)]
+        next_id = [0]
+
+        def emit(span: Span, parent: int | None) -> None:
+            sid = next_id[0]
+            next_id[0] += 1
+            out.append({
+                "type": "span", "id": sid, "parent": parent,
+                "name": span.name, "kind": span.kind,
+                "start": span.t_start, "end": span.t_end,
+                "dur": span.duration,
+                "attrs": span.attrs, "counters": span.counters,
+            })
+            for child in span.children:
+                emit(child, sid)
+
+        for root in self.roots:
+            emit(root, None)
+        return out
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e, sort_keys=True)
+                         for e in self.events()) + "\n"
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Tracer":
+        """Rebuild a (closed) trace forest from JSONL text."""
+        tracer = cls()
+        by_id: dict[int, Span] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("type") == "trace":
+                if event.get("version") != TRACE_SCHEMA["version"]:
+                    raise ValueError(
+                        f"unsupported trace version {event.get('version')}")
+                continue
+            if event.get("type") != "span":
+                continue
+            span = Span(name=event["name"], kind=event.get("kind", ""),
+                        attrs=dict(event.get("attrs", {})),
+                        counters={k: float(v) for k, v in
+                                  event.get("counters", {}).items()},
+                        t_start=float(event["start"]),
+                        t_end=float(event["end"]))
+            by_id[event["id"]] = span
+            parent = event.get("parent")
+            if parent is None:
+                tracer.roots.append(span)
+            else:
+                by_id[parent].children.append(span)
+        return tracer
+
+    # -- rendering -----------------------------------------------------------
+    def summary(self, max_counters: int = 6) -> str:
+        """Human-readable tree: durations, attrs, leading counters."""
+        lines: list[str] = []
+
+        def fmt(span: Span, indent: int) -> None:
+            pad = "  " * indent
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            counters = ", ".join(
+                f"{k}={v:g}" for k, v in
+                list(sorted(span.counters.items()))[:max_counters])
+            line = f"{pad}{span.name}  [{span.duration * 1e3:.3f} ms]"
+            if attrs:
+                line += f"  {attrs}"
+            if counters:
+                line += f"  ({counters})"
+            lines.append(line)
+            for child in span.children:
+                fmt(child, indent + 1)
+
+        for root in self.roots:
+            fmt(root, 0)
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """Shared do-nothing span/context-manager for the disabled tracer."""
+
+    __slots__ = ()
+    name = kind = ""
+    attrs: dict = {}
+    counters: dict = {}
+    children: tuple = ()
+    t_start = t_end = 0.0
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, allocates nothing per call.
+
+    ``span()`` hands back one shared context manager, and ``enabled`` is
+    ``False`` so instrumented hot loops can skip counter bookkeeping
+    entirely — the zero-overhead-by-default contract.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, kind: str = "", **attrs) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+#: Module-level disabled tracer; instrumented entry points use this when
+#: the caller passes ``tracer=None``.
+NULL_TRACER = NullTracer()
+
+
+def coalesce(tracer: "Tracer | None") -> Tracer:
+    """The given tracer, or the shared no-op tracer."""
+    return tracer if tracer is not None else NULL_TRACER

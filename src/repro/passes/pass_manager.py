@@ -1,11 +1,17 @@
-"""Pass framework: ordered pipeline with validation and IR traces."""
+"""Pass framework: ordered pipeline with validation, IR traces, and
+per-pass observability (timings + IR-delta stats)."""
 
 from __future__ import annotations
 
 import abc
+import dataclasses
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import PipelineError
+from repro.ir.nodes import (
+    ArrayAssign, CShift, EOShift, OverlapShift, ScalarAssign,
+)
 from repro.ir.printer import format_program
 from repro.ir.program import Program
 
@@ -21,21 +27,81 @@ class Pass(abc.ABC):
         ...
 
 
+def ir_stats(program: Program) -> dict[str, int]:
+    """Coarse shape of the IR: what each pass grows or shrinks.
+
+    The counts a reader of the paper's Figures 12-15 would tally by eye:
+    leaf statements, remaining full-shift intrinsics (CSHIFT/EOSHIFT),
+    and OVERLAP_SHIFT calls.
+    """
+    leaves = program.leaf_statements()
+    shift_intrinsics = 0
+    for stmt in leaves:
+        exprs = []
+        if isinstance(stmt, ArrayAssign):
+            exprs = [stmt.rhs] + ([stmt.mask] if stmt.mask is not None
+                                  else [])
+        elif isinstance(stmt, ScalarAssign):
+            exprs = [stmt.rhs]
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, (CShift, EOShift)):
+                    shift_intrinsics += 1
+    return {
+        "statements": len(leaves),
+        "shift_intrinsics": shift_intrinsics,
+        "overlap_shifts": sum(
+            1 for s in leaves if isinstance(s, OverlapShift)),
+    }
+
+
+@dataclass
+class PassSnapshot:
+    """One pass's after-image: IR text plus timing and shape stats.
+
+    Unpacks as ``(name, text)`` for backward compatibility with the
+    original two-tuple snapshot format.
+    """
+
+    name: str
+    text: str
+    elapsed_s: float = 0.0
+    ir: dict[str, int] = field(default_factory=dict)
+    stats: object | None = None  # the pass's own stats dataclass, if any
+
+    def __iter__(self):
+        yield self.name
+        yield self.text
+
+
 @dataclass
 class PassTrace:
     """IR snapshots taken after each pass — the golden-test hook that lets
     us compare the pipeline against the paper's Figures 12-15."""
 
-    snapshots: list[tuple[str, str]] = field(default_factory=list)
+    snapshots: list[PassSnapshot] = field(default_factory=list)
 
-    def record(self, name: str, program: Program) -> None:
-        self.snapshots.append((name, format_program(program)))
+    def record(self, name: str, program: Program,
+               elapsed_s: float = 0.0,
+               stats: object | None = None) -> None:
+        self.snapshots.append(PassSnapshot(
+            name=name, text=format_program(program),
+            elapsed_s=elapsed_s, ir=ir_stats(program), stats=stats))
 
     def after(self, pass_name: str) -> str:
-        for name, text in self.snapshots:
-            if name == pass_name:
-                return text
+        """IR text after the *last* run of ``pass_name`` (a pipeline may
+        legally run the same pass more than once)."""
+        return self.snapshot(pass_name).text
+
+    def snapshot(self, pass_name: str) -> PassSnapshot:
+        """Full snapshot after the last run of ``pass_name``."""
+        for snap in reversed(self.snapshots):
+            if snap.name == pass_name:
+                return snap
         raise KeyError(f"no snapshot for pass {pass_name!r}")
+
+    def names(self) -> list[str]:
+        return [snap.name for snap in self.snapshots]
 
     def __str__(self) -> str:
         out = []
@@ -45,22 +111,62 @@ class PassTrace:
         return "\n".join(out)
 
 
+def _public_stats(stats: object) -> dict[str, float]:
+    """Numeric fields of a pass's stats dataclass, for span counters."""
+    out: dict[str, float] = {}
+    if stats is None:
+        return out
+    if dataclasses.is_dataclass(stats):
+        for f in dataclasses.fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, bool):
+                out[f.name] = float(value)
+            elif isinstance(value, (int, float)):
+                out[f.name] = float(value)
+            elif isinstance(value, (list, tuple, set)):
+                out[f.name] = float(len(value))
+    return out
+
+
 @dataclass
 class PassManager:
-    """Runs a pass list in order, validating the IR after every step."""
+    """Runs a pass list in order, validating the IR after every step.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) gets one ``pass:<name>``
+    span per pass, carrying wall-clock time, the pass's own stats
+    counters, and the IR-shape delta the pass caused.
+    """
 
     passes: list[Pass]
     trace: PassTrace | None = None
+    tracer: object | None = None
 
     def run(self, program: Program) -> Program:
+        from repro.obs.tracer import coalesce
+        tracer = coalesce(self.tracer)
         if self.trace is not None:
             self.trace.record("input", program)
+        before = ir_stats(program) if tracer.enabled else None
         for p in self.passes:
-            try:
-                p.run(program)
-                program.validate()
-            except PipelineError as exc:
-                raise PipelineError(f"after pass {p.name}: {exc}") from exc
+            with tracer.span(f"pass:{p.name}", kind="pass") as span:
+                t0 = time.perf_counter()
+                try:
+                    p.run(program)
+                    program.validate()
+                except PipelineError as exc:
+                    raise PipelineError(
+                        f"after pass {p.name}: {exc}") from exc
+                elapsed = time.perf_counter() - t0
+                stats = getattr(p, "stats", None)
+                if tracer.enabled:
+                    after = ir_stats(program)
+                    for key, value in after.items():
+                        span.gauge(f"ir.{key}", value)
+                        span.gauge(f"ir.{key}_delta", value - before[key])
+                    before = after
+                    for key, value in _public_stats(stats).items():
+                        span.gauge(key, value)
             if self.trace is not None:
-                self.trace.record(p.name, program)
+                self.trace.record(p.name, program, elapsed_s=elapsed,
+                                  stats=stats)
         return program

@@ -49,10 +49,41 @@ class ExecutionResult:
         return out
 
 
+def _op_label(op: PlanOp) -> tuple[str, dict[str, object]]:
+    """Span name and attributes for one plan op."""
+    if isinstance(op, OverlapShiftOp):
+        return "overlap_shift", {"array": op.array, "shift": op.shift,
+                                 "dim": op.dim}
+    if isinstance(op, FullShiftOp):
+        kind = "eoshift" if op.boundary is not None else "cshift"
+        return f"full_{kind}", {"dst": op.dst, "src": op.src,
+                                "shift": op.shift, "dim": op.dim}
+    if isinstance(op, LoopNestOp):
+        return "loop_nest", {"statements": len(op.statements),
+                             "fused": op.fused}
+    if isinstance(op, AllocOp):
+        return "alloc", {"names": list(op.names)}
+    if isinstance(op, FreeOp):
+        return "free", {"names": list(op.names)}
+    if isinstance(op, ScalarAssignOp):
+        return "scalar_assign", {"name": op.name}
+    if isinstance(op, SeqLoopOp):
+        return "seq_loop", {"var": op.var}
+    if isinstance(op, WhileOp):
+        return "while", {}
+    if isinstance(op, CondOp):
+        return "cond", {}
+    if isinstance(op, OverlappedOp):
+        return "overlapped", {}
+    return type(op).__name__, {}
+
+
 class _Exec:
     def __init__(self, plan: Plan, machine: Machine,
                  scalars: Mapping[str, float] | None,
-                 hpf_overhead: bool) -> None:
+                 hpf_overhead: bool, tracer=None) -> None:
+        from repro.obs.tracer import coalesce
+        self.tracer = coalesce(tracer)
         self.plan = plan
         self.machine = machine
         self.darrays: dict[str, DArray] = {}
@@ -171,51 +202,72 @@ class _Exec:
 
     # -- op dispatch -----------------------------------------------------------
     def run_ops(self, ops: list[PlanOp]) -> None:
+        if not self.tracer.enabled:
+            for op in ops:
+                self._dispatch(op)
+            return
+        report = self.machine.report
         for op in ops:
-            if isinstance(op, LoopNestOp):
-                self.run_nest(op)
-            elif isinstance(op, OverlapShiftOp):
-                overlap_shift(self.machine, self.darray(op.array),
-                              op.shift, op.dim, rsd=op.rsd,
-                              base_offsets=op.base_offsets,
-                              boundary=op.boundary)
-            elif isinstance(op, FullShiftOp):
-                dst, src = self.darray(op.dst), self.darray(op.src)
-                if op.boundary is None:
-                    full_cshift(self.machine, dst, src, op.shift, op.dim)
-                else:
-                    full_eoshift(self.machine, dst, src, op.shift, op.dim,
-                                 op.boundary)
-            elif isinstance(op, AllocOp):
-                for name in op.names:
-                    self.materialize(name)
-            elif isinstance(op, FreeOp):
-                for name in op.names:
-                    self.release(name)
-            elif isinstance(op, ScalarAssignOp):
-                self.scalars[op.name] = self.scalar(op.rhs)
-            elif isinstance(op, SeqLoopOp):
-                lo, hi = self.bound(op.lo), self.bound(op.hi)
-                for k in range(lo, hi + 1):
-                    self.scalars[op.var] = float(k)
-                    self.run_ops(op.body)
-            elif isinstance(op, WhileOp):
-                guard = 0
-                while self.scalar(op.cond):
-                    self.run_ops(op.body)
-                    guard += 1
-                    if guard > 1_000_000:
-                        raise ExecutionError(
-                            "DO WHILE exceeded 1e6 iterations; "
-                            "non-converging loop?")
-            elif isinstance(op, CondOp):
-                branch = op.then_ops if self.scalar(op.cond) else op.else_ops
-                self.run_ops(branch)
-            elif isinstance(op, OverlappedOp):
-                self.run_overlapped(op)
+            name, attrs = _op_label(op)
+            with self.tracer.span(name, kind="op", **attrs) as span:
+                before = report.snapshot()
+                self._dispatch(op)
+                for key, value in report.delta(before).items():
+                    if value:
+                        span.count(key, value)
+                if isinstance(op, OverlapShiftOp):
+                    decl = self.plan.arrays.get(op.array)
+                    itemsize = int(decl.dtype.itemsize) if decl else 4
+                    cells = (span.counters.get("bytes", 0.0) / itemsize
+                             + span.counters.get("copy_elements", 0.0))
+                    if cells:
+                        span.gauge("overlap_cells", cells)
+
+    def _dispatch(self, op: PlanOp) -> None:
+        if isinstance(op, LoopNestOp):
+            self.run_nest(op)
+        elif isinstance(op, OverlapShiftOp):
+            overlap_shift(self.machine, self.darray(op.array),
+                          op.shift, op.dim, rsd=op.rsd,
+                          base_offsets=op.base_offsets,
+                          boundary=op.boundary)
+        elif isinstance(op, FullShiftOp):
+            dst, src = self.darray(op.dst), self.darray(op.src)
+            if op.boundary is None:
+                full_cshift(self.machine, dst, src, op.shift, op.dim)
             else:
-                raise ExecutionError(
-                    f"unknown plan op {type(op).__name__}")
+                full_eoshift(self.machine, dst, src, op.shift, op.dim,
+                             op.boundary)
+        elif isinstance(op, AllocOp):
+            for name in op.names:
+                self.materialize(name)
+        elif isinstance(op, FreeOp):
+            for name in op.names:
+                self.release(name)
+        elif isinstance(op, ScalarAssignOp):
+            self.scalars[op.name] = self.scalar(op.rhs)
+        elif isinstance(op, SeqLoopOp):
+            lo, hi = self.bound(op.lo), self.bound(op.hi)
+            for k in range(lo, hi + 1):
+                self.scalars[op.var] = float(k)
+                self.run_ops(op.body)
+        elif isinstance(op, WhileOp):
+            guard = 0
+            while self.scalar(op.cond):
+                self.run_ops(op.body)
+                guard += 1
+                if guard > 1_000_000:
+                    raise ExecutionError(
+                        "DO WHILE exceeded 1e6 iterations; "
+                        "non-converging loop?")
+        elif isinstance(op, CondOp):
+            branch = op.then_ops if self.scalar(op.cond) else op.else_ops
+            self.run_ops(branch)
+        elif isinstance(op, OverlappedOp):
+            self.run_overlapped(op)
+        else:
+            raise ExecutionError(
+                f"unknown plan op {type(op).__name__}")
 
     # -- loop nests ----------------------------------------------------------
     def run_nest(self, op: LoopNestOp) -> None:
@@ -403,15 +455,20 @@ def execute(plan: Plan, machine: Machine,
             scalars: Mapping[str, float] | None = None,
             iterations: int = 1,
             hpf_overhead: bool = False,
-            reset_machine: bool = True) -> ExecutionResult:
+            reset_machine: bool = True,
+            tracer=None) -> ExecutionResult:
     """Run a compiled plan.
 
     ``inputs`` seeds entry arrays (by name, case-insensitive); arrays not
     provided start zeroed.  ``iterations`` repeats the whole op sequence,
     modelling an iterative solver driving the kernel.  ``hpf_overhead``
     applies the cost model's interpretive-node-code factor to loop time
-    (the xlhpf-like baseline).
+    (the xlhpf-like baseline).  ``tracer`` (a :class:`repro.obs.Tracer`)
+    records an ``execute`` span with one child span per executed plan op,
+    each charged with the cost-model deltas it caused.
     """
+    from repro.obs.tracer import coalesce
+    tracer = coalesce(tracer)
     if reset_machine:
         machine.reset()
     if plan.processors is not None and \
@@ -419,15 +476,37 @@ def execute(plan: Plan, machine: Machine,
         raise ExecutionError(
             f"program declares !HPF$ PROCESSORS {plan.processors} but "
             f"the machine grid is {tuple(machine.grid)}")
-    ex = _Exec(plan, machine, scalars, hpf_overhead)
-    inputs_up = {k.upper(): v for k, v in (inputs or {}).items()}
-    for name in plan.entry_arrays:
-        ex.materialize(name, inputs_up.get(name))
-    for _ in range(iterations):
-        ex.run_ops(plan.ops)
-    arrays = {name: da.gather() for name, da in ex.darrays.items()}
-    for name in list(ex.darrays):
-        ex.release(name)
+    ex = _Exec(plan, machine, scalars, hpf_overhead, tracer=tracer)
+    with tracer.span("execute", kind="execute",
+                     grid="x".join(map(str, machine.grid)),
+                     iterations=iterations) as span:
+        inputs_up = {k.upper(): v for k, v in (inputs or {}).items()}
+        with tracer.span("materialize-inputs", kind="runtime"):
+            for name in plan.entry_arrays:
+                ex.materialize(name, inputs_up.get(name))
+        for i in range(iterations):
+            if iterations > 1 and tracer.enabled:
+                with tracer.span("iteration", kind="runtime", i=i):
+                    ex.run_ops(plan.ops)
+            else:
+                ex.run_ops(plan.ops)
+        with tracer.span("gather-results", kind="runtime"):
+            arrays = {name: da.gather() for name, da in ex.darrays.items()}
+            for name in list(ex.darrays):
+                ex.release(name)
+        if tracer.enabled:
+            # prefixed "total_" so they don't double-count against the
+            # per-op deltas when counters are summed across the tree
+            r = machine.report
+            span.gauge("total_messages", r.messages)
+            span.gauge("total_bytes", r.message_bytes)
+            span.gauge("total_copies", r.copies)
+            span.gauge("total_copy_elements", r.copy_elements)
+            span.gauge("total_compute_points", r.loop_points)
+            span.gauge("modelled_time_s", r.modelled_time)
+            span.gauge("peak_memory_per_pe", machine.memory.peak_per_pe)
+            for pe, t in enumerate(r.pe_times):
+                span.gauge(f"pe{pe}_time_s", t)
     return ExecutionResult(
         arrays=arrays,
         scalars=dict(ex.scalars),

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.machine import Machine
+
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # Deterministic profile for CI: no wall-clock deadlines (shared
+    # runners are slow and jittery) and derandomized example generation
+    # so the differential fuzz tests replay identically on every run.
+    # Selected via HYPOTHESIS_PROFILE=ci (see .github/workflows/ci.yml).
+    _hyp_settings.register_profile("ci", deadline=None, derandomize=True)
+    if os.environ.get("HYPOTHESIS_PROFILE") == "ci":
+        _hyp_settings.load_profile("ci")
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    pass
 
 
 @pytest.fixture

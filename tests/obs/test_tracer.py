@@ -1,0 +1,233 @@
+"""Unit tests for the tracer: nesting, counters, JSONL, no-op mode."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, coalesce
+from repro.obs.tracer import TRACE_SCHEMA
+
+
+class FakeClock:
+    """Deterministic clock: advances 1.0 per call."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tr = Tracer()
+        with tr.span("compile") as outer:
+            with tr.span("parse"):
+                pass
+            with tr.span("codegen"):
+                pass
+        assert [s.name for s in tr.roots] == ["compile"]
+        assert [c.name for c in outer.children] == ["parse", "codegen"]
+
+    def test_sibling_roots(self):
+        tr = Tracer()
+        with tr.span("compile"):
+            pass
+        with tr.span("execute"):
+            pass
+        assert [s.name for s in tr.roots] == ["compile", "execute"]
+
+    def test_deep_nesting_and_walk_order(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+            with tr.span("d"):
+                pass
+        assert [s.name for s in tr.spans()] == ["a", "b", "c", "d"]
+
+    def test_current_tracks_stack(self):
+        tr = Tracer()
+        assert tr.current is None
+        with tr.span("a") as a:
+            assert tr.current is a
+            with tr.span("b") as b:
+                assert tr.current is b
+            assert tr.current is a
+        assert tr.current is None
+
+    def test_durations_from_clock(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        a, b = tr.find("a"), tr.find("b")
+        # a: start=1, b: start=2 end=3, a: end=4
+        assert a.t_start == 1.0 and a.t_end == 4.0
+        assert b.duration == 1.0
+        assert a.duration == 3.0
+
+    def test_span_closed_even_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("a"):
+                raise RuntimeError("boom")
+        assert tr.current is None
+        assert tr.find("a").t_end >= tr.find("a").t_start
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tr = Tracer()
+        with tr.span("a") as sp:
+            sp.count("messages")
+            sp.count("messages")
+            sp.count("bytes", 256)
+        assert sp.counters == {"messages": 2.0, "bytes": 256.0}
+
+    def test_gauge_overwrites(self):
+        tr = Tracer()
+        with tr.span("a") as sp:
+            sp.gauge("overlap_shifts", 8)
+            sp.gauge("overlap_shifts", 4)
+        assert sp.counters["overlap_shifts"] == 4.0
+
+    def test_tracer_count_targets_current_span(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                tr.count("x", 3)
+        assert tr.find("b").counters == {"x": 3.0}
+        assert tr.find("a").counters == {}
+
+    def test_count_outside_any_span_is_noop(self):
+        tr = Tracer()
+        tr.count("orphan")
+        tr.gauge("orphan", 1)
+        assert tr.roots == []
+
+    def test_totals_sum_across_tree(self):
+        tr = Tracer()
+        with tr.span("a") as a:
+            a.count("msgs", 1)
+            with tr.span("b") as b:
+                b.count("msgs", 2)
+        with tr.span("c") as c:
+            c.count("msgs", 4)
+        assert tr.totals() == {"msgs": 7.0}
+
+    def test_attrs_from_span_kwargs(self):
+        tr = Tracer()
+        with tr.span("op", kind="op", array="U", shift=+1) as sp:
+            pass
+        assert sp.kind == "op"
+        assert sp.attrs == {"array": "U", "shift": 1}
+
+
+class TestJsonl:
+    def make_trace(self) -> Tracer:
+        tr = Tracer(clock=FakeClock())
+        with tr.span("compile", kind="compile", level="O4") as sp:
+            sp.gauge("overlap_shifts", 4)
+            with tr.span("pass:normalize", kind="pass") as p:
+                p.count("statements", 17)
+        with tr.span("execute", kind="execute") as sp:
+            sp.count("messages", 16)
+        return tr
+
+    def test_every_line_is_json(self):
+        text = self.make_trace().to_jsonl()
+        lines = text.strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0] == TRACE_SCHEMA
+        assert all(e["type"] in ("trace", "span") for e in events)
+
+    def test_parent_precedes_child(self):
+        events = self.make_trace().events()
+        seen = set()
+        for e in events[1:]:
+            if e["parent"] is not None:
+                assert e["parent"] in seen
+            seen.add(e["id"])
+
+    def test_round_trip_preserves_structure(self):
+        tr = self.make_trace()
+        back = Tracer.from_jsonl(tr.to_jsonl())
+        assert [s.name for s in back.spans()] == \
+            [s.name for s in tr.spans()]
+        for a, b in zip(back.spans(), tr.spans()):
+            assert a.kind == b.kind
+            assert a.attrs == b.attrs
+            assert a.counters == b.counters
+            assert a.t_start == b.t_start
+            assert a.t_end == b.t_end
+        # and a second round trip is a fixed point
+        assert back.to_jsonl() == tr.to_jsonl()
+
+    def test_write_and_read_file(self, tmp_path):
+        tr = self.make_trace()
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        back = Tracer.from_jsonl(path.read_text())
+        assert back.totals() == tr.totals()
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            Tracer.from_jsonl('{"type": "trace", "version": 999}\n')
+
+    def test_summary_mentions_names_and_counters(self):
+        text = self.make_trace().summary()
+        assert "compile" in text
+        assert "pass:normalize" in text
+        assert "overlap_shifts=4" in text
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tr = NullTracer()
+        with tr.span("a", kind="x", attr=1) as sp:
+            sp.count("messages", 5)
+            sp.gauge("bytes", 10)
+            tr.count("more")
+        assert tr.roots == []
+        assert list(tr.spans()) == []
+        assert tr.totals() == {}
+        assert tr.events() == [TRACE_SCHEMA]
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_span_is_shared_singleton(self):
+        tr = NullTracer()
+        assert tr.span("a") is tr.span("b")
+
+    def test_coalesce(self):
+        assert coalesce(None) is NULL_TRACER
+        tr = Tracer()
+        assert coalesce(tr) is tr
+
+
+class TestSpanHelpers:
+    def test_find_raises_keyerror(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        with pytest.raises(KeyError):
+            tr.find("missing")
+        with pytest.raises(KeyError):
+            tr.find("a").find("missing")
+
+    def test_span_find_searches_subtree(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+        assert tr.find("a").find("c").name == "c"
+
+    def test_duration_never_negative(self):
+        sp = Span(name="x", t_start=5.0, t_end=1.0)
+        assert sp.duration == 0.0

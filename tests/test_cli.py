@@ -50,6 +50,96 @@ class TestCompile:
             main(["compile", p9_file, "--bind", "N:32"])
 
 
+class TestErrorPaths:
+    def test_compile_missing_file(self, capsys):
+        assert main(["compile", "/no/such/file.f90"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compile_non_integer_binding(self, p9_file):
+        with pytest.raises(SystemExit, match="integer"):
+            main(["compile", p9_file, "--bind", "N=abc"])
+
+    def test_run_bad_grid_not_numbers(self, p9_file):
+        with pytest.raises(SystemExit, match="grid"):
+            main(["run", p9_file, "--bind", "N=32", "--output", "T",
+                  "--grid", "2xx"])
+
+    def test_run_bad_grid_zero_extent(self, p9_file):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["run", p9_file, "--bind", "N=32", "--output", "T",
+                  "--grid", "0x2"])
+
+    def test_run_missing_binding(self, p9_file, capsys):
+        assert main(["run", p9_file, "--output", "T"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiments_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "figNaN"])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["decompile", "x.f90"])
+
+
+class TestTrace:
+    def test_named_kernel_writes_jsonl(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "purdue9", "--level", "O4",
+                     "--bind", "N=32", "-o", str(out)]) == 0
+        events = [json.loads(line)
+                  for line in out.read_text().splitlines()]
+        assert events[0]["type"] == "trace"
+        names = [e["name"] for e in events if e["type"] == "span"]
+        for expected in ("compile", "pass:normalize",
+                         "pass:offset-arrays", "pass:context-partition",
+                         "pass:comm-union", "codegen", "execute",
+                         "overlap_shift", "loop_nest"):
+            assert expected in names, expected
+        assert names.count("overlap_shift") == 4
+
+    def test_tree_summary_on_stdout(self, capsys):
+        assert main(["trace", "purdue9", "--bind", "N=32"]) == 0
+        out = capsys.readouterr().out
+        assert "compile" in out
+        assert "pass:comm-union" in out
+        assert "execute" in out
+        assert "totals:" in out
+
+    def test_json_flag_streams_jsonl(self, capsys):
+        import json
+        assert main(["trace", "purdue9", "--bind", "N=32",
+                     "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_default_bindings_for_named_kernel(self, capsys):
+        assert main(["trace", "purdue9"]) == 0  # N defaults to 64
+
+    def test_source_file_argument(self, p9_file, capsys):
+        assert main(["trace", p9_file, "--bind", "N=32",
+                     "--output", "T"]) == 0
+        assert "pass:comm-union" in capsys.readouterr().out
+
+    def test_unknown_kernel_errors(self, capsys):
+        assert main(["trace", "purdue99"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown kernel" in err
+        assert "purdue9" in err  # lists the valid names
+
+    def test_level_o0_traces_full_shifts(self, capsys):
+        assert main(["trace", "purdue9", "--bind", "N=32",
+                     "--level", "O0"]) == 0
+        out = capsys.readouterr().out
+        assert "full_cshift" in out
+        assert "pass:offset-arrays" not in out
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit, match="grid"):
+            main(["trace", "purdue9", "--grid", "fast"])
+
+
 class TestRun:
     def test_run_prints_checksums(self, p9_file, capsys):
         assert main(["run", p9_file, "--bind", "N=32",
