@@ -1,0 +1,145 @@
+"""CI bench smoke: backend wall-clock + plan-cache latency artifacts.
+
+Measures (1) real execution wall-clock of the 9-point 512x512 kernel
+under both backends and (2) cold/warm compile latency through the plan
+cache, writes ``BENCH_exec.json`` and ``BENCH_compile.json``, and fails
+if a gated metric regresses >20% against the recorded baseline
+(``benchmarks/baselines/bench_smoke_baseline.json``).
+
+Gated metrics are *ratios of times measured in the same process*
+(vectorized speedup over per-PE, warm-hit speedup over cold compile) —
+stable across runner hardware, unlike absolute milliseconds, which are
+reported for information only.
+
+Usage::
+
+    python benchmarks/bench_smoke.py                 # measure + gate
+    python benchmarks/bench_smoke.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+BASELINE = Path(__file__).parent / "baselines" / \
+    "bench_smoke_baseline.json"
+#: fail when a gated (higher-is-better) metric drops below this fraction
+#: of its recorded baseline
+REGRESSION_FLOOR = 0.8
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_exec(kernel: str = "nine_point", n: int = 512,
+               grid: tuple[int, ...] = (32, 32), iterations: int = 2,
+               repeats: int = 5) -> dict:
+    from repro.compiler import compile_hpf
+    from repro.kernels import KERNELS
+    from repro.machine import Machine
+
+    spec = KERNELS[kernel]
+    compiled = compile_hpf(spec.source, bindings={"N": n}, level="O4",
+                           outputs=set(spec.outputs))
+    out = {"kernel": kernel, "n": n, "grid": list(grid),
+           "iterations": iterations}
+    for backend in ("perpe", "vectorized"):
+        out[f"{backend}_ms"] = _best(
+            lambda: compiled.run(Machine(grid=grid,
+                                         keep_message_log=False),
+                                 iterations=iterations,
+                                 backend=backend),
+            repeats) * 1e3
+    out["vectorized_speedup"] = out["perpe_ms"] / out["vectorized_ms"]
+    return out
+
+
+def bench_compile(repeats: int = 5, warm_repeats: int = 50) -> dict:
+    from repro.compiler import PlanCache
+    from repro.kernels import KERNELS, compile_kernel
+
+    cold_ms = {}
+    for name in sorted(KERNELS):
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            compile_kernel(name, bindings={"N": 128})
+            samples.append((time.perf_counter() - t0) * 1e3)
+        cold_ms[name] = statistics.median(samples)
+
+    cache = PlanCache()
+    compile_kernel("purdue9", bindings={"N": 128}, cache=cache)
+    warm_ms = _best(
+        lambda: compile_kernel("purdue9", bindings={"N": 128},
+                               cache=cache), warm_repeats) * 1e3
+    return {"cold_ms": cold_ms, "warm_hit_ms": warm_ms,
+            "warm_hit_speedup": cold_ms["purdue9"] / warm_ms,
+            "cache": cache.stats.as_dict()}
+
+
+def gated_metrics(exec_res: dict, compile_res: dict) -> dict[str, float]:
+    return {
+        "exec.vectorized_speedup": exec_res["vectorized_speedup"],
+        "compile.warm_hit_speedup": compile_res["warm_hit_speedup"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out-dir", default=".",
+                    help="where to write BENCH_*.json (default: cwd)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="record current gated metrics as the baseline")
+    args = ap.parse_args(argv)
+
+    exec_res = bench_exec()
+    compile_res = bench_compile()
+    out_dir = Path(args.out_dir)
+    (out_dir / "BENCH_exec.json").write_text(
+        json.dumps(exec_res, indent=2) + "\n")
+    (out_dir / "BENCH_compile.json").write_text(
+        json.dumps(compile_res, indent=2) + "\n")
+    metrics = gated_metrics(exec_res, compile_res)
+    print(f"exec: perpe {exec_res['perpe_ms']:.1f} ms, "
+          f"vectorized {exec_res['vectorized_ms']:.1f} ms "
+          f"({metrics['exec.vectorized_speedup']:.1f}x)")
+    print(f"compile: cold {compile_res['cold_ms']['purdue9']:.1f} ms, "
+          f"warm hit {compile_res['warm_hit_ms'] * 1e3:.1f} us "
+          f"({metrics['compile.warm_hit_speedup']:.0f}x), "
+          f"hit rate {compile_res['cache']['hit_rate']:.2f}")
+
+    if args.update_baseline:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({"metrics": metrics}, indent=2)
+                            + "\n")
+        print(f"baseline updated: {BASELINE}")
+        return 0
+
+    if not BASELINE.exists():
+        print(f"no baseline at {BASELINE}; run with --update-baseline",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE.read_text())["metrics"]
+    failed = False
+    for name, current in metrics.items():
+        floor = baseline[name] * REGRESSION_FLOOR
+        status = "ok" if current >= floor else "REGRESSION"
+        print(f"gate {name}: {current:.2f} vs baseline "
+              f"{baseline[name]:.2f} (floor {floor:.2f}) {status}")
+        failed |= current < floor
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="array live out of the routine (repeatable)")
     p.add_argument("--cse", action="store_true",
                    help="eliminate duplicate shifts during normalization")
+    p.add_argument("--cache", action="store_true",
+                   help="memoize compilation in the process-wide plan "
+                        "cache (repeat compiles of identical "
+                        "source/options hit in microseconds)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON report instead of "
                         "prose")
@@ -84,7 +88,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
     compiled = compile_hpf(source, bindings=_parse_bindings(args.bind),
                            level=args.level,
                            outputs=set(args.output) or None,
-                           cse=args.cse, keep_trace=args.trace)
+                           cse=args.cse, keep_trace=args.trace,
+                           cache=args.cache)
     r = compiled.report
     if args.json:
         print(json.dumps({
@@ -120,7 +125,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     compiled = compile_hpf(source, bindings=_parse_bindings(args.bind),
                            level=args.level,
                            outputs=set(args.output) or None,
-                           cse=args.cse)
+                           cse=args.cse, cache=args.cache)
     from repro.machine.presets import by_name
     machine = Machine(grid=_parse_grid(args.grid),
                       cost_model=by_name(args.machine),
@@ -133,7 +138,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
     result = compiled.run(machine, inputs=inputs,
-                          iterations=args.iters)
+                          iterations=args.iters, backend=args.backend)
     if args.json:
         out = result.summary()
         out["checksums"] = {
@@ -172,7 +177,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     tracer = Tracer()
     compiled = compile_hpf(source, bindings=bindings, level=args.level,
-                           outputs=outputs, tracer=tracer)
+                           outputs=outputs, tracer=tracer,
+                           cache=args.cache)
     from repro.machine.presets import by_name
     machine = Machine(grid=_parse_grid(args.grid),
                       cost_model=by_name(args.machine))
@@ -183,7 +189,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
     compiled.run(machine, inputs=inputs, iterations=args.iters,
-                 tracer=tracer)
+                 tracer=tracer, backend=args.backend)
     if args.out:
         tracer.write_jsonl(args.out)
         print(f"wrote {sum(1 for _ in tracer.spans())} spans to "
@@ -232,6 +238,12 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("run", help="compile and execute")
     _add_common(p)
+    p.add_argument("--backend", default="perpe",
+                   choices=["perpe", "vectorized"],
+                   help="execution backend: per-PE interpretation "
+                        "(default) or whole-array vectorized slabs "
+                        "(identical results and cost report, faster "
+                        "wall-clock)")
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
     p.add_argument("--iters", type=int, default=1,
@@ -259,6 +271,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="optimization level O0..O4 (default O4)")
     p.add_argument("--output", action="append", default=[],
                    help="array live out of the routine (repeatable)")
+    p.add_argument("--backend", default="perpe",
+                   choices=["perpe", "vectorized"],
+                   help="execution backend: per-PE interpretation "
+                        "(default) or whole-array vectorized slabs")
+    p.add_argument("--cache", action="store_true",
+                   help="memoize compilation in the process-wide plan "
+                        "cache")
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
     p.add_argument("--iters", type=int, default=1,

@@ -4,11 +4,17 @@ An independent checker for the compiled IR: every offset reference
 ``U<o>`` must be preceded — on *every* control-flow path, with no
 intervening redefinition of ``U`` — by ``OVERLAP_SHIFT`` calls that make
 all the overlap cells ``o`` touches resident, with the matching fill
-kind (circular vs. EOSHIFT boundary).  The coverage rule mirrors the
-canonical construction of communication unioning: for each dimension
-``k`` with ``o_k != 0``, the region ``(U, k, sign(o_k))`` must be filled
-to depth ``|o_k|``, carrying the lower-dimension components of ``o`` in
-its orthogonal (RSD/base-offset) extension.
+kind (circular vs. EOSHIFT boundary).  Per-dimension, the region
+``(U, k, sign(o_k))`` must be filled to depth ``|o_k|`` for each ``k``
+with ``o_k != 0``.  Corner cells (more than one nonzero component) are
+resident when *some* order of the filling shifts carries them: each
+shift's RSD/base-offset extension picks up the orthogonal overlap cells
+that were already resident at its source when it executed, so the check
+looks for an ordering of the nonzero dimensions in which every later
+region's orthogonal extension covers all earlier components.  The
+canonical ascending order of communication unioning is one such
+ordering, but hand-written or descending-dimension chains are equally
+sound and must be accepted.
 
 The compiler runs this after its pass pipeline as a safety net; the test
 suite also aims it at hand-mutilated programs to prove it catches real
@@ -64,6 +70,11 @@ class _Verifier:
     problems: list[CoverageProblem] = field(default_factory=list)
 
     # -- state transfer ------------------------------------------------------
+    def _resident_depth(self, state: State, name: str, dim: int,
+                        sign: int) -> int:
+        cover = state.get((name, dim, sign))
+        return 0 if cover is None else cover.amount
+
     def _apply_shift(self, state: State, stmt: OverlapShift) -> None:
         rank = self.program.symbols.array(stmt.array).type.rank
         d = stmt.dim - 1
@@ -81,6 +92,11 @@ class _Verifier:
                 o = stmt.base_offsets[k]
                 lo = max(lo, -o if o < 0 else 0)
                 hi = max(hi, o if o > 0 else 0)
+            # the widened slab is read from the sender's dim-k overlap
+            # area, so the pickup is only as deep as what was resident
+            # there when this shift executed
+            lo = min(lo, self._resident_depth(state, stmt.array, k, -1))
+            hi = min(hi, self._resident_depth(state, stmt.array, k, +1))
             ortho.append((lo, hi))
         key = (stmt.array, d, sign)
         cover = RegionCover(abs(stmt.shift), tuple(ortho), stmt.boundary)
@@ -102,6 +118,7 @@ class _Verifier:
     def _check_ref(self, state: State, stmt: Stmt,
                    ref: OffsetRef) -> None:
         offs = ref.offsets
+        clean = True
         for k, o in enumerate(offs):
             if o == 0:
                 continue
@@ -112,31 +129,60 @@ class _Verifier:
                     stmt, ref,
                     f"no overlap fill for dim {k + 1} "
                     f"direction {'+' if sign > 0 else '-'}"))
+                clean = False
                 continue
             if cover.fill != ref.boundary:
                 self.problems.append(CoverageProblem(
                     stmt, ref,
                     f"fill kind mismatch on dim {k + 1}: region holds "
                     f"{cover.fill}, reference needs {ref.boundary}"))
+                clean = False
                 continue
             if cover.amount < abs(o):
                 self.problems.append(CoverageProblem(
                     stmt, ref,
                     f"overlap depth {cover.amount} < |{o}| on "
                     f"dim {k + 1}"))
-                continue
-            for j in range(k):
+                clean = False
+        active = [k for k, o in enumerate(offs) if o != 0]
+        if clean and len(active) > 1 and not self._corner_covered(
+                state, ref, offs, active):
+            carried = ", ".join(
+                f"dim {k + 1} fill extends "
+                f"{state[(ref.name, k, 1 if offs[k] > 0 else -1)].ortho}"
+                for k in active)
+            self.problems.append(CoverageProblem(
+                stmt, ref,
+                f"corner cells not carried: no shift order covers "
+                f"offset {offs} ({carried})"))
+
+    def _corner_covered(self, state: State, ref: OffsetRef,
+                        offs: tuple[int, ...],
+                        active: list[int]) -> bool:
+        """Is the corner cell at ``offs`` resident in some overlap area?
+
+        It is when the nonzero dimensions admit an ordering in which
+        every shift's orthogonal extension covers all components shifted
+        before it — the later shift then carries the earlier corner data
+        from its sender's overlap area (Figures 9/10 pickup, in any
+        dimension order).  Ortho extents in the state are already
+        residency-clamped, so this accepts exactly the chains the
+        runtime delivers.
+        """
+        from itertools import permutations
+
+        def covers(k: int, earlier: tuple[int, ...]) -> bool:
+            cover = state[(ref.name, k, 1 if offs[k] > 0 else -1)]
+            for j in earlier:
                 oj = offs[j]
-                if oj == 0:
-                    continue
                 lo, hi = cover.ortho[j]
-                need = (-oj if oj < 0 else 0, oj if oj > 0 else 0)
-                if lo < need[0] or hi < need[1]:
-                    self.problems.append(CoverageProblem(
-                        stmt, ref,
-                        f"corner cells not carried: dim {k + 1} fill "
-                        f"extends ({lo},{hi}) in dim {j + 1}, needs "
-                        f"{need}"))
+                if (oj < 0 and lo < -oj) or (oj > 0 and hi < oj):
+                    return False
+            return True
+
+        return any(
+            all(covers(k, perm[:i]) for i, k in enumerate(perm) if i)
+            for perm in permutations(active))
 
     def _check_expr(self, state: State, stmt: Stmt, expr: Expr) -> None:
         for node in expr.walk():

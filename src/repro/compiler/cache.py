@@ -1,0 +1,114 @@
+"""Compile-plan cache: memoized :func:`repro.compiler.compile_hpf`.
+
+Compilation of a stencil kernel is pure — the plan depends only on the
+source text, the size bindings, and the :class:`CompilerOptions` — and
+experiment drivers recompile the same kernel for every machine shape and
+iteration count they sweep.  :class:`PlanCache` memoizes
+:class:`~repro.compiler.plan.CompiledProgram` objects under a content
+hash of exactly those inputs (plus an optional machine fingerprint for
+callers that specialise plans per machine), with LRU eviction, explicit
+invalidation, and hit/miss/invalidation counters surfaced through the
+structured tracer.
+
+Cached programs are shared, not copied: a hit returns the same
+:class:`CompiledProgram` instance the miss produced.  Plans are treated
+as immutable after codegen (executors materialise per-run state on the
+:class:`~repro.machine.Machine`, never on the plan), so sharing is safe;
+callers that mutate a compiled program must bypass the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.compiler.options import CompilerOptions
+from repro.compiler.plan import CompiledProgram
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": float(self.hits), "misses": float(self.misses),
+                "invalidations": float(self.invalidations),
+                "evictions": float(self.evictions),
+                "hit_rate": self.hit_rate}
+
+
+def cache_key(source: str, name: str,
+              bindings: "dict[str, int] | None",
+              options: CompilerOptions,
+              machine_fingerprint: str = "") -> str:
+    """Content hash identifying one compilation.
+
+    Bindings are order-insensitive; every :class:`CompilerOptions` field
+    participates via :meth:`CompilerOptions.fingerprint`, so toggling any
+    knob (level, outputs, cse, ...) misses rather than aliasing.
+    """
+    h = hashlib.sha256()
+    for part in (source, "\x00", name, "\x00",
+                 repr(sorted((bindings or {}).items())), "\x00",
+                 options.fingerprint(), "\x00", machine_fingerprint):
+        h.update(part.encode())
+    return h.hexdigest()
+
+
+class PlanCache:
+    """LRU cache of compiled programs keyed by :func:`cache_key`."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> CompiledProgram | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, program: CompiledProgram) -> None:
+        self._entries[key] = program
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: str | None = None) -> int:
+        """Drop one entry (or all, when ``key`` is ``None``).
+
+        Returns the number of entries dropped; each counts as one
+        invalidation.
+        """
+        if key is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            dropped = 1 if self._entries.pop(key, None) is not None else 0
+        self.stats.invalidations += dropped
+        return dropped
+
+
+#: Process-wide cache used when callers pass ``cache=True``.
+DEFAULT_CACHE = PlanCache()

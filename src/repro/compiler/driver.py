@@ -59,14 +59,47 @@ class HpfCompiler:
     def compile(self, source: "str | Program",
                 bindings: dict[str, int] | None = None,
                 name: str = "MAIN",
-                tracer=None) -> CompiledProgram:
+                tracer=None,
+                cache=None) -> CompiledProgram:
         """Compile HPF source text (or an already-parsed program, which is
         deep-copied, not mutated) into an executable plan.
 
         ``tracer`` (a :class:`repro.obs.Tracer`) receives a ``compile``
         span with children for parsing, every pass, coverage
         verification, and codegen.
+
+        ``cache`` memoizes the result: a
+        :class:`~repro.compiler.cache.PlanCache` instance, or ``True``
+        for the process-wide default cache.  Only string sources are
+        cached (parsed :class:`Program` objects have no stable content
+        hash); a hit returns the previously compiled program — shared,
+        not copied — and emits a ``plan-cache`` tracer span carrying the
+        cache counters.
         """
+        cache = _resolve_cache(cache)
+        key = None
+        if cache is not None and isinstance(source, str):
+            from repro.compiler.cache import cache_key
+            from repro.obs.tracer import coalesce
+            key = cache_key(source, name, bindings, self.options)
+            hit = cache.get(key)
+            tr = coalesce(tracer)
+            if tr.enabled:
+                with tr.span("plan-cache", kind="compile",
+                             result="hit" if hit is not None
+                             else "miss") as sp:
+                    for stat, value in cache.stats.as_dict().items():
+                        sp.gauge(f"cache_{stat}", value)
+            if hit is not None:
+                return hit
+        compiled = self._compile_uncached(source, bindings, name, tracer)
+        if key is not None:
+            cache.put(key, compiled)
+        return compiled
+
+    def _compile_uncached(self, source: "str | Program",
+                          bindings: dict[str, int] | None,
+                          name: str, tracer) -> CompiledProgram:
         from repro.obs.tracer import coalesce
         tracer = coalesce(tracer)
         with tracer.span("compile", kind="compile",
@@ -139,11 +172,23 @@ def _prod(shape: tuple[int, ...]) -> int:
     return n
 
 
+def _resolve_cache(cache):
+    """``None``/``False`` -> no caching; ``True`` -> process default;
+    anything else is used as a :class:`PlanCache` directly."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        from repro.compiler.cache import DEFAULT_CACHE
+        return DEFAULT_CACHE
+    return cache
+
+
 def compile_hpf(source: "str | Program",
                 bindings: dict[str, int] | None = None,
                 level: "OptLevel | int | str" = OptLevel.O4,
                 outputs: set[str] | None = None,
                 tracer=None,
+                cache=None,
                 **options) -> CompiledProgram:
     """One-call compilation at an optimization level.
 
@@ -160,8 +205,12 @@ def compile_hpf(source: "str | Program",
         optimization drop dead temporaries (paper section 4.2).
     tracer:
         Optional :class:`repro.obs.Tracer` recording compile-time spans.
+    cache:
+        Optional plan cache — a
+        :class:`~repro.compiler.cache.PlanCache`, or ``True`` for the
+        process-wide default.  See :meth:`HpfCompiler.compile`.
     options:
         Remaining :class:`~repro.compiler.CompilerOptions` fields.
     """
     cc = HpfCompiler(CompilerOptions.make(level, outputs, **options))
-    return cc.compile(source, bindings=bindings, tracer=tracer)
+    return cc.compile(source, bindings=bindings, tracer=tracer, cache=cache)

@@ -89,3 +89,21 @@ class CompilerOptions:
         lv = OptLevel.parse(level)
         outs = frozenset(n.upper() for n in outputs) if outputs else None
         return CompilerOptions(level=lv, outputs=outs, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Canonical string covering every field, for plan-cache keys.
+
+        Two options objects fingerprint equally iff compilation behaves
+        identically under them; unordered fields (``outputs``) are
+        sorted so set construction order cannot alias.
+        """
+        outs = ",".join(sorted(self.outputs)) if self.outputs else "*"
+        return (f"level={self.level.name};outputs={outs};"
+                f"max_offset={self.max_offset};"
+                f"unroll_jam={self.unroll_jam};"
+                f"fusion_limit={self.fusion_limit};"
+                f"pooled_temps={self.pooled_temps};cse={self.cse};"
+                f"hoist_comm={self.hoist_comm};"
+                f"overlap_comm={self.overlap_comm};"
+                f"hpf_overhead={self.hpf_overhead};"
+                f"keep_trace={self.keep_trace}")

@@ -229,3 +229,50 @@ def resolve_kernel(name: str) -> KernelSpec:
         raise KeyError(
             f"unknown kernel {name!r}; known kernels: "
             f"{', '.join(sorted(KERNELS))}") from None
+
+
+def compile_kernel(name: str, bindings: dict[str, int] | None = None,
+                   level: str = "O4", cache=None, tracer=None,
+                   **options):
+    """Compile a registry kernel by name (with its declared outputs).
+
+    ``cache`` is forwarded to :func:`repro.compiler.compile_hpf` — pass
+    ``True`` (process default) or a ``PlanCache`` to memoize sweeps that
+    recompile the same kernel.
+    """
+    from repro.compiler import compile_hpf
+    spec = resolve_kernel(name)
+    return compile_hpf(spec.source,
+                       bindings={**spec.default_bindings,
+                                 **(bindings or {})},
+                       level=level, outputs=set(spec.outputs),
+                       cache=cache, tracer=tracer, **options)
+
+
+def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
+               bindings: dict[str, int] | None = None,
+               level: str = "O4", backend: str = "perpe",
+               iterations: int = 1, seed: int = 0, machine=None,
+               cache=None, tracer=None, **options):
+    """Compile and execute a registry kernel with seeded random inputs.
+
+    ``backend`` selects the execution strategy (``"perpe"`` or
+    ``"vectorized"``); both produce bitwise-identical results and cost
+    reports.  Returns the
+    :class:`~repro.runtime.executor.ExecutionResult`.
+    """
+    import numpy as np
+
+    from repro.machine.machine import Machine
+
+    compiled = compile_kernel(name, bindings=bindings, level=level,
+                              cache=cache, tracer=tracer, **options)
+    if machine is None:
+        machine = Machine(grid=grid)
+    rng = np.random.default_rng(seed)
+    inputs = {
+        arr: rng.standard_normal(decl.shape).astype(decl.dtype)
+        for arr, decl in compiled.plan.arrays.items()
+        if arr in compiled.plan.entry_arrays}
+    return compiled.run(machine, inputs=inputs, iterations=iterations,
+                        tracer=tracer, backend=backend)

@@ -49,6 +49,15 @@ class Machine:
     def npes(self) -> int:
         return self.topology.size
 
+    def fingerprint(self) -> str:
+        """Canonical string identifying the machine configuration (grid
+        shape, cost constants, heap capacity) for plan-cache keys —
+        plans are machine-independent today, but callers that record
+        results per machine key on this to stay honest if that ever
+        changes."""
+        return (f"grid={tuple(self.grid)};mem={self.memory_per_pe};"
+                f"cost={sorted(vars(self.cost_model).items())}")
+
     def charge_loop(self, pe: int, stats, overhead_factor: float = 1.0) -> None:
         self.report.add_loop(pe, stats, self.cost_model, overhead_factor)
 

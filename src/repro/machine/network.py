@@ -62,6 +62,62 @@ class Network:
         self.report.add_message(src, int(data.nbytes), self.cost_model)
         return data
 
+    def record(self, src: int, dst: int, nelems: int, itemsize: int,
+               tag: str = "") -> None:
+        """Charge and log a transfer without moving payload bytes.
+
+        Metadata-only twin of :meth:`send` for executors that move data
+        out of band (the vectorized backend): identical message/copy
+        accounting, identical zero-size rejection, no array copy.
+        """
+        if nelems == 0:
+            raise MachineError("zero-size message; caller should elide it")
+        if src == dst:
+            self.report.add_copy(src, nelems, itemsize, self.cost_model)
+            return
+        nbytes = int(nelems) * int(itemsize)
+        if self.keep_log:
+            self.log.append(MessageRecord(src, dst, nbytes, tag))
+        self.report.add_message(src, nbytes, self.cost_model)
+
+    def record_batch(self, transfers: list[tuple[int, int, int]],
+                     itemsize: int, tag: str = "") -> None:
+        """:meth:`record` over many ``(src, dst, nelems)`` transfers.
+
+        Bitwise-identical accounting to calling :meth:`record` once per
+        transfer in list order — each PE's time accumulates the same
+        addends in the same order — with the loop constants (cost-model
+        lookups, report attribute access) hoisted out of the per-PE loop.
+        """
+        report = self.report
+        report.ensure_pes(1 + max((t[0] for t in transfers), default=-1))
+        pe_times = report.pe_times
+        pe_comm = report.pe_comm_times
+        log = self.log if self.keep_log else None
+        msg_t: dict[int, float] = {}
+        nmsgs = 0
+        total_bytes = 0
+        for src, dst, nelems in transfers:
+            if nelems == 0:
+                raise MachineError("zero-size message; caller should "
+                                   "elide it")
+            if src == dst:
+                report.add_copy(src, nelems, itemsize, self.cost_model)
+                continue
+            nbytes = nelems * itemsize
+            t = msg_t.get(nbytes)
+            if t is None:
+                t = self.cost_model.msg_time(nbytes)
+                msg_t[nbytes] = t
+            if log is not None:
+                log.append(MessageRecord(src, dst, nbytes, tag))
+            pe_times[src] += t
+            pe_comm[src] += t
+            nmsgs += 1
+            total_bytes += nbytes
+        report.messages += nmsgs
+        report.message_bytes += total_bytes
+
     @property
     def message_count(self) -> int:
         return self.report.messages

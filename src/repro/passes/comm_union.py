@@ -45,18 +45,24 @@ class CommUnionStats:
         default_factory=list)
 
 
-def requirement_of(stmt: OverlapShift) -> tuple[str, tuple[int, ...],
-                                                "float | None"]:
+def requirement_of(stmt: OverlapShift,
+                   rank: int) -> tuple[str, tuple[int, ...],
+                                       "float | None"]:
     """Total offset vector (and fill kind) a shift call makes resident.
 
     ``OVERLAP_SHIFT(U<b>, s, d)`` guarantees the overlap cells for the
     offset ``b + s*e_d`` of array ``U``; the fill kind is circular for
     CSHIFT-derived calls and the boundary value for EOSHIFT-derived ones.
+    ``rank`` is the declared rank of ``stmt.array`` (from the symbol
+    table): the returned vector always has exactly ``rank`` components,
+    so trailing-dimension base offsets are never truncated.
     """
-    rank = max(stmt.dim, len(stmt.base_offsets or ()))
-    offs = list(stmt.base_offsets or (0,) * rank)
-    while len(offs) < stmt.dim:
-        offs.append(0)
+    base = stmt.base_offsets or ()
+    if len(base) > rank or stmt.dim > rank:
+        raise ValueError(
+            f"shift of {stmt.array} exceeds its declared rank {rank}: "
+            f"dim {stmt.dim}, base offsets {base}")
+    offs = list(base) + [0] * (rank - len(base))
     offs[stmt.dim - 1] += stmt.shift
     return stmt.array, tuple(offs), stmt.boundary
 
@@ -140,7 +146,8 @@ class CommUnionPass(Pass):
         by_key: dict[tuple, list[tuple[int, ...]]] = {}
         order: list[tuple] = []
         for stmt in group:
-            array, offs, fill = requirement_of(stmt)
+            rank = program.symbols.array(stmt.array).type.rank
+            array, offs, fill = requirement_of(stmt, rank)
             self.stats.requirements.append((array, offs))
             key = (array, fill)
             if key not in by_key:
@@ -151,9 +158,7 @@ class CommUnionPass(Pass):
         for key in order:
             array, fill = key
             rank = program.symbols.array(array).type.rank
-            offsets = [o + (0,) * (rank - len(o))
-                       for o in by_key[key]]
-            calls = union_requirements(array, rank, offsets,
+            calls = union_requirements(array, rank, by_key[key],
                                        boundary=fill)
             self.stats.shifts_after += len(calls)
             self.stats.rsds_emitted += sum(

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from math import prod
+
 import numpy as np
 
 from repro.errors import ExecutionError, MachineError
@@ -59,7 +61,7 @@ class DArray:
             local = layout.local_shape(pe)
             shapes.append(tuple(n + lo + hi
                                 for n, (lo, hi) in zip(local, halo)))
-        nbytes = [int(np.prod(s)) * dtype.itemsize for s in shapes]
+        nbytes = [prod(s) * dtype.itemsize for s in shapes]
         machine.memory.allocate_all(name, nbytes)
         locals_ = [np.zeros(s, dtype=dtype) for s in shapes]
         return DArray(name, layout, dtype, halo, locals_)

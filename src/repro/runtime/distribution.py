@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 
 from repro.errors import MachineError
 from repro.ir.types import DistKind, Distribution
@@ -109,20 +109,32 @@ class Layout:
         return array_dim in self.grid_dim_of
 
     # -- per-PE geometry -----------------------------------------------------
+    @cached_property
+    def _owned_boxes(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        boxes = []
+        for rank in self.grid.ranks():
+            coords = self.grid.coords(rank)
+            box = []
+            for ad in range(len(self.shape)):
+                if ad in self.grid_dim_of:
+                    j = coords[self.grid_dim_of[ad]]
+                    box.append(self.block_dims[ad].owner_range(j))
+                else:
+                    box.append((1, self.shape[ad]))
+            boxes.append(tuple(box))
+        return tuple(boxes)
+
+    @cached_property
+    def _local_shapes(self) -> tuple[tuple[int, ...], ...]:
+        return tuple(tuple(hi - lo + 1 for lo, hi in box)
+                     for box in self._owned_boxes)
+
     def owned_box(self, rank: int) -> tuple[tuple[int, int], ...]:
         """Global 1-based inclusive (lo, hi) per array dim owned by ``rank``."""
-        coords = self.grid.coords(rank)
-        box = []
-        for ad in range(len(self.shape)):
-            if ad in self.grid_dim_of:
-                j = coords[self.grid_dim_of[ad]]
-                box.append(self.block_dims[ad].owner_range(j))
-            else:
-                box.append((1, self.shape[ad]))
-        return tuple(box)
+        return self._owned_boxes[rank]
 
     def local_shape(self, rank: int) -> tuple[int, ...]:
-        return tuple(hi - lo + 1 for lo, hi in self.owned_box(rank))
+        return self._local_shapes[rank]
 
     def owner_rank(self, gidx: tuple[int, ...]) -> int:
         """Rank owning a global (1-based) element."""
@@ -138,7 +150,28 @@ class Layout:
             return self.shape[array_dim]
         return self.block_dims[array_dim].min_local_extent
 
+    @cached_property
+    def _neighbor_tables(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        return {}
+
     def neighbor(self, rank: int, array_dim: int, direction: int) -> int:
         """Torus neighbor of ``rank`` along an array dimension."""
-        gd = self.grid_dim_of[array_dim]
-        return self.grid.neighbor(rank, gd, direction)
+        key = (array_dim, direction)
+        table = self._neighbor_tables.get(key)
+        if table is None:
+            gd = self.grid_dim_of[array_dim]
+            table = tuple(self.grid.neighbor(r, gd, direction)
+                          for r in self.grid.ranks())
+            self._neighbor_tables[key] = table
+        return table[rank]
+
+
+@lru_cache(maxsize=1024)
+def cached_layout(shape: tuple[int, ...], dist: Distribution,
+                  grid: ProcessorGrid) -> Layout:
+    """Canonical Layout instance per (shape, distribution, grid).
+
+    Layouts are immutable and their per-PE geometry is memoized on the
+    instance, so executors that materialise the same arrays repeatedly
+    should share one instance rather than recompute the geometry."""
+    return Layout(shape, dist, grid)

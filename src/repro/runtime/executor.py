@@ -29,7 +29,7 @@ from repro.machine.machine import Machine
 from repro.passes.memopt import scaled_to_points
 from repro.runtime.cshift import full_cshift, full_eoshift
 from repro.runtime.darray import DArray
-from repro.runtime.distribution import Layout
+from repro.runtime.distribution import cached_layout
 from repro.runtime.overlap import overlap_shift
 
 
@@ -97,8 +97,8 @@ class _Exec:
     def materialize(self, name: str,
                     initial: np.ndarray | None = None) -> None:
         decl = self.plan.arrays[name]
-        layout = Layout(decl.shape, decl.distribution,
-                        self.machine.topology)
+        layout = cached_layout(decl.shape, decl.distribution,
+                               self.machine.topology)
         da = DArray.create(self.machine, name, layout, decl.dtype,
                            decl.halo)
         if initial is not None:
@@ -223,21 +223,27 @@ class _Exec:
                     if cells:
                         span.gauge("overlap_cells", cells)
 
+    def do_overlap_shift(self, op: OverlapShiftOp) -> None:
+        overlap_shift(self.machine, self.darray(op.array),
+                      op.shift, op.dim, rsd=op.rsd,
+                      base_offsets=op.base_offsets,
+                      boundary=op.boundary)
+
+    def do_full_shift(self, op: FullShiftOp) -> None:
+        dst, src = self.darray(op.dst), self.darray(op.src)
+        if op.boundary is None:
+            full_cshift(self.machine, dst, src, op.shift, op.dim)
+        else:
+            full_eoshift(self.machine, dst, src, op.shift, op.dim,
+                         op.boundary)
+
     def _dispatch(self, op: PlanOp) -> None:
         if isinstance(op, LoopNestOp):
             self.run_nest(op)
         elif isinstance(op, OverlapShiftOp):
-            overlap_shift(self.machine, self.darray(op.array),
-                          op.shift, op.dim, rsd=op.rsd,
-                          base_offsets=op.base_offsets,
-                          boundary=op.boundary)
+            self.do_overlap_shift(op)
         elif isinstance(op, FullShiftOp):
-            dst, src = self.darray(op.dst), self.darray(op.src)
-            if op.boundary is None:
-                full_cshift(self.machine, dst, src, op.shift, op.dim)
-            else:
-                full_eoshift(self.machine, dst, src, op.shift, op.dim,
-                             op.boundary)
+            self.do_full_shift(op)
         elif isinstance(op, AllocOp):
             for name in op.names:
                 self.materialize(name)
@@ -450,13 +456,26 @@ class _Exec:
             f"cannot evaluate {type(expr).__name__} in a nest")
 
 
+def executor_class(backend: str) -> type[_Exec]:
+    """Resolve a backend name to its executor class."""
+    if backend == "perpe":
+        return _Exec
+    if backend == "vectorized":
+        from repro.runtime.vectorized import VectorizedExec
+        return VectorizedExec
+    raise ExecutionError(
+        f"unknown execution backend {backend!r}; "
+        f"expected 'perpe' or 'vectorized'")
+
+
 def execute(plan: Plan, machine: Machine,
             inputs: Mapping[str, np.ndarray] | None = None,
             scalars: Mapping[str, float] | None = None,
             iterations: int = 1,
             hpf_overhead: bool = False,
             reset_machine: bool = True,
-            tracer=None) -> ExecutionResult:
+            tracer=None,
+            backend: str = "perpe") -> ExecutionResult:
     """Run a compiled plan.
 
     ``inputs`` seeds entry arrays (by name, case-insensitive); arrays not
@@ -465,7 +484,10 @@ def execute(plan: Plan, machine: Machine,
     applies the cost model's interpretive-node-code factor to loop time
     (the xlhpf-like baseline).  ``tracer`` (a :class:`repro.obs.Tracer`)
     records an ``execute`` span with one child span per executed plan op,
-    each charged with the cost-model deltas it caused.
+    each charged with the cost-model deltas it caused.  ``backend``
+    selects the executor: ``perpe`` loops over PEs in Python per op
+    (reference semantics), ``vectorized`` executes each op as whole-array
+    NumPy slab operations while charging the cost model identically.
     """
     from repro.obs.tracer import coalesce
     tracer = coalesce(tracer)
@@ -476,10 +498,11 @@ def execute(plan: Plan, machine: Machine,
         raise ExecutionError(
             f"program declares !HPF$ PROCESSORS {plan.processors} but "
             f"the machine grid is {tuple(machine.grid)}")
-    ex = _Exec(plan, machine, scalars, hpf_overhead, tracer=tracer)
+    ex = executor_class(backend)(plan, machine, scalars, hpf_overhead,
+                                 tracer=tracer)
     with tracer.span("execute", kind="execute",
                      grid="x".join(map(str, machine.grid)),
-                     iterations=iterations) as span:
+                     iterations=iterations, backend=backend) as span:
         inputs_up = {k.upper(): v for k, v in (inputs or {}).items()}
         with tracer.span("materialize-inputs", kind="runtime"):
             for name in plan.entry_arrays:

@@ -164,3 +164,43 @@ def differential_check(program: GeneratedProgram,
                     atol=1e-12,
                     err_msg=(f"level {level}, grid {grid}, array {name}\n"
                              f"program:\n{program.source}"))
+
+
+def backend_equivalence_check(program: GeneratedProgram,
+                              inputs: dict[str, np.ndarray],
+                              levels: tuple[str, ...] = ("O0", "O2", "O4"),
+                              grids: tuple[tuple[int, ...], ...] = ((2, 2),),
+                              iterations: int = 1) -> None:
+    """Run under both execution backends at every level/grid; demand
+    bitwise-identical arrays and scalars AND identical cost accounting
+    (message/byte/copy counts, per-PE times, peak memory).
+
+    This is the vectorized backend's contract: it is an execution
+    strategy, not a semantics or cost change, so nothing observable may
+    differ from the per-PE executor.
+    """
+    for level in levels:
+        compiled = compile_hpf(program.source, bindings=program.bindings,
+                               level=level, outputs=set(program.arrays))
+        for grid in grids:
+            results = {}
+            for backend in ("perpe", "vectorized"):
+                machine = Machine(grid=grid, keep_message_log=False)
+                results[backend] = compiled.run(
+                    machine, inputs=inputs, scalars=program.scalars,
+                    iterations=iterations, backend=backend)
+            a, b = results["perpe"], results["vectorized"]
+            ctx = (f"level {level}, grid {grid}\n"
+                   f"program:\n{program.source}")
+            for name in a.arrays:
+                np.testing.assert_array_equal(
+                    a.arrays[name], b.arrays[name],
+                    err_msg=f"array {name}, {ctx}")
+            assert a.scalars == b.scalars, ctx
+            assert a.report.summary() == b.report.summary(), (
+                f"cost accounting diverged: {ctx}\n"
+                f"perpe:      {a.report.summary()}\n"
+                f"vectorized: {b.report.summary()}")
+            assert a.report.pe_times == b.report.pe_times, ctx
+            assert a.report.pe_comm_times == b.report.pe_comm_times, ctx
+            assert a.peak_memory_per_pe == b.peak_memory_per_pe, ctx

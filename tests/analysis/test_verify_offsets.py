@@ -103,6 +103,42 @@ def Compare_safe():
     return Compare(">", OffsetRef("B", (1, 0)), Const(0.0))
 
 
+class TestOrderIndependentCorners:
+    """Corner pickup is credited in any shift order that actually
+    carries the data — and only when the carried region was resident."""
+
+    DESC = """
+    REAL T(16,16), U(16,16)
+    T = CSHIFT(CSHIFT(U,SHIFT=1,DIM=2),SHIFT=1,DIM=1)
+    """
+
+    def desc_program(self):
+        p = parse_program(self.DESC)
+        NormalizePass().run(p)
+        OffsetArrayPass(outputs={"T"}).run(p)
+        return p
+
+    def test_descending_chain_accepted(self):
+        # dim-2 shift first, then a dim-1 shift whose base offsets carry
+        # the dim-2 component: sound, but rejected by the old
+        # ascending-only corner rule
+        p = self.desc_program()
+        shifts = shifts_of(p)
+        assert [s.dim for s in shifts] == [2, 1]
+        assert verify_offset_coverage(p) == []
+
+    def test_stale_pickup_rejected(self):
+        # re-ordered so the carrying shift runs *before* the region it
+        # claims to pick up is filled: the carried corner bytes would be
+        # stale, and residency clamping must reject it
+        p = self.desc_program()
+        shifts = shifts_of(p)
+        i, j = (p.body.index(shifts[0]), p.body.index(shifts[1]))
+        p.body[i], p.body[j] = p.body[j], p.body[i]
+        problems = verify_offset_coverage(p)
+        assert any("corner cells" in str(x) for x in problems)
+
+
 class TestControlFlowConservatism:
     def test_branch_local_fill_not_available_after_join(self):
         src = """

@@ -102,6 +102,59 @@ class TestEOShiftPipeline:
         assert pass_.stats.shifts_converted == 0
 
 
+#: the same corner stencil with the chains written *descending* (dim 2
+#: inner, dim 1 outer).  The runtime's corner pickup carries the
+#: sender's overlap data in either dimension order, but the coverage
+#: verifier used to credit only ascending-order chains and rejected
+#: these programs at O1/O2 with "corner cells not carried".
+EOS_NINE_POINT_DESC = """
+      REAL, DIMENSION(N,N) :: T, U
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+!HPF$ ALIGN U WITH T
+      T = U + EOSHIFT(U,+1,DIM=1) + EOSHIFT(U,-1,DIM=1)
+      T = T + EOSHIFT(U,+1,DIM=2) + EOSHIFT(U,-1,DIM=2)
+      T = T + EOSHIFT(EOSHIFT(U,+1,DIM=2),+1,DIM=1)
+      T = T + EOSHIFT(EOSHIFT(U,+1,DIM=2),-1,DIM=1)
+      T = T + EOSHIFT(EOSHIFT(U,-1,DIM=2),+1,DIM=1)
+      T = T + EOSHIFT(EOSHIFT(U,-1,DIM=2),-1,DIM=1)
+"""
+
+CSHIFT_CORNER_DESC = """
+      REAL, DIMENSION(N,N) :: T, U
+!HPF$ DISTRIBUTE T(BLOCK,BLOCK)
+!HPF$ ALIGN U WITH T
+      T = CSHIFT(CSHIFT(U,SHIFT=1,DIM=2),SHIFT=1,DIM=1)
+     &  + CSHIFT(CSHIFT(U,SHIFT=-1,DIM=2),SHIFT=1,DIM=1)
+"""
+
+
+class TestDescendingChains:
+    """Descending-dimension shift chains vs. the reference interpreter
+    (regression: these failed to compile at O1/O2 before the verifier
+    accepted order-independent corner pickup)."""
+
+    def test_eoshift_descending_all_levels(self):
+        list(check_levels(EOS_NINE_POINT_DESC, seed=8))
+
+    def test_cshift_descending_all_levels(self):
+        list(check_levels(CSHIFT_CORNER_DESC, n=12, seed=9))
+
+    def test_descending_matches_ascending_plan_traffic(self):
+        for n in (12, 16):
+            u = grid(n, seed=n)
+            ref = evaluate(parse_program(EOS_NINE_POINT_DESC,
+                                         bindings={"N": n}),
+                           inputs={"U": u})["T"]
+            for level in ("O1", "O2"):
+                cp = compile_hpf(EOS_NINE_POINT_DESC, bindings={"N": n},
+                                 level=level, outputs={"T"})
+                for g in ((2, 2), (4, 1), (1, 4)):
+                    res = cp.run(Machine(grid=g), inputs={"U": u})
+                    np.testing.assert_allclose(res.arrays["T"], ref,
+                                               rtol=1e-5,
+                                               err_msg=f"{level} {g}")
+
+
 class TestFillDiscipline:
     MIXED = """
     REAL A(16,16), B(16,16), C(16,16), U(16,16)

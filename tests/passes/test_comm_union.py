@@ -35,19 +35,47 @@ def shifts_of(p):
 class TestRequirementOf:
     def test_plain_shift(self):
         s = OverlapShift("U", +1, 1)
-        assert requirement_of(s) == ("U", (1,), None)
+        assert requirement_of(s, 1) == ("U", (1,), None)
 
     def test_multi_offset(self):
         s = OverlapShift("U", -1, 2, base_offsets=(1, 0))
-        assert requirement_of(s) == ("U", (1, -1), None)
+        assert requirement_of(s, 2) == ("U", (1, -1), None)
 
     def test_accumulates_same_dim(self):
         s = OverlapShift("U", 2, 1, base_offsets=(1, 0))
-        assert requirement_of(s) == ("U", (3, 0), None)
+        assert requirement_of(s, 2) == ("U", (3, 0), None)
 
     def test_eoshift_fill_kind(self):
         s = OverlapShift("U", 1, 1, boundary=2.5)
-        assert requirement_of(s) == ("U", (1,), 2.5)
+        assert requirement_of(s, 1) == ("U", (1,), 2.5)
+
+    def test_symbol_rank_pads_trailing_dims(self):
+        # a dim-1 shift of a rank-3 array must yield a rank-3 vector;
+        # inferring rank from the statement alone truncated it to (1,)
+        s = OverlapShift("U", +1, 1)
+        assert requirement_of(s, 3) == ("U", (1, 0, 0), None)
+
+    def test_rank_overflow_rejected(self):
+        s = OverlapShift("U", +1, 2, base_offsets=(1, 0, 1))
+        with pytest.raises(ValueError):
+            requirement_of(s, 2)
+
+    def test_pipeline_requirements_full_rank(self):
+        # end-to-end: a 3-D kernel shifting only dim 1 must record
+        # rank-3 requirement vectors in the pass stats
+        src = """
+        REAL A(8,8,8), B(8,8,8)
+        B = CSHIFT(A,SHIFT=1,DIM=1) + CSHIFT(A,SHIFT=-1,DIM=1)
+        """
+        p = parse_program(src)
+        NormalizePass().run(p)
+        OffsetArrayPass(outputs={"B"}).run(p)
+        ContextPartitionPass().run(p)
+        pass_ = CommUnionPass()
+        pass_.run(p)
+        assert pass_.stats.requirements
+        for array, offs in pass_.stats.requirements:
+            assert len(offs) == p.symbols.array(array).type.rank
 
 
 class TestUnionRequirements:
@@ -147,6 +175,83 @@ class TestPipelineCounts:
         """
         p, stats = optimized(src, outputs={"B", "C"})
         assert stats.groups == 2
+
+
+def _call_covers(call, rank, o):
+    """Does one canonical call make total offset ``o`` resident?"""
+    d = call.dim - 1
+    if o[d] == 0 or (o[d] > 0) != (call.shift > 0):
+        return False
+    if abs(o[d]) > abs(call.shift):
+        return False
+    for k in range(rank):
+        if k == d:
+            continue
+        lo = hi = 0
+        if call.rsd is not None and call.rsd.dims[k] is not None:
+            lo, hi = call.rsd.dims[k].lo, call.rsd.dims[k].hi
+        if o[k] < -lo or o[k] > hi:
+            return False
+    return True
+
+
+class TestExactCoverage:
+    """Unioned calls cover exactly the un-unioned requirement set:
+    every requirement is covered, and every call parameter (shift
+    amount, each RSD bound) is attained by some requirement — no
+    gratuitous widening."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(rank=st.integers(2, 3), data=st.data())
+    def test_union_covers_exactly(self, rank, data):
+        offsets = data.draw(st.lists(
+            st.tuples(*[st.integers(-2, 2)] * rank).filter(
+                lambda o: any(o)),
+            min_size=1, max_size=12, unique=True))
+        stmts = []
+        for o in offsets:
+            # realise each requirement the way the offset pass does:
+            # shift the highest nonzero dim, carry the rest as base
+            d = max(k for k in range(rank) if o[k] != 0)
+            base = tuple(o[k] if k != d else 0 for k in range(rank))
+            stmts.append(OverlapShift("U", o[d], d + 1,
+                                      base_offsets=base))
+        reqs = [requirement_of(s, rank)[1] for s in stmts]
+        assert sorted(reqs) == sorted(offsets)
+
+        calls = union_requirements("U", rank, reqs)
+        # one call per populated (dim, direction) class
+        wanted = {(d, o[d] > 0) for o in reqs for d in range(rank)
+                  if o[d] != 0}
+        got = {(c.dim - 1, c.shift > 0) for c in calls}
+        assert got == wanted
+        # completeness: the ascending chain delivers every requirement —
+        # each prefix (o_0..o_d, 0..0) is covered by dim d's call
+        for o in reqs:
+            for d in (k for k in range(rank) if o[k] != 0):
+                prefix = tuple(v if k <= d else 0
+                               for k, v in enumerate(o))
+                assert any(_call_covers(c, rank, prefix)
+                           for c in calls), (o, d, calls)
+        # exactness: every call parameter attained by a requirement
+        for c in calls:
+            d = c.dim - 1
+            mine = [o for o in reqs
+                    if o[d] != 0 and (o[d] > 0) == (c.shift > 0)]
+            assert abs(c.shift) == max(abs(o[d]) for o in mine)
+            for k in range(rank):
+                if k == d:
+                    continue
+                lo = hi = 0
+                if c.rsd is not None and c.rsd.dims[k] is not None:
+                    lo, hi = c.rsd.dims[k].lo, c.rsd.dims[k].hi
+                if k < d:
+                    assert lo == max((-o[k] for o in mine if o[k] < 0),
+                                     default=0)
+                    assert hi == max((o[k] for o in mine if o[k] > 0),
+                                     default=0)
+                else:
+                    assert (lo, hi) == (0, 0)
 
 
 class TestSoundness:
