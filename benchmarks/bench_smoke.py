@@ -1,10 +1,15 @@
 """CI bench smoke: backend wall-clock + plan-cache latency artifacts.
 
 Measures (1) real execution wall-clock of the 9-point 512x512 kernel
-under both backends and (2) cold/warm compile latency through the plan
-cache, writes ``BENCH_exec.json`` and ``BENCH_compile.json``, and fails
-if a gated metric regresses >20% against the recorded baseline
-(``benchmarks/baselines/bench_smoke_baseline.json``).
+under both backends, (2) cold/warm compile latency through the plan
+cache, and (3) the communication-profile matrix totals of ``nine_point``
+at every optimization level; writes ``BENCH_exec.json``,
+``BENCH_compile.json``, and ``PROFILE_smoke.json``, and fails if a
+gated metric regresses >20% against the recorded baseline
+(``benchmarks/baselines/bench_smoke_baseline.json``) or if the
+message-count monotonicity invariant (O0 >= O1 >= ... >= O4 — each
+optimization level can only remove or union messages, never add them)
+is violated.
 
 Gated metrics are *ratios of times measured in the same process*
 (vectorized speedup over per-PE, warm-hit speedup over cold compile) —
@@ -88,6 +93,48 @@ def bench_compile(repeats: int = 5, warm_repeats: int = 50) -> dict:
             "cache": cache.stats.as_dict()}
 
 
+#: optimization ladder for the profile monotonicity gate
+LEVELS = ("O0", "O1", "O2", "O3", "O4")
+
+
+def bench_profile(kernel: str = "nine_point", n: int = 64,
+                  grid: tuple[int, ...] = (2, 2)) -> dict:
+    """Comm-profile matrix totals of one kernel across O0..O4.
+
+    Published as ``PROFILE_smoke.json`` so CI archives the message-count
+    trajectory of the optimization ladder; :func:`check_monotonic`
+    gates on it.
+    """
+    from repro.kernels import run_kernel
+
+    levels = {}
+    for level in LEVELS:
+        result = run_kernel(kernel, grid=grid, bindings={"N": n},
+                            level=level, profile=True)
+        profile = result.profile
+        levels[level] = {
+            "messages": profile.totals["messages"],
+            "message_bytes": profile.totals["message_bytes"],
+            "messages_by_class": profile.totals["messages_by_class"],
+            "bytes_by_class": profile.totals["bytes_by_class"],
+        }
+    return {"kernel": kernel, "n": n, "grid": list(grid),
+            "levels": levels}
+
+
+def check_monotonic(profile_res: dict) -> list[str]:
+    """Message-count monotonicity violations along the O0..O4 ladder."""
+    counts = [profile_res["levels"][lv]["messages"] for lv in LEVELS]
+    errors = []
+    for i in range(1, len(LEVELS)):
+        if counts[i] > counts[i - 1]:
+            errors.append(
+                f"{profile_res['kernel']}: {LEVELS[i]} sends "
+                f"{counts[i]} messages > {LEVELS[i - 1]}'s "
+                f"{counts[i - 1]}")
+    return errors
+
+
 def gated_metrics(exec_res: dict, compile_res: dict) -> dict[str, float]:
     return {
         "exec.vectorized_speedup": exec_res["vectorized_speedup"],
@@ -105,11 +152,14 @@ def main(argv: list[str] | None = None) -> int:
 
     exec_res = bench_exec()
     compile_res = bench_compile()
+    profile_res = bench_profile()
     out_dir = Path(args.out_dir)
     (out_dir / "BENCH_exec.json").write_text(
         json.dumps(exec_res, indent=2) + "\n")
     (out_dir / "BENCH_compile.json").write_text(
         json.dumps(compile_res, indent=2) + "\n")
+    (out_dir / "PROFILE_smoke.json").write_text(
+        json.dumps(profile_res, indent=2) + "\n")
     metrics = gated_metrics(exec_res, compile_res)
     print(f"exec: perpe {exec_res['perpe_ms']:.1f} ms, "
           f"vectorized {exec_res['vectorized_ms']:.1f} ms "
@@ -118,6 +168,13 @@ def main(argv: list[str] | None = None) -> int:
           f"warm hit {compile_res['warm_hit_ms'] * 1e3:.1f} us "
           f"({metrics['compile.warm_hit_speedup']:.0f}x), "
           f"hit rate {compile_res['cache']['hit_rate']:.2f}")
+    ladder = " >= ".join(
+        f"{lv}:{profile_res['levels'][lv]['messages']}" for lv in LEVELS)
+    print(f"profile: {profile_res['kernel']} messages {ladder}")
+    mono_errors = check_monotonic(profile_res)
+    for err in mono_errors:
+        print(f"gate profile.monotonic: {err} VIOLATION",
+              file=sys.stderr)
 
     if args.update_baseline:
         BASELINE.parent.mkdir(parents=True, exist_ok=True)
@@ -131,7 +188,7 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
     baseline = json.loads(BASELINE.read_text())["metrics"]
-    failed = False
+    failed = bool(mono_errors)
     for name, current in metrics.items():
         floor = baseline[name] * REGRESSION_FLOOR
         status = "ok" if current >= floor else "REGRESSION"

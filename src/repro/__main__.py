@@ -11,6 +11,11 @@ Commands
 ``trace``     compile and execute a named kernel (or file) with the
               structured tracer enabled, printing a span tree and
               optionally writing the JSONL trace (``-o``).
+``profile``   compile and execute with the communication profiler:
+              per-PE comm matrices split by message class, per-PE phase
+              timelines, and the cost-model validation table; exports
+              profile.json (``-o``) and Chrome/Perfetto traces
+              (``--chrome``).
 ``experiments``  regenerate the paper's evaluation exhibits.
 
 Examples
@@ -20,6 +25,8 @@ Examples
    python -m repro compile kernel.f90 --bind N=512 --level O4 \\
           --output T --trace --plan
    python -m repro run kernel.f90 --bind N=256 --grid 2x2 --iters 10
+   python -m repro profile nine_point --grid 4x4 --opt O4 \\
+          --chrome out.json
    python -m repro experiments fig17
 """
 
@@ -201,6 +208,64 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import kernels
+    from repro.analysis.report import describe_profile
+    from repro.obs import Tracer, write_chrome_trace, write_profile
+
+    bindings = _parse_bindings(args.bind)
+    outputs = set(args.output) or None
+    level = args.opt or args.level
+    kernel_name = args.kernel
+    if os.path.exists(args.kernel):
+        source = open(args.kernel).read()
+    else:
+        try:
+            spec = kernels.resolve_kernel(args.kernel)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        source = spec.source
+        bindings = {**spec.default_bindings, **bindings}
+        outputs = outputs or set(spec.outputs)
+
+    # tracer feeds the Chrome trace's compile-passes track
+    tracer = Tracer() if args.chrome else None
+    compiled = compile_hpf(source, bindings=bindings, level=level,
+                           outputs=outputs, tracer=tracer,
+                           cache=args.cache)
+    from repro.machine.presets import by_name
+    machine = Machine(grid=_parse_grid(args.grid),
+                      cost_model=by_name(args.machine),
+                      keep_message_log=True)
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    for name, decl in compiled.plan.arrays.items():
+        if name in compiled.plan.entry_arrays:
+            inputs[name] = rng.standard_normal(decl.shape).astype(
+                decl.dtype)
+    result = compiled.run(machine, inputs=inputs, iterations=args.iters,
+                          backend=args.backend, profile=True)
+    profile = result.profile
+    assert profile is not None
+    profile.kernel = kernel_name
+    profile.level = level
+    if args.out:
+        write_profile(profile, args.out)
+        print(f"wrote profile to {args.out}", file=sys.stderr)
+    if args.chrome:
+        write_chrome_trace(profile, args.chrome, tracer=tracer)
+        print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
+    if args.json:
+        from repro.obs import profile_to_json
+        sys.stdout.write(profile_to_json(profile))
+    else:
+        print(describe_profile(profile))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import (ablations, fig11, fig17, fig18,
                                    messages, robustness, scaling,
@@ -293,6 +358,48 @@ def main(argv: list[str] | None = None) -> int:
                    help="print the JSONL trace to stdout instead of "
                         "the tree summary")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="compile+run a kernel with the communication profiler")
+    p.add_argument("kernel",
+                   help="kernel name (e.g. purdue9, five_point, "
+                        "box27_3d) or an HPF source file")
+    p.add_argument("--bind", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="bind a size parameter (default N=64 for named "
+                        "kernels)")
+    p.add_argument("--level", default="O4",
+                   help="optimization level O0..O4 (default O4)")
+    p.add_argument("--opt", default=None,
+                   help="alias for --level")
+    p.add_argument("--output", action="append", default=[],
+                   help="array live out of the routine (repeatable)")
+    p.add_argument("--backend", default="perpe",
+                   choices=["perpe", "vectorized"],
+                   help="execution backend; both produce identical "
+                        "communication profiles")
+    p.add_argument("--cache", action="store_true",
+                   help="memoize compilation in the process-wide plan "
+                        "cache")
+    p.add_argument("--grid", default="2x2",
+                   help="processor grid, e.g. 2x2 (default)")
+    p.add_argument("--iters", type=int, default=1,
+                   help="repeat the program this many times")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random seed for input arrays")
+    p.add_argument("--machine", default="sp2",
+                   help="cost-model preset: sp2 (default), ethernet, "
+                        "t3e, modern-node, modern-cluster")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="write the versioned profile.json to FILE")
+    p.add_argument("--chrome", default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace (one track per "
+                        "PE plus the compile-passes track) to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print profile.json to stdout instead of the "
+                        "text report")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("experiments",
                        help="regenerate the paper's exhibits")

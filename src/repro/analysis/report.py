@@ -120,6 +120,78 @@ def describe_trace(tracer) -> str:
     return "\n".join(lines)
 
 
+def _render_matrix(matrix: list[list[int]], npes: int) -> list[str]:
+    """Plain-text heatmap of an npes x npes matrix: counts plus a
+    per-cell shade picked from the row of glyphs below."""
+    peak = max((v for row in matrix for v in row), default=0)
+    glyphs = " .:*#"
+    width = max(5, len(str(peak)) + 2)
+    lines = ["      " + "".join(f"d{d:<{width - 1}}" for d in range(npes))]
+    for s in range(npes):
+        cells = []
+        for d in range(npes):
+            v = matrix[s][d]
+            shade = glyphs[min(len(glyphs) - 1,
+                               (v * (len(glyphs) - 1) + peak - 1) // peak
+                               if peak else 0)]
+            cells.append(f"{v}{shade}".rjust(width))
+        lines.append(f"  s{s:<3}" + "".join(cells))
+    return lines
+
+
+def describe_profile(profile) -> str:
+    """Plain-text report of a :class:`repro.obs.profile.CommProfile`:
+    per-class comm matrices, per-PE phase totals, and the cost-model
+    validation table."""
+    head = f"communication profile: {profile.backend} backend"
+    if profile.kernel:
+        head += f", {profile.kernel}"
+    if profile.level:
+        head += f" @{profile.level}"
+    head += f", grid {'x'.join(map(str, profile.grid))}"
+    lines = [head, ""]
+
+    by_class = profile.totals["messages_by_class"]
+    bytes_by = profile.totals["bytes_by_class"]
+    lines.append("messages by class: " + ", ".join(
+        f"{c}={by_class[c]} ({bytes_by[c]}B)"
+        for c in by_class if by_class[c]))
+    if not any(by_class.values()):
+        lines[-1] = "messages by class: none (no interprocessor traffic)"
+    lines.append("")
+
+    for cls_name, counts in by_class.items():
+        if not counts:
+            continue
+        lines.append(f"{cls_name} messages (src row -> dst column):")
+        lines += _render_matrix(profile.matrix[cls_name]["messages"],
+                                profile.npes)
+        lines.append("")
+
+    lines.append("per-PE modelled phase seconds:")
+    lines.append(f"  {'PE':>4} {'comm':>12} {'copy':>12} {'compute':>12}")
+    for pe in range(profile.npes):
+        ph = profile.phase_seconds(pe)
+        lines.append(f"  {pe:>4} {ph['comm']:>12.3e} {ph['copy']:>12.3e} "
+                     f"{ph['compute']:>12.3e}")
+    lines.append("")
+
+    val = profile.validation
+    lines.append("cost-model validation (modelled self-time vs measured "
+                 "wall per op):")
+    lines.append(f"  {'op':>4}  {'name':<16} {'modelled_s':>12} "
+                 f"{'wall_s':>12}  {'msgs':>6}")
+    for row in val["rows"]:
+        lines.append(f"  {row['op']:>4}  {row['name']:<16} "
+                     f"{row['modelled_s']:>12.3e} {row['wall_s']:>12.3e}  "
+                     f"{row['messages']:>6}")
+    lines.append(f"  scale (wall per modelled second): "
+                 f"{val['scale_wall_per_modelled']:.3g}")
+    lines.append(f"  weighted abs error after scaling: "
+                 f"{val['mape_pct']:.1f}%")
+    return "\n".join(lines)
+
+
 def describe_result(result: ExecutionResult) -> str:
     """Cost summary of one execution."""
     r = result.report

@@ -29,13 +29,20 @@ def run_on_machine(compiled: CompiledProgram,
                    inputs: dict[str, np.ndarray] | None = None,
                    scalars: dict[str, float] | None = None,
                    iterations: int = 1,
-                   memory_per_pe: int | None = None):
+                   memory_per_pe: int | None = None,
+                   profile: bool = False):
     """Execute a compiled program on a fresh machine; returns the
-    :class:`~repro.runtime.executor.ExecutionResult`."""
+    :class:`~repro.runtime.executor.ExecutionResult`.
+
+    ``profile=True`` attaches a communication profile
+    (:class:`repro.obs.profile.CommProfile` on ``result.profile``);
+    this keeps the per-message log, so leave it off for sweeps with
+    millions of messages.
+    """
     machine = Machine(grid=grid, memory_per_pe=memory_per_pe,
-                      keep_message_log=False)
+                      keep_message_log=profile)
     return compiled.run(machine, inputs=inputs, scalars=scalars,
-                        iterations=iterations)
+                        iterations=iterations, profile=profile)
 
 
 @dataclass

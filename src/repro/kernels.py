@@ -253,12 +253,15 @@ def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
                bindings: dict[str, int] | None = None,
                level: str = "O4", backend: str = "perpe",
                iterations: int = 1, seed: int = 0, machine=None,
-               cache=None, tracer=None, **options):
+               cache=None, tracer=None, profile: bool = False,
+               **options):
     """Compile and execute a registry kernel with seeded random inputs.
 
     ``backend`` selects the execution strategy (``"perpe"`` or
     ``"vectorized"``); both produce bitwise-identical results and cost
-    reports.  Returns the
+    reports.  ``profile`` attaches a communication profile (see
+    :mod:`repro.obs.profile`) to the result; its kernel/level fields
+    are filled in here.  Returns the
     :class:`~repro.runtime.executor.ExecutionResult`.
     """
     import numpy as np
@@ -274,5 +277,9 @@ def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
         arr: rng.standard_normal(decl.shape).astype(decl.dtype)
         for arr, decl in compiled.plan.arrays.items()
         if arr in compiled.plan.entry_arrays}
-    return compiled.run(machine, inputs=inputs, iterations=iterations,
-                        tracer=tracer, backend=backend)
+    result = compiled.run(machine, inputs=inputs, iterations=iterations,
+                          tracer=tracer, backend=backend, profile=profile)
+    if result.profile is not None:
+        result.profile.kernel = name
+        result.profile.level = level
+    return result

@@ -113,6 +113,7 @@ class CostReport:
 
     pe_times: list[float] = field(default_factory=list)
     pe_comm_times: list[float] = field(default_factory=list)
+    pe_copy_times: list[float] = field(default_factory=list)
     messages: int = 0
     message_bytes: int = 0
     copies: int = 0
@@ -127,6 +128,7 @@ class CostReport:
         while len(self.pe_times) < npes:
             self.pe_times.append(0.0)
             self.pe_comm_times.append(0.0)
+            self.pe_copy_times.append(0.0)
 
     @property
     def modelled_time(self) -> float:
@@ -152,7 +154,9 @@ class CostReport:
     def add_copy(self, pe: int, nelems: int, elem_size: int,
                  model: CostModel) -> None:
         self.ensure_pes(pe + 1)
-        self.pe_times[pe] += model.copy_time(nelems, elem_size)
+        t = model.copy_time(nelems, elem_size)
+        self.pe_times[pe] += t
+        self.pe_copy_times[pe] += t
         self.copies += 1
         self.copy_elements += nelems
 

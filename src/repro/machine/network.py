@@ -16,6 +16,49 @@ import numpy as np
 from repro.errors import MachineError
 from repro.machine.cost_model import CostModel, CostReport
 
+#: Tag classes of every point-to-point message, in the order the
+#: communication profiler reports them:
+#:
+#: * ``halo`` — plain ``OVERLAP_SHIFT`` slab exchange (trivial RSD): the
+#:   face of a block moving to the neighboring PE's overlap area.
+#: * ``rsd`` — an ``OVERLAP_SHIFT`` whose slab was *widened* by an RSD or
+#:   by base offsets: the message also carries overlap cells filled by
+#:   earlier shifts (the paper's corner pickup, Figures 9/10).
+#: * ``bufshift`` — the buffered exchange of a full ``CSHIFT``/``EOSHIFT``
+#:   through a scratch communication buffer: the unconverted-shift path
+#:   (compensating copies and the naive O0 translation) whose
+#:   intraprocessor components the offset-array optimization deletes.
+TAG_CLASSES = ("halo", "rsd", "bufshift")
+
+#: Name prefix of scratch communication buffers; messages on these
+#: arrays classify as ``bufshift`` regardless of their slab shape.
+SHIFT_BUFFER_PREFIX = "__shiftbuf_"
+
+
+def comm_tag(array: str, dim: int, shift: int, *,
+             widened: bool = False) -> str:
+    """The canonical message tag for a slab exchange.
+
+    Both executors MUST build tags through this function — the tag
+    taxonomy is part of the backend-equivalence contract (metadata-only
+    :meth:`Network.record` logs must be indistinguishable from
+    :meth:`Network.send` logs), and the communication profiler's
+    per-class matrix split keys on the class prefix.
+    """
+    if array.startswith(SHIFT_BUFFER_PREFIX):
+        kind = "bufshift"
+    elif widened:
+        kind = "rsd"
+    else:
+        kind = "halo"
+    return f"{kind}:{array}:d{dim}:{shift:+d}"
+
+
+def tag_class(tag: str) -> str:
+    """Tag class of a message tag (``other`` for untagged/foreign tags)."""
+    head, _, _ = tag.partition(":")
+    return head if head in TAG_CLASSES else "other"
+
 
 @dataclass(frozen=True)
 class MessageRecord:

@@ -1,9 +1,20 @@
-"""Observability: structured tracing + metrics across compile and run.
+"""Observability: tracing, metrics, and communication profiling.
 
 See :mod:`repro.obs.tracer` for the span/counter model and the JSONL
-schema, and the README section "Tracing and metrics" for usage.
+schema, :mod:`repro.obs.profile` for the communication profiler
+(per-PE comm matrices, phase timelines, cost-model validation), and
+:mod:`repro.obs.export` for the Chrome-trace and profile.json
+exporters.  README sections "Tracing and metrics" and "Profiling"
+cover usage.
 """
 
+from repro.obs.export import (  # noqa: F401
+    PROFILE_SCHEMA, chrome_trace, profile_from_json, profile_to_json,
+    read_profile, write_chrome_trace, write_profile,
+)
+from repro.obs.profile import (  # noqa: F401
+    CommProfile, MATRIX_CLASSES, OpSample, PHASES, ProfileCollector,
+)
 from repro.obs.tracer import (  # noqa: F401
     NULL_TRACER, NullTracer, Span, TRACE_SCHEMA, Tracer, coalesce,
 )

@@ -1,0 +1,140 @@
+"""Exporters for communication profiles and traces.
+
+Two machine-readable formats leave the repo from here:
+
+* **Chrome Trace Event JSON** (:func:`chrome_trace`), loadable in
+  Perfetto / ``chrome://tracing``: one track (thread) per PE carrying the
+  profile's modelled-time phase slices, plus a separate process track
+  with the compiler's wall-clock pass spans when a
+  :class:`~repro.obs.tracer.Tracer` is supplied.  Modelled time and wall
+  time run on different clocks, so they live in different ``pid``
+  tracks rather than sharing a timeline.
+* **profile.json** (:func:`profile_to_json` / :func:`profile_from_json`),
+  the versioned serialization of a :class:`~repro.obs.profile.CommProfile`
+  (header :data:`PROFILE_SCHEMA`).  ``from(to(p))`` is an exact
+  round-trip: profiles contain only ints, floats, strings, lists, and
+  dicts, and ``json`` preserves all of them losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.machine.topology import ProcessorGrid
+from repro.obs.profile import CommProfile
+from repro.obs.tracer import Tracer
+
+#: Header object of every profile.json document.
+PROFILE_SCHEMA = {"type": "comm_profile", "version": 1}
+
+#: Versions :func:`profile_from_json` understands.
+_READABLE_PROFILE_VERSIONS = (1,)
+
+#: Chrome-trace process ids: compile spans (wall clock) vs execution
+#: timeline (modelled clock).
+COMPILE_PID = 0
+EXEC_PID = 1
+
+
+def _sec_to_us(t: float) -> float:
+    return t * 1e6
+
+
+def chrome_trace(profile: CommProfile,
+                 tracer: "Tracer | None" = None) -> dict:
+    """Chrome Trace Event representation of a profile.
+
+    Returns the JSON-object format (``{"traceEvents": [...]}``) with
+    complete (``ph: "X"``) events.  Timestamps are microseconds;
+    execution events use the profile's modelled clock starting at 0,
+    compile events (if ``tracer`` given) use wall clock rebased to the
+    earliest span.
+    """
+    events: list[dict] = []
+    grid = ProcessorGrid(tuple(profile.grid))
+
+    events.append({"name": "process_name", "ph": "M", "pid": EXEC_PID,
+                   "tid": 0,
+                   "args": {"name": f"execution (modelled time, "
+                                    f"{profile.backend} backend)"}})
+    for pe in range(profile.npes):
+        coords = "x".join(str(c) for c in grid.coords(pe))
+        events.append({"name": "thread_name", "ph": "M", "pid": EXEC_PID,
+                       "tid": pe, "args": {"name": f"PE {pe} ({coords})"}})
+        for seg in profile.timeline[pe]:
+            events.append({
+                "name": seg["name"], "cat": seg["phase"], "ph": "X",
+                "pid": EXEC_PID, "tid": pe,
+                "ts": _sec_to_us(seg["t0"]),
+                "dur": _sec_to_us(seg["t1"] - seg["t0"]),
+                "args": {"phase": seg["phase"], "op": seg["op"]},
+            })
+
+    if tracer is not None and tracer.roots:
+        events.append({"name": "process_name", "ph": "M",
+                       "pid": COMPILE_PID, "tid": 0,
+                       "args": {"name": "compiler (wall time)"}})
+        events.append({"name": "thread_name", "ph": "M",
+                       "pid": COMPILE_PID, "tid": 0,
+                       "args": {"name": "passes"}})
+        t0 = min(span.t_start for span in tracer.spans())
+        for span, sid, _parent in tracer.iter_with_ids():
+            args: dict[str, object] = {"id": sid}
+            args.update({k: v for k, v in span.attrs.items()})
+            args.update({k: v for k, v in span.counters.items()})
+            events.append({
+                "name": span.name, "cat": span.kind or "span", "ph": "X",
+                "pid": COMPILE_PID, "tid": 0,
+                "ts": _sec_to_us(span.t_start - t0),
+                "dur": _sec_to_us(span.duration),
+                "args": args,
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-comm-profile-chrome",
+            "grid": list(profile.grid),
+            "backend": profile.backend,
+            "kernel": profile.kernel,
+            "level": profile.level,
+        },
+    }
+
+
+def write_chrome_trace(profile: CommProfile, path: str,
+                       tracer: "Tracer | None" = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(profile, tracer), fh, sort_keys=True)
+        fh.write("\n")
+
+
+def profile_to_json(profile: CommProfile) -> str:
+    """Serialize a profile to its versioned JSON document."""
+    doc = dict(PROFILE_SCHEMA)
+    doc["profile"] = profile.to_dict()
+    return json.dumps(doc, sort_keys=True) + "\n"
+
+
+def profile_from_json(text: str) -> CommProfile:
+    """Parse a profile.json document (exact inverse of
+    :func:`profile_to_json`)."""
+    doc = json.loads(text)
+    if doc.get("type") != PROFILE_SCHEMA["type"]:
+        raise ValueError(f"not a comm_profile document: "
+                         f"type={doc.get('type')!r}")
+    if doc.get("version") not in _READABLE_PROFILE_VERSIONS:
+        raise ValueError(
+            f"unsupported comm_profile version {doc.get('version')!r}")
+    return CommProfile.from_dict(doc["profile"])
+
+
+def write_profile(profile: CommProfile, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(profile_to_json(profile))
+
+
+def read_profile(path: str) -> CommProfile:
+    with open(path) as fh:
+        return profile_from_json(fh.read())

@@ -23,14 +23,23 @@ from typing import Callable, Iterator
 
 #: JSONL schema, line by line:
 #:
-#: * first line: ``{"type": "trace", "version": 1}``
-#: * every other line: ``{"type": "span", "id": int, "parent": int|null,
+#: * first line: ``{"type": "trace", "version": 2}``
+#: * every other line: ``{"type": "span", "id": str, "parent": str|null,
 #:   "name": str, "kind": str, "start": float, "end": float, "dur": float,
 #:   "attrs": {...}, "counters": {...}}``
 #:
-#: Span ids are depth-first preorder; a parent always precedes its
-#: children, so a stream consumer can rebuild the tree in one pass.
-TRACE_SCHEMA = {"type": "trace", "version": 1}
+#: Span ids are *stable*: ``parent-path + "/" + name + "#" + ordinal``,
+#: where the ordinal counts earlier same-named siblings (e.g.
+#: ``compile#0/pass:normalize#0``, ``execute#0/overlap_shift#2``).  Two
+#: runs of the same program produce the same ids, so exported traces and
+#: profiles diff cleanly; an id changes only when the tree around it
+#: does.  Spans are emitted depth-first preorder — a parent always
+#: precedes its children, so a stream consumer can rebuild the tree in
+#: one pass.  Version-1 traces (integer preorder ids) are still read.
+TRACE_SCHEMA = {"type": "trace", "version": 2}
+
+#: Trace versions :meth:`Tracer.from_jsonl` understands.
+_READABLE_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -149,14 +158,29 @@ class Tracer:
         return out
 
     # -- JSONL export / import ----------------------------------------------
+    def iter_with_ids(self) -> Iterator[tuple[Span, str, "str | None"]]:
+        """Depth-first ``(span, stable_id, parent_id)`` triples.
+
+        The stable id is the parent's id plus ``/name#ordinal`` (ordinal
+        = number of earlier same-named siblings), so identical trees get
+        identical ids regardless of wall-clock timings.
+        """
+        def walk(spans: list[Span], parent_id: "str | None"):
+            seen: dict[str, int] = {}
+            for span in spans:
+                ordinal = seen.get(span.name, 0)
+                seen[span.name] = ordinal + 1
+                sid = f"{span.name}#{ordinal}" if parent_id is None else \
+                    f"{parent_id}/{span.name}#{ordinal}"
+                yield span, sid, parent_id
+                yield from walk(span.children, sid)
+
+        yield from walk(self.roots, None)
+
     def events(self) -> list[dict]:
         """Flat event list: header plus one record per span."""
         out: list[dict] = [dict(TRACE_SCHEMA)]
-        next_id = [0]
-
-        def emit(span: Span, parent: int | None) -> None:
-            sid = next_id[0]
-            next_id[0] += 1
+        for span, sid, parent in self.iter_with_ids():
             out.append({
                 "type": "span", "id": sid, "parent": parent,
                 "name": span.name, "kind": span.kind,
@@ -164,11 +188,6 @@ class Tracer:
                 "dur": span.duration,
                 "attrs": span.attrs, "counters": span.counters,
             })
-            for child in span.children:
-                emit(child, sid)
-
-        for root in self.roots:
-            emit(root, None)
         return out
 
     def to_jsonl(self) -> str:
@@ -183,14 +202,14 @@ class Tracer:
     def from_jsonl(cls, text: str) -> "Tracer":
         """Rebuild a (closed) trace forest from JSONL text."""
         tracer = cls()
-        by_id: dict[int, Span] = {}
+        by_id: dict[object, Span] = {}
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
             event = json.loads(line)
             if event.get("type") == "trace":
-                if event.get("version") != TRACE_SCHEMA["version"]:
+                if event.get("version") not in _READABLE_VERSIONS:
                     raise ValueError(
                         f"unsupported trace version {event.get('version')}")
                 continue

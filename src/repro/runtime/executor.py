@@ -10,7 +10,7 @@ nest's global iteration box with its owned block.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.runtime.darray import DArray
 from repro.runtime.distribution import cached_layout
 from repro.runtime.overlap import overlap_shift
 
+if TYPE_CHECKING:
+    from repro.obs.profile import CommProfile
+
 
 @dataclass
 class ExecutionResult:
@@ -42,6 +45,7 @@ class ExecutionResult:
     report: CostReport
     peak_memory_per_pe: int
     modelled_time: float
+    profile: "CommProfile | None" = None
 
     def summary(self) -> dict[str, float]:
         out = self.report.summary()
@@ -84,6 +88,10 @@ class _Exec:
                  hpf_overhead: bool, tracer=None) -> None:
         from repro.obs.tracer import coalesce
         self.tracer = coalesce(tracer)
+        #: Optional :class:`repro.obs.profile.ProfileCollector`.  Lives
+        #: on the shared dispatch loop so both backends attribute ops
+        #: identically — part of the backend-equivalence contract.
+        self.profiler = None
         self.plan = plan
         self.machine = machine
         self.darrays: dict[str, DArray] = {}
@@ -202,26 +210,37 @@ class _Exec:
 
     # -- op dispatch -----------------------------------------------------------
     def run_ops(self, ops: list[PlanOp]) -> None:
-        if not self.tracer.enabled:
+        tracing = self.tracer.enabled
+        profiler = self.profiler
+        if not tracing and profiler is None:
             for op in ops:
                 self._dispatch(op)
             return
         report = self.machine.report
         for op in ops:
             name, attrs = _op_label(op)
-            with self.tracer.span(name, kind="op", **attrs) as span:
-                before = report.snapshot()
-                self._dispatch(op)
-                for key, value in report.delta(before).items():
-                    if value:
-                        span.count(key, value)
-                if isinstance(op, OverlapShiftOp):
-                    decl = self.plan.arrays.get(op.array)
-                    itemsize = int(decl.dtype.itemsize) if decl else 4
-                    cells = (span.counters.get("bytes", 0.0) / itemsize
-                             + span.counters.get("copy_elements", 0.0))
-                    if cells:
-                        span.gauge("overlap_cells", cells)
+            frame = profiler.begin(name, attrs) \
+                if profiler is not None else None
+            try:
+                if not tracing:
+                    self._dispatch(op)
+                    continue
+                with self.tracer.span(name, kind="op", **attrs) as span:
+                    before = report.snapshot()
+                    self._dispatch(op)
+                    for key, value in report.delta(before).items():
+                        if value:
+                            span.count(key, value)
+                    if isinstance(op, OverlapShiftOp):
+                        decl = self.plan.arrays.get(op.array)
+                        itemsize = int(decl.dtype.itemsize) if decl else 4
+                        cells = (span.counters.get("bytes", 0.0) / itemsize
+                                 + span.counters.get("copy_elements", 0.0))
+                        if cells:
+                            span.gauge("overlap_cells", cells)
+            finally:
+                if frame is not None:
+                    profiler.end(frame)
 
     def do_overlap_shift(self, op: OverlapShiftOp) -> None:
         overlap_shift(self.machine, self.darray(op.array),
@@ -475,7 +494,8 @@ def execute(plan: Plan, machine: Machine,
             hpf_overhead: bool = False,
             reset_machine: bool = True,
             tracer=None,
-            backend: str = "perpe") -> ExecutionResult:
+            backend: str = "perpe",
+            profile: bool = False) -> ExecutionResult:
     """Run a compiled plan.
 
     ``inputs`` seeds entry arrays (by name, case-insensitive); arrays not
@@ -488,6 +508,9 @@ def execute(plan: Plan, machine: Machine,
     selects the executor: ``perpe`` loops over PEs in Python per op
     (reference semantics), ``vectorized`` executes each op as whole-array
     NumPy slab operations while charging the cost model identically.
+    ``profile`` attaches a :class:`repro.obs.profile.ProfileCollector`
+    (requires ``keep_message_log=True`` on the machine) and returns the
+    condensed :class:`~repro.obs.profile.CommProfile` on the result.
     """
     from repro.obs.tracer import coalesce
     tracer = coalesce(tracer)
@@ -500,6 +523,11 @@ def execute(plan: Plan, machine: Machine,
             f"the machine grid is {tuple(machine.grid)}")
     ex = executor_class(backend)(plan, machine, scalars, hpf_overhead,
                                  tracer=tracer)
+    collector = None
+    if profile:
+        from repro.obs.profile import CommProfile, ProfileCollector
+        collector = ProfileCollector(machine)
+        ex.profiler = collector
     with tracer.span("execute", kind="execute",
                      grid="x".join(map(str, machine.grid)),
                      iterations=iterations, backend=backend) as span:
@@ -530,10 +558,15 @@ def execute(plan: Plan, machine: Machine,
             span.gauge("peak_memory_per_pe", machine.memory.peak_per_pe)
             for pe, t in enumerate(r.pe_times):
                 span.gauge(f"pe{pe}_time_s", t)
+    comm_profile = None
+    if collector is not None:
+        comm_profile = CommProfile.from_run(machine, collector,
+                                            backend=backend)
     return ExecutionResult(
         arrays=arrays,
         scalars=dict(ex.scalars),
         report=machine.report,
         peak_memory_per_pe=machine.memory.peak_per_pe,
         modelled_time=machine.report.modelled_time,
+        profile=comm_profile,
     )

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.ir.rsd import RSD
 from repro.machine.machine import Machine
+from repro.machine.network import comm_tag
 from repro.runtime.darray import DArray
 
 
@@ -82,7 +83,7 @@ def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
 
     layout = da.layout
     n_global = layout.shape[d]
-    tag = f"ovl:{da.name}:d{dim}:{shift:+d}"
+    tag = comm_tag(da.name, dim, shift, widened=not eff.is_trivial)
 
     for pe in layout.grid.ranks():
         padded = da.padded(pe)

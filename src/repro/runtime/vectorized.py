@@ -38,6 +38,7 @@ from repro.compiler.plan import FullShiftOp, LoopNestOp, OverlapShiftOp
 from repro.ir.nodes import OffsetRef
 from repro.ir.rsd import RSD
 from repro.machine.machine import Machine
+from repro.machine.network import comm_tag
 from repro.passes.memopt import scaled_to_points
 from repro.runtime.distribution import Layout, cached_layout
 from repro.runtime.executor import _Exec
@@ -196,7 +197,7 @@ def vec_overlap_shift(machine: Machine, va: VArray, shift: int, dim: int,
 
     # -- cost: the per-PE executor's charge sequence, in rank order ----------
     itemsize = data.itemsize
-    tag = f"ovl:{va.name}:d{dim}:{shift:+d}"
+    tag = comm_tag(va.name, dim, shift, widened=not eff.is_trivial)
     ext = tuple((eff.dims[k].lo, eff.dims[k].hi) if k != d else (0, 0)
                 for k in range(va.rank))
     elems_of: dict[tuple[int, ...], int] = {}

@@ -173,22 +173,29 @@ def backend_equivalence_check(program: GeneratedProgram,
                               iterations: int = 1) -> None:
     """Run under both execution backends at every level/grid; demand
     bitwise-identical arrays and scalars AND identical cost accounting
-    (message/byte/copy counts, per-PE times, peak memory).
+    (message/byte/copy counts, per-PE times, peak memory) AND an
+    identical tagged message log / communication profile.
 
     This is the vectorized backend's contract: it is an execution
     strategy, not a semantics or cost change, so nothing observable may
-    differ from the per-PE executor.
+    differ from the per-PE executor — down to the ``(src, dst, nbytes,
+    tag)`` tuple of every logged message, which is what makes the
+    communication profiler backend-agnostic.
     """
     for level in levels:
         compiled = compile_hpf(program.source, bindings=program.bindings,
                                level=level, outputs=set(program.arrays))
         for grid in grids:
             results = {}
+            logs = {}
             for backend in ("perpe", "vectorized"):
-                machine = Machine(grid=grid, keep_message_log=False)
+                machine = Machine(grid=grid, keep_message_log=True)
                 results[backend] = compiled.run(
                     machine, inputs=inputs, scalars=program.scalars,
-                    iterations=iterations, backend=backend)
+                    iterations=iterations, backend=backend,
+                    profile=True)
+                logs[backend] = [(m.src, m.dst, m.nbytes, m.tag)
+                                 for m in machine.network.log]
             a, b = results["perpe"], results["vectorized"]
             ctx = (f"level {level}, grid {grid}\n"
                    f"program:\n{program.source}")
@@ -203,4 +210,12 @@ def backend_equivalence_check(program: GeneratedProgram,
                 f"vectorized: {b.report.summary()}")
             assert a.report.pe_times == b.report.pe_times, ctx
             assert a.report.pe_comm_times == b.report.pe_comm_times, ctx
+            assert a.report.pe_copy_times == b.report.pe_copy_times, ctx
             assert a.peak_memory_per_pe == b.peak_memory_per_pe, ctx
+            assert logs["perpe"] == logs["vectorized"], (
+                f"message log diverged: {ctx}")
+            assert a.profile is not None and b.profile is not None
+            assert a.profile.matrix == b.profile.matrix, (
+                f"communication matrices diverged: {ctx}")
+            assert a.profile.totals["messages_by_class"] == \
+                b.profile.totals["messages_by_class"], ctx

@@ -1,0 +1,307 @@
+"""Communication-profiler tests: collector attribution, per-class
+matrices, backend equivalence, serialization round-trips, and the
+Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.errors import MachineError
+from repro.kernels import run_kernel
+from repro.machine import Machine
+from repro.machine.network import comm_tag, tag_class
+from repro.obs import (
+    CommProfile, MATRIX_CLASSES, PHASES, ProfileCollector, Tracer,
+    chrome_trace, profile_from_json, profile_to_json, read_profile,
+    write_profile,
+)
+
+LEVELS = ("O0", "O1", "O2", "O3", "O4")
+NAMED_KERNELS = ("five_point", "nine_point", "purdue9")
+
+
+def profiled(kernel="nine_point", level="O4", backend="perpe",
+             grid=(2, 2), n=16, iterations=1):
+    result = run_kernel(kernel, grid=grid, bindings={"N": n}, level=level,
+                        backend=backend, iterations=iterations,
+                        profile=True)
+    assert result.profile is not None
+    return result
+
+
+class TestTagTaxonomy:
+    def test_comm_tag_classes(self):
+        assert comm_tag("U", 1, +1) == "halo:U:d1:+1"
+        assert comm_tag("U", 2, -1, widened=True) == "rsd:U:d2:-1"
+        assert comm_tag("__shiftbuf_U__", 1, +1) == \
+            "bufshift:__shiftbuf_U__:d1:+1"
+        # buffer prefix wins even for widened slabs
+        assert comm_tag("__shiftbuf_U__", 1, +1, widened=True) \
+            .startswith("bufshift:")
+
+    def test_tag_class_parses_and_defaults(self):
+        assert tag_class("halo:U:d1:+1") == "halo"
+        assert tag_class("rsd:U:d2:-1") == "rsd"
+        assert tag_class("bufshift:X:d1:+1") == "bufshift"
+        assert tag_class("ovl:legacy") == "other"
+        assert tag_class("") == "other"
+
+    def test_o4_traffic_is_halo_plus_rsd(self):
+        by_class = profiled(level="O4").profile.totals[
+            "messages_by_class"]
+        assert by_class["halo"] > 0
+        assert by_class["rsd"] > 0
+        assert by_class["bufshift"] == 0
+        assert by_class["other"] == 0
+
+    def test_o0_traffic_is_all_bufshift(self):
+        by_class = profiled(level="O0").profile.totals[
+            "messages_by_class"]
+        assert by_class["bufshift"] > 0
+        assert by_class["halo"] == 0
+        assert by_class["rsd"] == 0
+
+
+class TestMatrix:
+    def test_matrix_counts_match_report(self):
+        result = profiled()
+        profile = result.profile
+        total = sum(map(sum, profile.pair_matrix(key="messages")))
+        assert total + profile.totals["messages_by_class"].get(
+            "allreduce", 0) <= result.report.messages
+        # nine_point has no reductions: every message is in the log
+        assert total == result.report.messages
+        assert sum(map(sum, profile.pair_matrix(key="bytes"))) == \
+            result.report.message_bytes
+
+    def test_matrix_diagonal_is_empty(self):
+        # self-sends are priced as copies, never logged as messages
+        profile = profiled(grid=(2, 1)).profile
+        m = profile.pair_matrix()
+        for pe in range(profile.npes):
+            assert m[pe][pe] == 0
+
+    def test_neighbors_only_on_2x2(self):
+        profile = profiled().profile
+        m = profile.pair_matrix()
+        # on a 2x2 grid every PE's traffic goes to grid neighbors only
+        # (rank 0 <-> {1, 2}, never the diagonal partner 3)
+        assert m[0][3] == 0 and m[3][0] == 0
+        assert m[1][2] == 0 and m[2][1] == 0
+        assert m[0][1] > 0 and m[0][2] > 0
+
+    def test_all_classes_always_present(self):
+        profile = profiled().profile
+        assert set(profile.matrix) == set(MATRIX_CLASSES)
+        for cls_matrix in profile.matrix.values():
+            assert len(cls_matrix["messages"]) == profile.npes
+            assert len(cls_matrix["bytes"]) == profile.npes
+
+
+class TestTimeline:
+    def test_phases_cover_the_report(self):
+        result = profiled()
+        profile = result.profile
+        report = result.report
+        for pe in range(profile.npes):
+            ph = profile.phase_seconds(pe)
+            assert set(ph) == set(PHASES)
+            assert ph["comm"] == pytest.approx(
+                report.pe_comm_times[pe])
+            assert ph["copy"] == pytest.approx(
+                report.pe_copy_times[pe])
+            # compute is clamped >= 0 per op, so the sum can only
+            # exceed the report's residual (never undershoot)
+            residual = report.pe_times[pe] - report.pe_comm_times[pe] \
+                - report.pe_copy_times[pe]
+            assert ph["compute"] >= residual - 1e-12
+
+    def test_segments_are_ordered_and_disjoint(self):
+        profile = profiled(level="O0").profile
+        for pe in range(profile.npes):
+            t = 0.0
+            for seg in profile.timeline[pe]:
+                assert seg["t0"] == pytest.approx(t)
+                assert seg["t1"] > seg["t0"]
+                assert seg["phase"] in PHASES
+                t = seg["t1"]
+
+    def test_o0_timeline_has_copy_phase(self):
+        profile = profiled(level="O0").profile
+        assert profile.phase_seconds(0)["copy"] > 0
+
+    def test_iterations_scale_the_timeline(self):
+        one = profiled(iterations=1).profile.phase_seconds(0)
+        two = profiled(iterations=2).profile.phase_seconds(0)
+        assert two["comm"] == pytest.approx(2 * one["comm"])
+
+
+class TestValidation:
+    def test_rows_cover_comm_and_compute_ops(self):
+        profile = profiled().profile
+        rows = profile.validation["rows"]
+        names = {r["name"] for r in rows}
+        assert "overlap_shift" in names
+        assert "loop_nest" in names
+        for row in rows:
+            assert row["modelled_s"] >= 0.0
+            assert row["wall_s"] >= 0.0
+
+    def test_summary_statistics_are_finite(self):
+        val = profiled().profile.validation
+        assert val["scale_wall_per_modelled"] > 0.0
+        assert val["mape_pct"] >= 0.0
+
+
+class TestSelfTimeAttribution:
+    @pytest.mark.parametrize("kernel", NAMED_KERNELS)
+    @pytest.mark.parametrize("level", ("O0", "O4"))
+    def test_self_times_reconstruct_the_report(self, kernel, level):
+        """Summing every op's self per-PE time reconstructs the cost
+        report exactly — containers (DO loops, overlapped regions) own
+        only the cost they charge directly, so nothing double-counts.
+        (These kernels have no reductions and no hidden-credit clamp.)
+        """
+        result = profiled(kernel=kernel, level=level)
+        profile = result.profile
+        report = result.report
+        tl_total = [sum(s["t1"] - s["t0"] for s in profile.timeline[pe])
+                    for pe in range(profile.npes)]
+        for pe in range(profile.npes):
+            assert tl_total[pe] == pytest.approx(report.pe_times[pe])
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("kernel", NAMED_KERNELS)
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_matrices_bit_identical(self, kernel, level):
+        profiles = {}
+        logs = {}
+        for backend in ("perpe", "vectorized"):
+            result = profiled(kernel=kernel, level=level,
+                              backend=backend)
+            profiles[backend] = result.profile
+        p, v = profiles["perpe"], profiles["vectorized"]
+        assert p.matrix == v.matrix
+        assert p.totals["messages_by_class"] == \
+            v.totals["messages_by_class"]
+        assert p.totals["bytes_by_class"] == v.totals["bytes_by_class"]
+
+    def test_message_logs_identically_tagged(self):
+        logs = {}
+        for backend in ("perpe", "vectorized"):
+            machine = Machine(grid=(2, 2), keep_message_log=True)
+            run_kernel("nine_point", bindings={"N": 16}, level="O4",
+                       backend=backend, machine=machine)
+            logs[backend] = sorted(
+                (m.src, m.dst, m.nbytes, m.tag)
+                for m in machine.network.log)
+        assert logs["perpe"] == logs["vectorized"]
+
+    def test_timelines_identical(self):
+        p = profiled(backend="perpe").profile
+        v = profiled(backend="vectorized").profile
+        assert p.timeline == v.timeline
+
+
+class TestSerialization:
+    def test_dict_round_trip_is_exact(self):
+        profile = profiled().profile
+        back = CommProfile.from_dict(profile.to_dict())
+        assert back.to_dict() == profile.to_dict()
+        assert back.grid == profile.grid
+        assert back.matrix == profile.matrix
+
+    def test_json_round_trip_is_exact(self):
+        profile = profiled(level="O0").profile
+        back = profile_from_json(profile_to_json(profile))
+        assert back.to_dict() == profile.to_dict()
+        # a second trip is a fixed point
+        assert profile_to_json(back) == profile_to_json(profile)
+
+    def test_json_document_is_versioned(self):
+        doc = json.loads(profile_to_json(profiled().profile))
+        assert doc["type"] == "comm_profile"
+        assert doc["version"] == 1
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            profile_from_json('{"type": "trace", "version": 2}')
+        with pytest.raises(ValueError):
+            profile_from_json(
+                '{"type": "comm_profile", "version": 99, "profile": {}}')
+
+    def test_file_round_trip(self, tmp_path):
+        profile = profiled().profile
+        path = tmp_path / "profile.json"
+        write_profile(profile, str(path))
+        back = read_profile(str(path))
+        assert back.to_dict() == profile.to_dict()
+
+
+class TestChromeTrace:
+    def test_one_track_per_pe(self):
+        profile = profiled(grid=(2, 2)).profile
+        doc = chrome_trace(profile)
+        events = doc["traceEvents"]
+        thread_names = {e["tid"]: e["args"]["name"] for e in events
+                        if e.get("name") == "thread_name"
+                        and e["pid"] == 1}
+        assert set(thread_names) == {0, 1, 2, 3}
+        assert thread_names[0].startswith("PE 0")
+
+    def test_events_carry_phase_categories(self):
+        doc = chrome_trace(profiled().profile)
+        cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert cats <= set(PHASES)
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["ts"] >= 0.0
+                assert e["dur"] > 0.0
+
+    def test_compile_track_from_tracer(self):
+        tracer = Tracer()
+        result = run_kernel("nine_point", bindings={"N": 16},
+                            level="O4", tracer=tracer, profile=True)
+        doc = chrome_trace(result.profile, tracer=tracer)
+        compile_events = [e for e in doc["traceEvents"]
+                          if e["pid"] == 0 and e["ph"] == "X"]
+        names = {e["name"] for e in compile_events}
+        assert "compile" in names
+        assert any(n.startswith("pass:") for n in names)
+        # stable span ids ride along in args
+        ids = {e["args"]["id"] for e in compile_events}
+        assert "compile#0" in ids
+
+    def test_golden_deterministic_output(self):
+        """Modelled time is deterministic, so two runs of the same
+        kernel serialize to the byte-identical Chrome document."""
+        docs = [json.dumps(chrome_trace(profiled().profile),
+                           sort_keys=True) for _ in range(2)]
+        assert docs[0] == docs[1]
+
+    def test_loads_as_json_object_format(self, tmp_path):
+        from repro.obs import write_chrome_trace
+        profile = profiled().profile
+        path = tmp_path / "chrome.json"
+        write_chrome_trace(profile, str(path))
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestCollectorErrors:
+    def test_requires_message_log(self):
+        machine = Machine(grid=(2, 2), keep_message_log=False)
+        with pytest.raises(MachineError, match="keep_message_log"):
+            ProfileCollector(machine)
+
+    def test_execute_profile_requires_message_log(self):
+        machine = Machine(grid=(2, 2), keep_message_log=False)
+        with pytest.raises(MachineError, match="keep_message_log"):
+            run_kernel("nine_point", bindings={"N": 16},
+                       machine=machine, profile=True)
+
+    def test_profile_off_by_default(self):
+        result = run_kernel("nine_point", bindings={"N": 16})
+        assert result.profile is None

@@ -158,3 +158,22 @@ class TestJsonlCoverage:
         assert len(op_spans) == executed
         back = Tracer.from_jsonl(path.read_text())
         assert back.find("pass:comm-union").counters["shifts_after"] == 4
+
+    def test_jsonl_ids_are_stable_paths(self):
+        """Two identical compile+run sessions export identical span ids
+        (the version-2 stable-id contract), and the ids spell out the
+        pass pipeline."""
+        def session() -> list[str]:
+            tracer = Tracer()
+            compiled = compile_hpf(kernels.PURDUE_PROBLEM9,
+                                   bindings={"N": 32}, level="O4",
+                                   outputs={"T"}, tracer=tracer)
+            compiled.run(Machine(grid=(2, 2)), tracer=tracer)
+            return [e["id"] for e in tracer.events()[1:]]
+
+        first, second = session(), session()
+        assert first == second
+        assert "compile#0" in first
+        assert "compile#0/pass:comm-union#0" in first
+        assert "execute#0/overlap_shift#3" in first  # 4 unioned shifts
+        assert "execute#0/overlap_shift#4" not in first

@@ -184,6 +184,85 @@ class TestJsonl:
         assert "overlap_shifts=4" in text
 
 
+class TestStableSpanIds:
+    def build(self, clock=None) -> Tracer:
+        tr = Tracer(clock=clock) if clock else Tracer()
+        with tr.span("compile"):
+            with tr.span("pass:normalize"):
+                pass
+            with tr.span("pass:normalize"):
+                pass
+            with tr.span("codegen"):
+                pass
+        with tr.span("execute"):
+            with tr.span("overlap_shift"):
+                pass
+            with tr.span("loop_nest"):
+                pass
+            with tr.span("overlap_shift"):
+                pass
+        return tr
+
+    def test_ids_are_parent_path_plus_ordinal(self):
+        ids = [sid for _, sid, _ in self.build().iter_with_ids()]
+        assert ids == [
+            "compile#0",
+            "compile#0/pass:normalize#0",
+            "compile#0/pass:normalize#1",
+            "compile#0/codegen#0",
+            "execute#0",
+            "execute#0/overlap_shift#0",
+            "execute#0/loop_nest#0",
+            "execute#0/overlap_shift#1",
+        ]
+
+    def test_ids_independent_of_wall_clock(self):
+        slow = FakeClock()
+        slow.t = 1000.0
+        a = [sid for _, sid, _ in self.build(FakeClock()).iter_with_ids()]
+        b = [sid for _, sid, _ in self.build(slow).iter_with_ids()]
+        assert a == b
+
+    def test_repeated_roots_get_ordinals(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("execute"):
+                pass
+        ids = [sid for _, sid, _ in tr.iter_with_ids()]
+        assert ids == ["execute#0", "execute#1", "execute#2"]
+
+    def test_events_carry_stable_ids(self):
+        events = self.build().events()
+        assert events[0]["version"] == 2
+        by_id = {e["id"]: e for e in events[1:]}
+        child = by_id["compile#0/pass:normalize#1"]
+        assert child["parent"] == "compile#0"
+        assert by_id["compile#0"]["parent"] is None
+
+    def test_round_trip_preserves_ids(self):
+        tr = self.build(FakeClock())
+        back = Tracer.from_jsonl(tr.to_jsonl())
+        assert back.events() == tr.events()
+
+    def test_reads_version1_integer_ids(self):
+        v1 = "\n".join([
+            '{"type": "trace", "version": 1}',
+            '{"type": "span", "id": 0, "parent": null, "name": "compile",'
+            ' "kind": "compile", "start": 1.0, "end": 4.0, "dur": 3.0,'
+            ' "attrs": {}, "counters": {}}',
+            '{"type": "span", "id": 1, "parent": 0, "name": "parse",'
+            ' "kind": "pass", "start": 2.0, "end": 3.0, "dur": 1.0,'
+            ' "attrs": {}, "counters": {}}',
+        ]) + "\n"
+        back = Tracer.from_jsonl(v1)
+        assert [s.name for s in back.spans()] == ["compile", "parse"]
+        assert back.find("compile").children[0].name == "parse"
+        # re-serializing upgrades to version-2 stable ids
+        events = back.events()
+        assert events[0]["version"] == 2
+        assert events[2]["id"] == "compile#0/parse#0"
+
+
 class TestNullTracer:
     def test_records_nothing(self):
         tr = NullTracer()

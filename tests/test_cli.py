@@ -139,6 +139,103 @@ class TestTrace:
         with pytest.raises(SystemExit, match="grid"):
             main(["trace", "purdue9", "--grid", "fast"])
 
+    def test_backend_vectorized(self, capsys):
+        assert main(["trace", "purdue9", "--bind", "N=32",
+                     "--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "execute" in out
+        assert "backend=vectorized" in out
+
+    def test_backends_charge_identical_totals(self, capsys):
+        def totals(backend: str) -> str:
+            assert main(["trace", "purdue9", "--bind", "N=32",
+                         "--backend", backend]) == 0
+            out = capsys.readouterr().out
+            return out[out.index("totals:"):]
+
+        assert totals("perpe") == totals("vectorized")
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["trace", "purdue9", "--backend", "mpi"])
+        assert exc_info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_text_report(self, capsys):
+        assert main(["profile", "nine_point", "--bind", "N=16"]) == 0
+        out = capsys.readouterr().out
+        assert "communication profile" in out
+        assert "halo messages" in out
+        assert "rsd messages" in out
+        assert "cost-model validation" in out
+
+    def test_opt_alias_selects_level(self, capsys):
+        assert main(["profile", "nine_point", "--bind", "N=16",
+                     "--opt", "O0"]) == 0
+        out = capsys.readouterr().out
+        assert "@O0" in out
+        assert "bufshift messages" in out
+        assert "halo messages" not in out
+
+    def test_writes_profile_json(self, tmp_path, capsys):
+        from repro.obs import read_profile
+        out = tmp_path / "profile.json"
+        assert main(["profile", "nine_point", "--bind", "N=16",
+                     "--grid", "2x2", "-o", str(out)]) == 0
+        profile = read_profile(str(out))
+        assert profile.kernel == "nine_point"
+        assert profile.level == "O4"
+        assert profile.npes == 4
+
+    def test_writes_chrome_trace_with_pe_tracks(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "chrome.json"
+        assert main(["profile", "nine_point", "--bind", "N=16",
+                     "--grid", "4x2", "--chrome", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        exec_tids = {e["tid"] for e in doc["traceEvents"]
+                     if e["pid"] == 1}
+        assert exec_tids == set(range(8))
+        compile_names = {e["name"] for e in doc["traceEvents"]
+                         if e["pid"] == 0 and e["ph"] == "X"}
+        assert "compile" in compile_names
+
+    def test_json_flag_streams_document(self, capsys):
+        import json
+        assert main(["profile", "nine_point", "--bind", "N=16",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["type"] == "comm_profile"
+        assert doc["profile"]["backend"] == "perpe"
+
+    def test_backends_produce_identical_profiles(self, capsys):
+        import json
+
+        def doc(backend: str) -> dict:
+            assert main(["profile", "nine_point", "--bind", "N=16",
+                         "--backend", backend, "--json"]) == 0
+            return json.loads(capsys.readouterr().out)
+
+        a, b = doc("perpe"), doc("vectorized")
+        assert a["profile"]["matrix"] == b["profile"]["matrix"]
+        assert a["profile"]["timeline"] == b["profile"]["timeline"]
+
+    def test_unknown_kernel_errors(self, capsys):
+        assert main(["profile", "no_such_kernel"]) == 1
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["profile", "nine_point", "--backend", "serial"])
+        assert exc_info.value.code == 2
+
+    def test_source_file_argument(self, p9_file, capsys):
+        assert main(["profile", p9_file, "--bind", "N=32",
+                     "--output", "T"]) == 0
+        assert "communication profile" in capsys.readouterr().out
+
 
 class TestRun:
     def test_run_prints_checksums(self, p9_file, capsys):
