@@ -9,7 +9,7 @@ import pytest
 
 from repro import kernels
 from repro.compiler import compile_hpf
-from repro.compiler.plan import OverlapShiftOp
+from repro.plan import OverlapShiftOp
 from repro.machine import Machine
 
 GRID = (2, 2)

@@ -93,6 +93,50 @@ def bench_compile(repeats: int = 5, warm_repeats: int = 50) -> dict:
             "cache": cache.stats.as_dict()}
 
 
+#: the warm persistent-cache hit must beat a cold compile by this much
+PERSISTENT_SPEEDUP_FLOOR = 10.0
+
+
+def bench_persistent(kernel: str = "box27_3d", n: int = 64,
+                     repeats: int = 3) -> dict:
+    """Cold vs warm compile latency through the on-disk plan cache,
+    each sample in a **fresh interpreter** — the scenario the
+    persistent cache exists for (the in-memory cache can't help a new
+    process).  The 27-point 3-D kernel is the slowest cold compile, so
+    it bounds the realistic saving."""
+    import os
+    import subprocess
+    import tempfile
+
+    src_dir = str(Path(__file__).resolve().parents[1] / "src")
+    code = (
+        "import sys, time\n"
+        "from repro.compiler import PersistentPlanCache\n"
+        "from repro.kernels import compile_kernel\n"
+        "cache = PersistentPlanCache(sys.argv[1])\n"
+        "t0 = time.perf_counter()\n"
+        f"compile_kernel({kernel!r}, bindings={{'N': {n}}}, "
+        "cache=cache)\n"
+        "print((time.perf_counter() - t0) * 1e3)\n")
+
+    def sample(cache_dir: str) -> float:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        out = subprocess.run([sys.executable, "-c", code, cache_dir],
+                             capture_output=True, text=True, check=True,
+                             env=env)
+        return float(out.stdout.strip())
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_ms = sample(cache_dir)           # miss: compile + store
+        warm_ms = min(sample(cache_dir)       # hit: load + deserialize
+                      for _ in range(repeats))
+    return {"kernel": kernel, "n": n, "cold_ms": cold_ms,
+            "warm_ms": warm_ms,
+            "persistent_warm_speedup": cold_ms / warm_ms}
+
+
 #: optimization ladder for the profile monotonicity gate
 LEVELS = ("O0", "O1", "O2", "O3", "O4")
 
@@ -135,10 +179,13 @@ def check_monotonic(profile_res: dict) -> list[str]:
     return errors
 
 
-def gated_metrics(exec_res: dict, compile_res: dict) -> dict[str, float]:
+def gated_metrics(exec_res: dict, compile_res: dict,
+                  persistent_res: dict) -> dict[str, float]:
     return {
         "exec.vectorized_speedup": exec_res["vectorized_speedup"],
         "compile.warm_hit_speedup": compile_res["warm_hit_speedup"],
+        "compile.persistent_warm_speedup":
+            persistent_res["persistent_warm_speedup"],
     }
 
 
@@ -152,15 +199,17 @@ def main(argv: list[str] | None = None) -> int:
 
     exec_res = bench_exec()
     compile_res = bench_compile()
+    persistent_res = bench_persistent()
     profile_res = bench_profile()
     out_dir = Path(args.out_dir)
     (out_dir / "BENCH_exec.json").write_text(
         json.dumps(exec_res, indent=2) + "\n")
+    compile_res["persistent"] = persistent_res
     (out_dir / "BENCH_compile.json").write_text(
         json.dumps(compile_res, indent=2) + "\n")
     (out_dir / "PROFILE_smoke.json").write_text(
         json.dumps(profile_res, indent=2) + "\n")
-    metrics = gated_metrics(exec_res, compile_res)
+    metrics = gated_metrics(exec_res, compile_res, persistent_res)
     print(f"exec: perpe {exec_res['perpe_ms']:.1f} ms, "
           f"vectorized {exec_res['vectorized_ms']:.1f} ms "
           f"({metrics['exec.vectorized_speedup']:.1f}x)")
@@ -168,6 +217,10 @@ def main(argv: list[str] | None = None) -> int:
           f"warm hit {compile_res['warm_hit_ms'] * 1e3:.1f} us "
           f"({metrics['compile.warm_hit_speedup']:.0f}x), "
           f"hit rate {compile_res['cache']['hit_rate']:.2f}")
+    print(f"persistent: {persistent_res['kernel']} cold "
+          f"{persistent_res['cold_ms']:.1f} ms, warm "
+          f"{persistent_res['warm_ms']:.1f} ms in a fresh process "
+          f"({metrics['compile.persistent_warm_speedup']:.0f}x)")
     ladder = " >= ".join(
         f"{lv}:{profile_res['levels'][lv]['messages']}" for lv in LEVELS)
     print(f"profile: {profile_res['kernel']} messages {ladder}")
@@ -175,6 +228,14 @@ def main(argv: list[str] | None = None) -> int:
     for err in mono_errors:
         print(f"gate profile.monotonic: {err} VIOLATION",
               file=sys.stderr)
+    if metrics["compile.persistent_warm_speedup"] < \
+            PERSISTENT_SPEEDUP_FLOOR:
+        mono_errors.append(
+            f"persistent cache warm hit only "
+            f"{metrics['compile.persistent_warm_speedup']:.1f}x faster "
+            f"than cold (floor {PERSISTENT_SPEEDUP_FLOOR:.0f}x)")
+        print(f"gate compile.persistent_floor: "
+              f"{mono_errors[-1]} VIOLATION", file=sys.stderr)
 
     if args.update_baseline:
         BASELINE.parent.mkdir(parents=True, exist_ok=True)

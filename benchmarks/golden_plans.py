@@ -1,0 +1,120 @@
+"""Golden plan documents: freeze every named kernel's compiled plan.
+
+Each named kernel is compiled at O4 (N=8) and serialized with
+:mod:`repro.plan.serialize`; the JSON documents live under
+``benchmarks/goldens/`` next to a manifest recording the
+``PLAN_SCHEMA_VERSION`` they were written at.
+
+``--check`` (the CI mode) recompiles every kernel and fails if any
+plan's JSON differs from its golden **while the schema version is
+unchanged** — an unannounced change to codegen output or the
+serialization format.  Bumping ``PLAN_SCHEMA_VERSION`` is the explicit
+declare-your-intent step: the check then tells you to regenerate with
+``--update`` instead of failing.
+
+Usage::
+
+    python benchmarks/golden_plans.py --check
+    python benchmarks/golden_plans.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+MANIFEST = GOLDEN_DIR / "MANIFEST.json"
+LEVEL = "O4"
+N = 8
+
+
+def golden_path(kernel: str) -> Path:
+    return GOLDEN_DIR / f"{kernel}.{LEVEL}.json"
+
+
+def current_documents() -> dict[str, str]:
+    from repro.kernels import KERNELS, compile_kernel
+    from repro.plan import plan_to_json
+
+    docs = {}
+    for name in sorted(KERNELS):
+        compiled = compile_kernel(name, bindings={"N": N}, level=LEVEL)
+        docs[name] = plan_to_json(compiled.plan)
+    return docs
+
+
+def update() -> int:
+    from repro.plan import PLAN_SCHEMA_VERSION
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    docs = current_documents()
+    for name, doc in docs.items():
+        golden_path(name).write_text(doc)
+    MANIFEST.write_text(json.dumps(
+        {"schema": PLAN_SCHEMA_VERSION, "level": LEVEL, "n": N,
+         "kernels": sorted(docs)}, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(docs)} golden plans to {GOLDEN_DIR} "
+          f"(schema v{PLAN_SCHEMA_VERSION})")
+    return 0
+
+
+def check() -> int:
+    from repro.plan import PLAN_SCHEMA_VERSION
+
+    if not MANIFEST.exists():
+        print(f"no golden manifest at {MANIFEST}; run with --update",
+              file=sys.stderr)
+        return 1
+    manifest = json.loads(MANIFEST.read_text())
+    if manifest["schema"] != PLAN_SCHEMA_VERSION:
+        print(f"PLAN_SCHEMA_VERSION bumped "
+              f"({manifest['schema']} -> {PLAN_SCHEMA_VERSION}): "
+              f"goldens are stale by declaration; regenerate with "
+              f"--update", file=sys.stderr)
+        return 1
+    docs = current_documents()
+    failed = []
+    for name, doc in docs.items():
+        path = golden_path(name)
+        if not path.exists():
+            failed.append(f"{name}: no golden at {path}")
+            continue
+        if path.read_text() != doc:
+            failed.append(
+                f"{name}: compiled plan differs from {path.name}")
+    missing = set(manifest["kernels"]) - set(docs)
+    for name in sorted(missing):
+        failed.append(f"{name}: kernel vanished from the registry")
+    if failed:
+        for msg in failed:
+            print(f"golden mismatch: {msg}", file=sys.stderr)
+        print(
+            f"\n{len(failed)} golden plan(s) changed without a "
+            f"PLAN_SCHEMA_VERSION bump.  If the change is intentional, "
+            f"bump PLAN_SCHEMA_VERSION in src/repro/plan/serialize.py "
+            f"and regenerate with:\n"
+            f"    python benchmarks/golden_plans.py --update",
+            file=sys.stderr)
+        return 1
+    print(f"{len(docs)} golden plans match (schema "
+          f"v{PLAN_SCHEMA_VERSION})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="fail if any kernel's plan drifted from its "
+                           "golden without a schema bump")
+    mode.add_argument("--update", action="store_true",
+                      help="regenerate every golden plan document")
+    args = ap.parse_args(argv)
+    return update() if args.update else check()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

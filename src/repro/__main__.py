@@ -16,7 +16,15 @@ Commands
               timelines, and the cost-model validation table; exports
               profile.json (``-o``) and Chrome/Perfetto traces
               (``--chrome``).
+``plan``      compile a named kernel (or file) and print its plan IR —
+              the textual SPMD program by default, the versioned JSON
+              document with ``--json``; ``-o`` writes to a file.
 ``experiments``  regenerate the paper's evaluation exhibits.
+
+Every compiling command takes ``--cache-dir PATH`` to memoize plans in
+an on-disk :class:`~repro.compiler.cache.PersistentPlanCache` that
+survives across processes, and ``--plan-passes`` to enable the
+post-codegen plan optimizations of :mod:`repro.plan.passes`.
 
 Examples
 --------
@@ -27,6 +35,7 @@ Examples
    python -m repro run kernel.f90 --bind N=256 --grid 2x2 --iters 10
    python -m repro profile nine_point --grid 4x4 --opt O4 \\
           --chrome out.json
+   python -m repro plan purdue9 --json -o purdue9.plan.json
    python -m repro experiments fig17
 """
 
@@ -70,6 +79,48 @@ def _parse_grid(text: str) -> tuple[int, ...]:
     return grid
 
 
+def _resolve_cache(args: argparse.Namespace):
+    """``--cache-dir`` wins (persistent, cross-process); ``--cache``
+    selects the process-wide in-memory default; otherwise no cache."""
+    if getattr(args, "cache_dir", None):
+        from repro.compiler import PersistentPlanCache
+        return PersistentPlanCache(args.cache_dir)
+    return getattr(args, "cache", False)
+
+
+def _resolve_source(name_or_file: str, args: argparse.Namespace):
+    """A kernel name from the registry, or a path to HPF source.
+
+    Returns ``(source, bindings, outputs)`` with the registry defaults
+    merged under any explicit ``--bind``/``--output`` flags.
+    """
+    import os
+
+    from repro import kernels
+
+    bindings = _parse_bindings(args.bind)
+    outputs = set(args.output) or None
+    if os.path.exists(name_or_file):
+        return open(name_or_file).read(), bindings, outputs
+    spec = kernels.resolve_kernel(name_or_file)  # KeyError -> ReproError?
+    return (spec.source, {**spec.default_bindings, **bindings},
+            outputs or set(spec.outputs))
+
+
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache", action="store_true",
+                   help="memoize compilation in the process-wide plan "
+                        "cache (repeat compiles of identical "
+                        "source/options hit in microseconds)")
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="memoize compiled plans on disk under PATH "
+                        "(survives across processes; overrides --cache)")
+    p.add_argument("--plan-passes", action="store_true",
+                   help="run the post-codegen plan optimizations: op "
+                        "scheduling, redundant-shift coalescing, dead "
+                        "alloc elimination")
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("file", help="HPF source file")
     p.add_argument("--bind", action="append", default=[],
@@ -81,10 +132,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="array live out of the routine (repeatable)")
     p.add_argument("--cse", action="store_true",
                    help="eliminate duplicate shifts during normalization")
-    p.add_argument("--cache", action="store_true",
-                   help="memoize compilation in the process-wide plan "
-                        "cache (repeat compiles of identical "
-                        "source/options hit in microseconds)")
+    _add_cache_flags(p)
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable JSON report instead of "
                         "prose")
@@ -96,7 +144,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
                            level=args.level,
                            outputs=set(args.output) or None,
                            cse=args.cse, keep_trace=args.trace,
-                           cache=args.cache)
+                           plan_passes=args.plan_passes,
+                           cache=_resolve_cache(args))
     r = compiled.report
     if args.json:
         print(json.dumps({
@@ -132,7 +181,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     compiled = compile_hpf(source, bindings=_parse_bindings(args.bind),
                            level=args.level,
                            outputs=set(args.output) or None,
-                           cse=args.cse, cache=args.cache)
+                           cse=args.cse, plan_passes=args.plan_passes,
+                           cache=_resolve_cache(args))
     from repro.machine.presets import by_name
     machine = Machine(grid=_parse_grid(args.grid),
                       cost_model=by_name(args.machine),
@@ -162,30 +212,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    import os
-
-    from repro import kernels
     from repro.analysis.report import describe_trace
     from repro.obs import Tracer
 
-    bindings = _parse_bindings(args.bind)
-    outputs = set(args.output) or None
-    if os.path.exists(args.kernel):
-        source = open(args.kernel).read()
-    else:
-        try:
-            spec = kernels.resolve_kernel(args.kernel)
-        except KeyError as exc:
-            print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 1
-        source = spec.source
-        bindings = {**spec.default_bindings, **bindings}
-        outputs = outputs or set(spec.outputs)
+    try:
+        source, bindings, outputs = _resolve_source(args.kernel, args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
 
     tracer = Tracer()
     compiled = compile_hpf(source, bindings=bindings, level=args.level,
                            outputs=outputs, tracer=tracer,
-                           cache=args.cache)
+                           plan_passes=args.plan_passes,
+                           cache=_resolve_cache(args))
     from repro.machine.presets import by_name
     machine = Machine(grid=_parse_grid(args.grid),
                       cost_model=by_name(args.machine))
@@ -209,33 +249,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    import os
-
-    from repro import kernels
     from repro.analysis.report import describe_profile
     from repro.obs import Tracer, write_chrome_trace, write_profile
 
-    bindings = _parse_bindings(args.bind)
-    outputs = set(args.output) or None
     level = args.opt or args.level
     kernel_name = args.kernel
-    if os.path.exists(args.kernel):
-        source = open(args.kernel).read()
-    else:
-        try:
-            spec = kernels.resolve_kernel(args.kernel)
-        except KeyError as exc:
-            print(f"error: {exc.args[0]}", file=sys.stderr)
-            return 1
-        source = spec.source
-        bindings = {**spec.default_bindings, **bindings}
-        outputs = outputs or set(spec.outputs)
+    try:
+        source, bindings, outputs = _resolve_source(args.kernel, args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
 
     # tracer feeds the Chrome trace's compile-passes track
     tracer = Tracer() if args.chrome else None
     compiled = compile_hpf(source, bindings=bindings, level=level,
                            outputs=outputs, tracer=tracer,
-                           cache=args.cache)
+                           plan_passes=args.plan_passes,
+                           cache=_resolve_cache(args))
     from repro.machine.presets import by_name
     machine = Machine(grid=_parse_grid(args.grid),
                       cost_model=by_name(args.machine),
@@ -263,6 +293,33 @@ def cmd_profile(args: argparse.Namespace) -> int:
         sys.stdout.write(profile_to_json(profile))
     else:
         print(describe_profile(profile))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    try:
+        source, bindings, outputs = _resolve_source(args.kernel, args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    compiled = compile_hpf(source, bindings=bindings, level=args.level,
+                           outputs=outputs,
+                           plan_passes=args.plan_passes,
+                           cache=_resolve_cache(args))
+    if args.json:
+        from repro.plan import plan_to_json
+        text = plan_to_json(compiled.plan)
+    else:
+        from repro.plan import plan_to_text
+        text = plan_to_text(compiled.plan)
+        if not text.endswith("\n"):
+            text += "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote plan to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -301,10 +358,12 @@ def main(argv: list[str] | None = None) -> int:
                    help="emit the Fortran77+MPI node program")
     p.set_defaults(fn=cmd_compile)
 
+    from repro.runtime.backends import available_backends
+    backends = available_backends()
+
     p = sub.add_parser("run", help="compile and execute")
     _add_common(p)
-    p.add_argument("--backend", default="perpe",
-                   choices=["perpe", "vectorized"],
+    p.add_argument("--backend", default="perpe", choices=backends,
                    help="execution backend: per-PE interpretation "
                         "(default) or whole-array vectorized slabs "
                         "(identical results and cost report, faster "
@@ -336,13 +395,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="optimization level O0..O4 (default O4)")
     p.add_argument("--output", action="append", default=[],
                    help="array live out of the routine (repeatable)")
-    p.add_argument("--backend", default="perpe",
-                   choices=["perpe", "vectorized"],
+    p.add_argument("--backend", default="perpe", choices=backends,
                    help="execution backend: per-PE interpretation "
                         "(default) or whole-array vectorized slabs")
-    p.add_argument("--cache", action="store_true",
-                   help="memoize compilation in the process-wide plan "
-                        "cache")
+    _add_cache_flags(p)
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
     p.add_argument("--iters", type=int, default=1,
@@ -375,13 +431,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="alias for --level")
     p.add_argument("--output", action="append", default=[],
                    help="array live out of the routine (repeatable)")
-    p.add_argument("--backend", default="perpe",
-                   choices=["perpe", "vectorized"],
+    p.add_argument("--backend", default="perpe", choices=backends,
                    help="execution backend; both produce identical "
                         "communication profiles")
-    p.add_argument("--cache", action="store_true",
-                   help="memoize compilation in the process-wide plan "
-                        "cache")
+    _add_cache_flags(p)
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
     p.add_argument("--iters", type=int, default=1,
@@ -400,6 +453,31 @@ def main(argv: list[str] | None = None) -> int:
                    help="print profile.json to stdout instead of the "
                         "text report")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "plan",
+        help="compile a kernel and print its plan IR (text or JSON)")
+    p.add_argument("kernel",
+                   help="kernel name (e.g. purdue9, five_point, "
+                        "box27_3d) or an HPF source file")
+    p.add_argument("--bind", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="bind a size parameter (default N=64 for named "
+                        "kernels)")
+    p.add_argument("--level", default="O4",
+                   help="optimization level O0..O4 (default O4)")
+    p.add_argument("--output", action="append", default=[],
+                   help="array live out of the routine (repeatable)")
+    _add_cache_flags(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the versioned JSON plan document "
+                        "(repro.plan.serialize schema) instead of the "
+                        "textual SPMD program")
+    p.add_argument("--text", action="store_true",
+                   help="print the textual SPMD program (the default)")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="write the plan to FILE instead of stdout")
+    p.set_defaults(fn=cmd_plan)
 
     p = sub.add_parser("experiments",
                        help="regenerate the paper's exhibits")

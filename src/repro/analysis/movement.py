@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compiler.plan import FullShiftOp, OverlapShiftOp, Plan
+from repro.plan import FullShiftOp, OverlapShiftOp, Plan
 from repro.machine.machine import Machine
 from repro.runtime.executor import _Exec
 

@@ -30,26 +30,7 @@ from repro.ir.nodes import (
     OffsetRef, OverlapShift, ScalarAssign, Stmt,
 )
 from repro.ir.program import Program
-
-Fill = float | None
-
-
-@dataclass(frozen=True)
-class RegionCover:
-    """What one (array, dim, sign) overlap region currently holds."""
-
-    amount: int                    # filled depth along the shifted dim
-    ortho: tuple[tuple[int, int], ...]  # (lo, hi) coverage per other dim
-    fill: Fill
-
-    def meet(self, other: "RegionCover") -> "RegionCover | None":
-        if self.fill != other.fill:
-            return None
-        ortho = tuple((min(a[0], b[0]), min(a[1], b[1]))
-                      for a, b in zip(self.ortho, other.ortho))
-        return RegionCover(min(self.amount, other.amount), ortho,
-                           self.fill)
-
+from repro.plan.verify import Fill, RegionCover  # noqa: F401 (re-export)
 
 State = dict[tuple[str, int, int], RegionCover]
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from repro.compiler.driver import HpfCompiler
 from repro.compiler.options import CompilerOptions, OptLevel
-from repro.compiler.plan import CompiledProgram
+from repro.plan import CompiledProgram
 from repro.frontend.parser import parse_program
 from repro.ir.nodes import ArrayAssign, CShift, EOShift
 from repro.ir.program import Program

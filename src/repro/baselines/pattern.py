@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import PatternMatchError
 from repro.compiler.driver import compile_hpf
-from repro.compiler.plan import CompiledProgram
+from repro.plan import CompiledProgram
 from repro.frontend.parser import parse_program
 from repro.ir.nodes import (
     ArrayAssign, ArrayRef, BinOp, Const, CShift, Expr, ScalarRef, Stmt,

@@ -15,7 +15,7 @@ The optimization levels map onto the paper's cumulative strategy
 
 from repro.compiler.options import OptLevel, CompilerOptions  # noqa: F401
 from repro.compiler.driver import HpfCompiler, compile_hpf  # noqa: F401
-from repro.compiler.plan import Plan, CompiledProgram  # noqa: F401
+from repro.plan import Plan, CompiledProgram  # noqa: F401
 from repro.compiler.cache import (  # noqa: F401
-    DEFAULT_CACHE, CacheStats, PlanCache, cache_key,
+    DEFAULT_CACHE, CacheStats, PersistentPlanCache, PlanCache, cache_key,
 )

@@ -4,7 +4,7 @@ Compilation of a stencil kernel is pure — the plan depends only on the
 source text, the size bindings, and the :class:`CompilerOptions` — and
 experiment drivers recompile the same kernel for every machine shape and
 iteration count they sweep.  :class:`PlanCache` memoizes
-:class:`~repro.compiler.plan.CompiledProgram` objects under a content
+:class:`~repro.plan.CompiledProgram` objects under a content
 hash of exactly those inputs (plus an optional machine fingerprint for
 callers that specialise plans per machine), with LRU eviction, explicit
 invalidation, and hit/miss/invalidation counters surfaced through the
@@ -20,11 +20,14 @@ callers that mutate a compiled program must bypass the cache.
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.compiler.options import CompilerOptions
-from repro.compiler.plan import CompiledProgram
+from repro.plan.ops import CompiledProgram
 
 
 @dataclass
@@ -79,6 +82,16 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def key_for(self, source: str, name: str,
+                bindings: "dict[str, int] | None",
+                options: CompilerOptions) -> str:
+        """The key this cache files one compilation under.
+
+        The in-memory cache is machine-agnostic (plans are symbolic over
+        the processor grid), so no machine fingerprint participates.
+        """
+        return cache_key(source, name, bindings, options)
+
     def get(self, key: str) -> CompiledProgram | None:
         entry = self._entries.get(key)
         if entry is None:
@@ -106,6 +119,90 @@ class PlanCache:
             self._entries.clear()
         else:
             dropped = 1 if self._entries.pop(key, None) is not None else 0
+        self.stats.invalidations += dropped
+        return dropped
+
+
+class PersistentPlanCache:
+    """On-disk plan cache: compiled programs survive the interpreter.
+
+    Entries are the versioned JSON documents of
+    :mod:`repro.plan.serialize`, one file per key under ``path``.
+    Writes are atomic (temp file + ``os.replace``) so a crashed or
+    concurrent writer can never leave a half-written entry; reads treat
+    *any* failure — missing file, truncated JSON, a schema-version
+    mismatch from an older build — as a miss, so corruption degrades to
+    recompilation, never to an error or a stale plan.
+
+    Unlike the in-memory :class:`PlanCache`, lookups key on
+    ``Machine.fingerprint()`` (grid shape, memory capacity, cost-model
+    constants): a persistent entry may outlive the machine configuration
+    that produced it, and replaying a plan tuned for one machine on
+    another must miss, not silently reuse.  Pass the :class:`Machine`
+    the plan will run on (or its fingerprint string); compile-only
+    callers may leave it empty.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]",
+                 machine=None, machine_fingerprint: str = "") -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        if machine is not None:
+            machine_fingerprint = machine.fingerprint()
+        self.machine_fingerprint = machine_fingerprint
+        self.stats = CacheStats()
+
+    def key_for(self, source: str, name: str,
+                bindings: "dict[str, int] | None",
+                options: CompilerOptions) -> str:
+        return cache_key(source, name, bindings, options,
+                         self.machine_fingerprint)
+
+    def _file(self, key: str) -> Path:
+        return self.path / f"{key}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.json"))
+
+    def get(self, key: str) -> CompiledProgram | None:
+        from repro.plan.serialize import program_from_json
+        try:
+            text = self._file(key).read_text()
+            program = program_from_json(text)
+        except Exception:
+            # absent, unreadable, corrupt, or wrong schema: recompile
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return program
+
+    def put(self, key: str, program: CompiledProgram) -> None:
+        from repro.plan.serialize import program_to_json
+        text = program_to_json(program)
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(text)
+            os.replace(tmp, self._file(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def invalidate(self, key: str | None = None) -> int:
+        """Remove one entry file (or every entry when ``key`` is
+        ``None``); returns the number removed."""
+        files = [self._file(key)] if key is not None \
+            else list(self.path.glob("*.json"))
+        dropped = 0
+        for f in files:
+            try:
+                f.unlink()
+                dropped += 1
+            except OSError:
+                pass
         self.stats.invalidations += dropped
         return dropped
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import PipelineError
 from repro.compiler.options import CompilerOptions
-from repro.compiler.plan import (
+from repro.plan import (
     AllocOp, ArrayDecl, Box, CondOp, FreeOp, FullShiftOp, LoopNestOp,
     NestStmt, OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp,
     WhileOp,
@@ -158,7 +158,7 @@ class CodeGenerator:
         shifts feed the nest, so the executor can charge
         max(comm, interior) + boundary (the classic follow-on
         optimization; enabled by ``overlap_comm``)."""
-        from repro.compiler.plan import OverlappedOp
+        from repro.plan import OverlappedOp
         out: list[PlanOp] = []
         pending: list[OverlapShiftOp] = []
         for op in ops:
@@ -197,7 +197,7 @@ class CodeGenerator:
                 op.then_ops = self._apply_comm_overlap(op.then_ops)
                 op.else_ops = self._apply_comm_overlap(op.else_ops)
             else:
-                from repro.compiler.plan import WhileOp
+                from repro.plan import WhileOp
                 if isinstance(op, WhileOp):
                     op.body = self._apply_comm_overlap(op.body)
             out.append(op)
@@ -331,7 +331,9 @@ class CodeGenerator:
             memopt=self.options.level.memopt,
             unroll_jam=self.options.unroll_jam
             if self.options.level.memopt else 1,
-            label=f"nest@s{stmts[0].sid}",
+            # per-compilation ordinal, not the global statement sid:
+            # plan documents must be byte-stable across process history
+            label=f"nest@{self.loop_nests}:{stmts[0].lhs.name}",
         )
 
     def _scalarize_reductions(self, expr: Expr) -> Expr:
@@ -435,7 +437,7 @@ class CodeGenerator:
 
 
 def _walk(ops: list[PlanOp]):
-    from repro.compiler.plan import OverlappedOp
+    from repro.plan import OverlappedOp
     for op in ops:
         yield op
         if isinstance(op, (SeqLoopOp, WhileOp)):

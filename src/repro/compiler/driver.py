@@ -6,7 +6,7 @@ import copy
 
 from repro.compiler.codegen import CodeGenerator
 from repro.compiler.options import CompilerOptions, OptLevel
-from repro.compiler.plan import CompiledProgram, CompileReport, FullShiftOp, \
+from repro.plan import CompiledProgram, CompileReport, FullShiftOp, \
     LoopNestOp, OverlapShiftOp
 from repro.frontend.parser import parse_program
 from repro.ir.program import Program
@@ -80,16 +80,23 @@ class HpfCompiler:
         key = None
         if cache is not None and isinstance(source, str):
             from repro.compiler.cache import cache_key
-            from repro.obs.tracer import coalesce
-            key = cache_key(source, name, bindings, self.options)
+            # caches that specialise per machine (PersistentPlanCache)
+            # supply their own key derivation
+            key_for = getattr(cache, "key_for", None)
+            key = key_for(source, name, bindings, self.options) \
+                if key_for is not None \
+                else cache_key(source, name, bindings, self.options)
             hit = cache.get(key)
-            tr = coalesce(tracer)
-            if tr.enabled:
-                with tr.span("plan-cache", kind="compile",
-                             result="hit" if hit is not None
-                             else "miss") as sp:
-                    for stat, value in cache.stats.as_dict().items():
-                        sp.gauge(f"cache_{stat}", value)
+            if tracer is not None:
+                from repro.obs.tracer import coalesce
+                tr = coalesce(tracer)
+                if tr.enabled:
+                    with tr.span("plan-cache", kind="compile",
+                                 result="hit" if hit is not None
+                                 else "miss") as sp:
+                        for stat, value in \
+                                cache.stats.as_dict().items():
+                            sp.gauge(f"cache_{stat}", value)
             if hit is not None:
                 return hit
         compiled = self._compile_uncached(source, bindings, name, tracer)
@@ -119,7 +126,19 @@ class HpfCompiler:
                 gen = CodeGenerator(program, self.options)
                 plan = gen.generate()
                 cg_span.gauge("statements_fused", gen.fused_statements)
+            if self.options.verify_plan:
+                from repro.plan import assert_plan_valid
+                with tracer.span("verify-plan", kind="analysis"):
+                    assert_plan_valid(plan, phase="codegen")
+            plan_pass_stats = None
+            if self.options.plan_passes:
+                from repro.plan import PlanPassManager
+                manager = PlanPassManager(
+                    verify=self.options.verify_plan, tracer=tracer)
+                plan, plan_pass_stats = manager.run(plan)
             report = self._build_report(program, plan, passes, gen)
+            if plan_pass_stats is not None:
+                report.pass_stats["plan-passes"] = plan_pass_stats
             if tracer.enabled:
                 span.attrs["source"] = program.name
                 span.gauge("overlap_shifts", report.overlap_shifts)

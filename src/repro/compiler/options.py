@@ -68,6 +68,15 @@ class CompilerOptions:
     ``hpf_overhead`` multiplies subgrid-loop cost to model an early HPF
     compiler's interpretive node code; used only by the xlhpf-like
     baseline.
+
+    ``plan_passes`` enables the post-codegen plan-level optimizations
+    (:mod:`repro.plan.passes`): op scheduling, redundant-shift
+    coalescing, dead alloc elimination.  Off by default so the emitted
+    plans keep matching the paper's figure-for-figure op sequences.
+
+    ``verify_plan`` runs the plan verifier (:mod:`repro.plan.verify`)
+    after codegen (and after every plan pass when those are enabled);
+    on by default — it is a pure check.
     """
 
     level: OptLevel = OptLevel.O4
@@ -81,6 +90,8 @@ class CompilerOptions:
     overlap_comm: bool = False
     hpf_overhead: bool = False
     keep_trace: bool = False
+    plan_passes: bool = False
+    verify_plan: bool = True
 
     @staticmethod
     def make(level: "OptLevel | int | str" = OptLevel.O4,
@@ -106,4 +117,6 @@ class CompilerOptions:
                 f"hoist_comm={self.hoist_comm};"
                 f"overlap_comm={self.overlap_comm};"
                 f"hpf_overhead={self.hpf_overhead};"
-                f"keep_trace={self.keep_trace}")
+                f"keep_trace={self.keep_trace};"
+                f"plan_passes={self.plan_passes};"
+                f"verify_plan={self.verify_plan}")

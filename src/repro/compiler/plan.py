@@ -1,244 +1,22 @@
-"""Executable plans: the compiler's output.
+"""Backwards-compatible re-export of the Plan IR.
 
-A :class:`Plan` is an ordered list of plan operations over named
-distributed arrays — communication calls, full shifts, and subgrid loop
-nests (already scalarized, fused, and annotated with the per-point
-memory profile the cost model prices).  The
-:mod:`repro.runtime.executor` runs plans on a
-:class:`~repro.machine.Machine`.
+The plan op types now live in the :mod:`repro.plan` package (ops,
+verifier, passes, printer, serializer); this module keeps the historic
+``repro.compiler.plan`` import path working.  New code should import
+from :mod:`repro.plan`.
 """
 
-from __future__ import annotations
+from repro.plan.ops import (
+    AllocOp, ArrayDecl, Blocks, Box, CompiledProgram, CompileReport,
+    CondOp, FreeOp, FullShiftOp, LoopNestOp, NestStmt, OverlappedOp,
+    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
+    map_blocks, op_label, walk,
+)
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.ir.linexpr import LinExpr
-from repro.ir.nodes import Expr
-from repro.ir.rsd import RSD
-from repro.ir.types import Distribution
-from repro.machine.cost_model import LoopStats
-
-Box = tuple[tuple[LinExpr, LinExpr], ...]
-
-
-class PlanOp:
-    """Base class of plan operations."""
-
-
-@dataclass
-class ArrayDecl:
-    """Declaration of one distributed array materialised at run time."""
-
-    name: str
-    shape: tuple[int, ...]
-    distribution: Distribution
-    dtype: np.dtype
-    halo: tuple[tuple[int, int], ...]
-    is_temporary: bool = False
-
-
-@dataclass
-class AllocOp(PlanOp):
-    """Materialise arrays (ALLOCATE); charges per-PE memory."""
-
-    names: tuple[str, ...]
-
-
-@dataclass
-class FreeOp(PlanOp):
-    """Release arrays (DEALLOCATE)."""
-
-    names: tuple[str, ...]
-
-
-@dataclass
-class OverlapShiftOp(PlanOp):
-    """Interprocessor slab exchange into an overlap area."""
-
-    array: str
-    shift: int
-    dim: int  # 1-based
-    rsd: RSD | None = None
-    base_offsets: tuple[int, ...] | None = None
-    boundary: float | None = None
-
-
-@dataclass
-class FullShiftOp(PlanOp):
-    """Complete CSHIFT/EOSHIFT: slab exchange plus whole-subgrid copy.
-
-    The naive (O0 / xlhpf-like) translation of every shift intrinsic.
-    """
-
-    dst: str
-    src: str
-    shift: int
-    dim: int
-    boundary: float | None = None  # None = circular
-
-
-@dataclass
-class NestStmt:
-    """One scalarized assignment inside a loop nest.
-
-    ``rhs`` references arrays only through aligned/offset references;
-    evaluation context supplies the iteration point.  ``mask`` makes the
-    store elementwise-conditional (WHERE body statement).
-    """
-
-    lhs: str
-    rhs: Expr
-    mask: Expr | None = None
-
-    def __str__(self) -> str:
-        if self.mask is not None:
-            return f"WHERE ({self.mask}) {self.lhs} = {self.rhs}"
-        return f"{self.lhs} = {self.rhs}"
-
-
-@dataclass
-class LoopNestOp(PlanOp):
-    """A fused subgrid loop nest over a global iteration box.
-
-    ``space`` bounds are 1-based inclusive, symbolic over size params.
-    ``stats`` is the per-point memory profile after the (optional)
-    memory-optimization analysis; ``stats_per_statement`` carries the
-    unfused equivalents for reporting.
-    """
-
-    statements: list[NestStmt]
-    space: Box
-    stats: LoopStats
-    fused: bool = False
-    memopt: bool = False
-    unroll_jam: int = 1
-    label: str = ""
-
-
-@dataclass
-class ScalarAssignOp(PlanOp):
-    """Replicated scalar assignment."""
-
-    name: str
-    rhs: Expr
-
-
-@dataclass
-class SeqLoopOp(PlanOp):
-    """Serial host DO loop (time stepping)."""
-
-    var: str
-    lo: LinExpr
-    hi: LinExpr
-    body: list[PlanOp]
-
-
-@dataclass
-class WhileOp(PlanOp):
-    """Serial host DO WHILE loop on a replicated scalar condition."""
-
-    cond: Expr
-    body: list[PlanOp]
-
-
-@dataclass
-class OverlappedOp(PlanOp):
-    """Communication overlapped with interior computation.
-
-    The classic successor optimization to the paper's pipeline: while
-    the overlap-shift messages are in flight, each PE computes the
-    *interior* of its block — the points whose stencil reads touch no
-    overlap cell — and only the boundary strips wait for the halos.
-    Modelled time becomes ``max(comm, interior) + boundary`` instead of
-    ``comm + interior + boundary``.
-
-    The executor still moves data before computing (the simulator is
-    sequential); the saving is applied to the per-PE timeline, which is
-    exactly what the cost model represents.
-    """
-
-    comm_ops: list[PlanOp]   # OverlapShiftOps
-    nest: "LoopNestOp"
-
-
-@dataclass
-class CondOp(PlanOp):
-    """Host IF on a replicated scalar condition."""
-
-    cond: Expr
-    then_ops: list[PlanOp]
-    else_ops: list[PlanOp]
-
-
-@dataclass
-class Plan:
-    """The full executable program."""
-
-    arrays: dict[str, ArrayDecl]
-    params: dict[str, int]
-    scalar_names: tuple[str, ...]
-    ops: list[PlanOp]
-    entry_arrays: tuple[str, ...] = ()  # materialised before op 0
-    #: declared !HPF$ PROCESSORS arrangement, if any
-    processors: tuple[int, ...] | None = None
-
-    def walk_ops(self):
-        def rec(ops):
-            for op in ops:
-                yield op
-                if isinstance(op, (SeqLoopOp, WhileOp)):
-                    yield from rec(op.body)
-                elif isinstance(op, CondOp):
-                    yield from rec(op.then_ops)
-                    yield from rec(op.else_ops)
-                elif isinstance(op, OverlappedOp):
-                    yield from rec(op.comm_ops)
-                    yield op.nest
-        yield from rec(self.ops)
-
-    def count_ops(self, kind: type) -> int:
-        return sum(1 for op in self.walk_ops() if isinstance(op, kind))
-
-
-@dataclass
-class CompileReport:
-    """Static facts about the compiled plan, for experiments/tests."""
-
-    level: str = "O4"
-    shift_statements: int = 0
-    overlap_shifts: int = 0
-    full_shifts: int = 0
-    loop_nests: int = 0
-    fused_statements: int = 0
-    temporaries: int = 0
-    temp_bytes_global: int = 0
-    copies_inserted: int = 0
-    pass_stats: dict[str, object] = field(default_factory=dict)
-
-
-@dataclass
-class CompiledProgram:
-    """Plan plus metadata; the object returned by ``compile_hpf``."""
-
-    plan: Plan
-    report: CompileReport
-    source_name: str = "MAIN"
-    trace: object | None = None  # PassTrace when requested
-
-    def run(self, machine, inputs=None, scalars=None, iterations: int = 1,
-            tracer=None, backend: str = "perpe", profile: bool = False):
-        """Execute on a machine; see :func:`repro.runtime.executor.execute`."""
-        from repro.runtime.executor import execute
-        return execute(self.plan, machine, inputs=inputs, scalars=scalars,
-                       iterations=iterations,
-                       hpf_overhead=self.report.pass_stats.get(
-                           "hpf_overhead", False),
-                       tracer=tracer, backend=backend, profile=profile)
-
-    def emit_fortran(self, name: str = "NODE_PROGRAM") -> str:
-        """Render the plan as a Fortran77+MPI node-program listing (the
-        code shape the paper's backend emitted)."""
-        from repro.compiler.femit import emit_fortran
-        return emit_fortran(self.plan, name)
+__all__ = [
+    "AllocOp", "ArrayDecl", "Blocks", "Box", "CompiledProgram",
+    "CompileReport", "CondOp", "FreeOp", "FullShiftOp", "LoopNestOp",
+    "NestStmt", "OverlappedOp", "OverlapShiftOp", "Plan", "PlanOp",
+    "ScalarAssignOp", "SeqLoopOp", "WhileOp", "map_blocks", "op_label",
+    "walk",
+]

@@ -60,6 +60,12 @@ class PipelineError(ReproError):
     """An optimization pass produced or received inconsistent IR."""
 
 
+class PlanVerificationError(PipelineError):
+    """The plan verifier found a structurally or semantically invalid
+    plan (uncovered offset read, use of an unallocated array, halo or
+    RSD inconsistency, ...)."""
+
+
 class PatternMatchError(ReproError):
     """Raised by the CM-2 style pattern-matching baseline when the input
     program is not a single-statement sum-of-products CSHIFT stencil.

@@ -53,7 +53,7 @@ def count_temp_storage(compiled, output: str) -> int:
     decls = compiled.plan.arrays
     temps = sum(1 for d in decls.values() if d.is_temporary)
     written = set()
-    from repro.compiler.plan import FullShiftOp, LoopNestOp
+    from repro.plan import FullShiftOp, LoopNestOp
     for op in compiled.plan.walk_ops():
         if isinstance(op, LoopNestOp):
             written.update(s.lhs for s in op.statements)

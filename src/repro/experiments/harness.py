@@ -7,7 +7,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.compiler.plan import CompiledProgram
+from repro.plan import CompiledProgram
 from repro.machine import Machine
 
 #: the paper's machine: a 4-processor IBM SP-2 as a 2x2 grid

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro import kernels
 from repro.compiler import compile_hpf
-from repro.compiler.plan import OverlapShiftOp
+from repro.plan import OverlapShiftOp
 from repro.experiments.harness import PAPER_GRID, Table, run_on_machine
 
 CASES = [

@@ -23,7 +23,7 @@ message log into three artifacts:
 Caveats, stated once: the matrix covers logged point-to-point messages
 (reduction allreduce charges bypass the network log, identically on both
 backends; self-sends are priced as local copies and carry no message
-record), and an :class:`~repro.compiler.plan.OverlappedOp`'s
+record), and an :class:`~repro.plan.OverlappedOp`'s
 communication-hiding credit can shrink its compute slice to zero.
 """
 

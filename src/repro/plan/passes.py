@@ -1,0 +1,335 @@
+"""Plan-level optimization passes.
+
+These run *after* codegen, on the lowest-level IR — the layer the
+AST-level pipeline (offset arrays, communication unioning, fusion)
+cannot see.  Codegen can re-introduce redundancy the statement passes
+already eliminated once (e.g. an ``OverlapShiftOp`` subsumed by an
+earlier one in the same straight-line block after fusion regrouping),
+and only the plan knows the final alloc/free placement.
+
+Three passes ship, run in this order by :func:`default_plan_passes`:
+
+``schedule``
+    Stable topological list scheduling within every block: hoists
+    communication ops as early as their dependences allow (so later
+    coalescing sees congruent comms adjacent) and sinks frees to their
+    last legal position.  Dependences are computed from each op's
+    read/write effect sets; ties preserve original order, so the
+    schedule is deterministic.
+``coalesce-shifts``
+    Removes an ``OverlapShiftOp`` whose effect is subsumed by an earlier
+    shift in the same block: same array/dimension/direction/fill, at
+    least the depth, an effective RSD that contains the later one, and
+    no intervening write to the array.  A non-trivial RSD is only
+    coalesced against the *immediately preceding* shift of that array —
+    orthogonal pickup depends on the array's residency at execution
+    time, which other interleaved shifts of the same array change.
+``dead-alloc``
+    Deletes alloc/free pairs (and the declarations) of arrays nothing
+    reads or writes, a situation AST-level passes cannot create or see
+    because temporaries are only named during codegen.
+
+Every pass is verified by :mod:`repro.plan.verify` after it runs (the
+:class:`PlanPassManager` enforces this), so a miscompiling pass fails
+loudly at compile time instead of corrupting results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PlanVerificationError
+from repro.ir.nodes import OffsetRef, ScalarRef
+from repro.ir.rsd import RSD
+from repro.plan.ops import (
+    AllocOp, CondOp, FreeOp, FullShiftOp, LoopNestOp, OverlappedOp,
+    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
+    map_blocks, walk,
+)
+from repro.plan.verify import verify_plan
+
+
+class PlanPass:
+    """Base class: a plan-to-plan rewrite with integer stats."""
+
+    name = "plan-pass"
+
+    def run(self, plan: Plan) -> tuple[Plan, dict[str, int]]:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# effect sets (shared by scheduling and coalescing)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Effects:
+    reads: set[str]
+    writes: set[str]
+    sreads: set[str]
+    swrites: set[str]
+
+
+def _expr_refs(expr) -> tuple[set[str], set[str]]:
+    arrays, scalars = set(), set()
+    for node in expr.walk():
+        if isinstance(node, OffsetRef):
+            arrays.add(node.name)
+        elif isinstance(node, ScalarRef):
+            scalars.add(node.name)
+    return arrays, scalars
+
+
+def _op_effects(op: PlanOp) -> _Effects:
+    """What one op (including everything nested inside it) reads and
+    writes.  Overlap shifts both read and write their array; frees are
+    modelled as writes so uses order before them and reallocations
+    after."""
+    eff = _Effects(set(), set(), set(), set())
+
+    def leaf(o: PlanOp) -> None:
+        if isinstance(o, OverlapShiftOp):
+            eff.reads.add(o.array)
+            eff.writes.add(o.array)
+        elif isinstance(o, FullShiftOp):
+            eff.reads.add(o.src)
+            eff.writes.add(o.dst)
+        elif isinstance(o, (AllocOp, FreeOp)):
+            if isinstance(o, FreeOp):
+                eff.reads.update(o.names)
+            eff.writes.update(o.names)
+        elif isinstance(o, LoopNestOp):
+            for stmt in o.statements:
+                eff.writes.add(stmt.lhs)
+                for e in ([stmt.rhs] +
+                          ([stmt.mask] if stmt.mask is not None else [])):
+                    a, s = _expr_refs(e)
+                    eff.reads.update(a)
+                    eff.sreads.update(s)
+            for lo, hi in o.space:
+                eff.sreads.update(lo.symbols())
+                eff.sreads.update(hi.symbols())
+        elif isinstance(o, ScalarAssignOp):
+            a, s = _expr_refs(o.rhs)
+            eff.reads.update(a)
+            eff.sreads.update(s)
+            eff.swrites.add(o.name)
+        elif isinstance(o, SeqLoopOp):
+            eff.swrites.add(o.var)
+            eff.sreads.update(o.lo.symbols())
+            eff.sreads.update(o.hi.symbols())
+        elif isinstance(o, (WhileOp, CondOp)):
+            a, s = _expr_refs(o.cond)
+            eff.reads.update(a)
+            eff.sreads.update(s)
+
+    for inner in walk([op]):
+        leaf(inner)
+    return eff
+
+
+def _conflicts(a: _Effects, b: _Effects) -> bool:
+    return bool((a.writes & (b.reads | b.writes))
+                or (a.reads & b.writes)
+                or (a.swrites & (b.sreads | b.swrites))
+                or (a.sreads & b.swrites))
+
+
+# ---------------------------------------------------------------------------
+# schedule
+# ---------------------------------------------------------------------------
+
+class SchedulePass(PlanPass):
+    """Stable topological list scheduling of every block."""
+
+    name = "schedule"
+
+    def run(self, plan: Plan) -> tuple[Plan, dict[str, int]]:
+        moved = 0
+
+        def rank(op: PlanOp) -> int:
+            if isinstance(op, (OverlapShiftOp, OverlappedOp)):
+                return 0
+            if isinstance(op, FreeOp):
+                return 2
+            return 1
+
+        def schedule(block: list[PlanOp]) -> list[PlanOp]:
+            nonlocal moved
+            n = len(block)
+            if n < 2:
+                return block
+            effects = [_op_effects(op) for op in block]
+            succs: list[list[int]] = [[] for _ in range(n)]
+            npreds = [0] * n
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if _conflicts(effects[i], effects[j]):
+                        succs[i].append(j)
+                        npreds[j] += 1
+            ready = sorted(i for i in range(n) if npreds[i] == 0)
+            order: list[int] = []
+            while ready:
+                i = min(ready, key=lambda k: (rank(block[k]), k))
+                ready.remove(i)
+                order.append(i)
+                for j in succs[i]:
+                    npreds[j] -= 1
+                    if npreds[j] == 0:
+                        ready.append(j)
+            moved += sum(1 for pos, i in enumerate(order) if pos != i)
+            return [block[i] for i in order]
+
+        new_ops = map_blocks(plan.ops, schedule)
+        return replace(plan, ops=new_ops), {"moved_ops": moved}
+
+
+# ---------------------------------------------------------------------------
+# coalesce shifts
+# ---------------------------------------------------------------------------
+
+def _effective_rsd(op: OverlapShiftOp, rank: int) -> RSD:
+    if op.rsd is not None:
+        return op.rsd
+    if op.base_offsets and any(op.base_offsets):
+        return RSD.from_offsets(op.base_offsets, op.dim - 1)
+    return RSD.trivial(rank, op.dim - 1)
+
+
+class CoalesceShiftsPass(PlanPass):
+    """Remove overlap shifts subsumed by earlier ones in their block."""
+
+    name = "coalesce-shifts"
+
+    def run(self, plan: Plan) -> tuple[Plan, dict[str, int]]:
+        removed = 0
+
+        def subsumes(a: OverlapShiftOp, b: OverlapShiftOp,
+                     rank: int) -> bool:
+            if a.dim != b.dim or a.boundary != b.boundary:
+                return False
+            if (a.shift > 0) != (b.shift > 0):
+                return False
+            if abs(a.shift) < abs(b.shift):
+                return False
+            try:
+                return _effective_rsd(a, rank).contains(
+                    _effective_rsd(b, rank))
+            except ValueError:
+                return False
+
+        def coalesce(block: list[PlanOp]) -> list[PlanOp]:
+            nonlocal removed
+            out: list[PlanOp] = []
+            # per-array shifts since the array was last written; the
+            # list is in program order, so [-1] is the most recent
+            active: dict[str, list[OverlapShiftOp]] = {}
+            for op in block:
+                if isinstance(op, OverlapShiftOp):
+                    decl = plan.arrays.get(op.array)
+                    if decl is None:
+                        out.append(op)
+                        continue
+                    rank = len(decl.shape)
+                    prior = active.setdefault(op.array, [])
+                    trivial = _effective_rsd(op, rank).is_trivial
+                    # a trivial transfer picks up nothing orthogonal,
+                    # so any prior subsumer proves redundancy; a
+                    # non-trivial one reads the array's own residency,
+                    # which only the immediately preceding shift of
+                    # this array leaves unchanged
+                    candidates = prior if trivial else prior[-1:]
+                    if any(subsumes(a, op, rank) for a in candidates):
+                        removed += 1
+                        continue
+                    prior.append(op)
+                    out.append(op)
+                    continue
+                eff = _op_effects(op)
+                for name in eff.writes:
+                    active.pop(name, None)
+                out.append(op)
+            return out
+
+        new_ops = map_blocks(plan.ops, coalesce)
+        return replace(plan, ops=new_ops), {"coalesced_shifts": removed}
+
+
+# ---------------------------------------------------------------------------
+# dead alloc elimination
+# ---------------------------------------------------------------------------
+
+class DeadAllocElimPass(PlanPass):
+    """Delete alloc/free of arrays no op ever reads or writes."""
+
+    name = "dead-alloc"
+
+    def run(self, plan: Plan) -> tuple[Plan, dict[str, int]]:
+        live: set[str] = set(plan.entry_arrays)
+        for op in walk(plan.ops):
+            if isinstance(op, (AllocOp, FreeOp)):
+                continue
+            eff = _op_effects(op)
+            live |= eff.reads | eff.writes
+        removed_allocs = 0
+
+        def prune(block: list[PlanOp]) -> list[PlanOp]:
+            nonlocal removed_allocs
+            out = []
+            for op in block:
+                if isinstance(op, (AllocOp, FreeOp)):
+                    names = tuple(n for n in op.names if n in live)
+                    if isinstance(op, AllocOp):
+                        removed_allocs += len(op.names) - len(names)
+                    if not names:
+                        continue
+                    if names != op.names:
+                        op = replace(op, names=names)
+                out.append(op)
+            return out
+
+        new_ops = map_blocks(plan.ops, prune)
+        dead_decls = sorted(n for n in plan.arrays if n not in live)
+        arrays = {n: d for n, d in plan.arrays.items() if n in live}
+        return (replace(plan, ops=new_ops, arrays=arrays),
+                {"dead_allocs": removed_allocs,
+                 "dead_decls": len(dead_decls)})
+
+
+# ---------------------------------------------------------------------------
+# manager
+# ---------------------------------------------------------------------------
+
+def default_plan_passes() -> list[PlanPass]:
+    return [SchedulePass(), CoalesceShiftsPass(), DeadAllocElimPass()]
+
+
+class PlanPassManager:
+    """Runs plan passes in order, verifying the plan after each one."""
+
+    def __init__(self, passes: list[PlanPass] | None = None,
+                 verify: bool = True, tracer=None) -> None:
+        self.passes = default_plan_passes() if passes is None else passes
+        self.verify = verify
+        self.tracer = tracer
+
+    def run(self, plan: Plan) -> tuple[Plan, dict[str, dict[str, int]]]:
+        from repro.obs.tracer import coalesce
+        tracer = coalesce(self.tracer)
+        stats: dict[str, dict[str, int]] = {}
+        for p in self.passes:
+            with tracer.span(f"plan-pass:{p.name}", kind="plan-pass") \
+                    as span:
+                plan, pstats = p.run(plan)
+                stats[p.name] = pstats
+                if tracer.enabled:
+                    for k, v in pstats.items():
+                        span.count(k, v)
+            if self.verify:
+                problems = verify_plan(plan)
+                if problems:
+                    shown = "\n  ".join(str(pr) for pr in problems[:8])
+                    raise PlanVerificationError(
+                        f"plan pass {p.name!r} broke the plan: "
+                        f"{len(problems)} problem(s)\n  {shown}")
+        return plan, stats

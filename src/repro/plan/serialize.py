@@ -1,0 +1,360 @@
+"""Versioned JSON (de)serialization of plans and compiled programs.
+
+The wire format is deterministic — dict keys are emitted sorted and the
+encoder is pure — so ``serialize(load(serialize(x)))`` is byte-identical
+to ``serialize(x)``; golden-plan tests and the persistent plan cache
+both rely on this.  ``PLAN_SCHEMA_VERSION`` gates compatibility: any
+change to the op set, an op's fields, or the expression encoding must
+bump it, and loaders reject documents from a different version (the
+cache treats that as a miss, CI treats a golden-plan diff without a
+bump as a failure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.ir.linexpr import LinExpr
+from repro.ir.nodes import (
+    BinOp, Compare, Const, Expr, Intrinsic, OffsetRef, Reduction,
+    ScalarRef, UnaryOp,
+)
+from repro.ir.rsd import RSD, RSDim
+from repro.ir.types import DistKind, Distribution
+from repro.machine.cost_model import LoopStats
+from repro.plan.ops import (
+    AllocOp, ArrayDecl, CompiledProgram, CompileReport, CondOp, FreeOp,
+    FullShiftOp, LoopNestOp, NestStmt, OverlappedOp, OverlapShiftOp,
+    Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
+)
+
+#: Bump on ANY change to the serialized shape of a plan.
+PLAN_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# leaves
+# ---------------------------------------------------------------------------
+
+def _lin_to(e: LinExpr) -> dict:
+    return {"const": int(e.const),
+            "coeffs": [[n, int(c)] for n, c in e.coeffs]}
+
+
+def _lin_from(d: dict) -> LinExpr:
+    return LinExpr(d["const"], tuple((n, c) for n, c in d["coeffs"]))
+
+
+def _rsd_to(rsd: RSD | None) -> list | None:
+    if rsd is None:
+        return None
+    return [None if d is None else [d.lo, d.hi] for d in rsd.dims]
+
+
+def _rsd_from(doc: list | None) -> RSD | None:
+    if doc is None:
+        return None
+    return RSD(tuple(None if d is None else RSDim(d[0], d[1])
+                     for d in doc))
+
+
+def _dist_to(dist: Distribution) -> list[str]:
+    return [k.value for k in dist.dims]
+
+
+def _dist_from(doc: list[str]) -> Distribution:
+    return Distribution(tuple(DistKind(v) for v in doc))
+
+
+def _stats_to(st: LoopStats) -> dict:
+    return {f.name: float(getattr(st, f.name))
+            for f in dataclasses.fields(LoopStats)}
+
+
+def _stats_from(doc: dict) -> LoopStats:
+    return LoopStats(**doc)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+def _expr_to(e: Expr) -> dict:
+    if isinstance(e, Const):
+        return {"k": "const", "value": float(e.value)}
+    if isinstance(e, ScalarRef):
+        return {"k": "scalar", "name": e.name}
+    if isinstance(e, OffsetRef):
+        return {"k": "offset", "name": e.name,
+                "offsets": [int(o) for o in e.offsets],
+                "boundary": e.boundary}
+    if isinstance(e, BinOp):
+        return {"k": "bin", "o": e.op, "l": _expr_to(e.left),
+                "r": _expr_to(e.right)}
+    if isinstance(e, UnaryOp):
+        return {"k": "un", "o": e.op, "x": _expr_to(e.operand)}
+    if isinstance(e, Compare):
+        return {"k": "cmp", "o": e.op, "l": _expr_to(e.left),
+                "r": _expr_to(e.right)}
+    if isinstance(e, Intrinsic):
+        return {"k": "intr", "name": e.name,
+                "args": [_expr_to(a) for a in e.args]}
+    if isinstance(e, Reduction):
+        return {"k": "red", "o": e.op, "x": _expr_to(e.arg)}
+    raise PipelineError(
+        f"cannot serialize expression node {type(e).__name__}")
+
+
+def _expr_from(d: dict) -> Expr:
+    k = d["k"]
+    if k == "const":
+        return Const(d["value"])
+    if k == "scalar":
+        return ScalarRef(d["name"])
+    if k == "offset":
+        return OffsetRef(d["name"], tuple(d["offsets"]), d["boundary"])
+    if k == "bin":
+        return BinOp(d["o"], _expr_from(d["l"]), _expr_from(d["r"]))
+    if k == "un":
+        return UnaryOp(d["o"], _expr_from(d["x"]))
+    if k == "cmp":
+        return Compare(d["o"], _expr_from(d["l"]), _expr_from(d["r"]))
+    if k == "intr":
+        return Intrinsic(d["name"],
+                         tuple(_expr_from(a) for a in d["args"]))
+    if k == "red":
+        return Reduction(d["o"], _expr_from(d["x"]))
+    raise PipelineError(f"unknown expression tag {k!r}")
+
+
+# ---------------------------------------------------------------------------
+# ops
+# ---------------------------------------------------------------------------
+
+def _op_to(op: PlanOp) -> dict:
+    if isinstance(op, AllocOp):
+        return {"op": "alloc", "names": list(op.names)}
+    if isinstance(op, FreeOp):
+        return {"op": "free", "names": list(op.names)}
+    if isinstance(op, OverlapShiftOp):
+        return {"op": "overlap_shift", "array": op.array,
+                "shift": int(op.shift), "dim": int(op.dim),
+                "rsd": _rsd_to(op.rsd),
+                "base_offsets": (None if op.base_offsets is None
+                                 else [int(o) for o in op.base_offsets]),
+                "boundary": op.boundary}
+    if isinstance(op, FullShiftOp):
+        return {"op": "full_shift", "dst": op.dst, "src": op.src,
+                "shift": int(op.shift), "dim": int(op.dim),
+                "boundary": op.boundary}
+    if isinstance(op, LoopNestOp):
+        return {"op": "loop_nest",
+                "statements": [
+                    {"lhs": s.lhs, "rhs": _expr_to(s.rhs),
+                     "mask": None if s.mask is None else _expr_to(s.mask)}
+                    for s in op.statements],
+                "space": [[_lin_to(lo), _lin_to(hi)]
+                          for lo, hi in op.space],
+                "stats": _stats_to(op.stats),
+                "fused": op.fused, "memopt": op.memopt,
+                "unroll_jam": int(op.unroll_jam), "label": op.label}
+    if isinstance(op, ScalarAssignOp):
+        return {"op": "scalar_assign", "name": op.name,
+                "rhs": _expr_to(op.rhs)}
+    if isinstance(op, SeqLoopOp):
+        return {"op": "seq_loop", "var": op.var, "lo": _lin_to(op.lo),
+                "hi": _lin_to(op.hi),
+                "body": [_op_to(o) for o in op.body]}
+    if isinstance(op, WhileOp):
+        return {"op": "while", "cond": _expr_to(op.cond),
+                "body": [_op_to(o) for o in op.body]}
+    if isinstance(op, CondOp):
+        return {"op": "cond", "cond": _expr_to(op.cond),
+                "then": [_op_to(o) for o in op.then_ops],
+                "else": [_op_to(o) for o in op.else_ops]}
+    if isinstance(op, OverlappedOp):
+        return {"op": "overlapped",
+                "comm": [_op_to(o) for o in op.comm_ops],
+                "nest": _op_to(op.nest)}
+    raise PipelineError(f"cannot serialize plan op {type(op).__name__}")
+
+
+def _op_from(d: dict) -> PlanOp:
+    kind = d["op"]
+    if kind == "alloc":
+        return AllocOp(tuple(d["names"]))
+    if kind == "free":
+        return FreeOp(tuple(d["names"]))
+    if kind == "overlap_shift":
+        return OverlapShiftOp(
+            d["array"], d["shift"], d["dim"], rsd=_rsd_from(d["rsd"]),
+            base_offsets=(None if d["base_offsets"] is None
+                          else tuple(d["base_offsets"])),
+            boundary=d["boundary"])
+    if kind == "full_shift":
+        return FullShiftOp(d["dst"], d["src"], d["shift"], d["dim"],
+                           boundary=d["boundary"])
+    if kind == "loop_nest":
+        return LoopNestOp(
+            statements=[NestStmt(s["lhs"], _expr_from(s["rhs"]),
+                                 None if s["mask"] is None
+                                 else _expr_from(s["mask"]))
+                        for s in d["statements"]],
+            space=tuple((_lin_from(lo), _lin_from(hi))
+                        for lo, hi in d["space"]),
+            stats=_stats_from(d["stats"]),
+            fused=d["fused"], memopt=d["memopt"],
+            unroll_jam=d["unroll_jam"], label=d["label"])
+    if kind == "scalar_assign":
+        return ScalarAssignOp(d["name"], _expr_from(d["rhs"]))
+    if kind == "seq_loop":
+        return SeqLoopOp(d["var"], _lin_from(d["lo"]),
+                         _lin_from(d["hi"]),
+                         [_op_from(o) for o in d["body"]])
+    if kind == "while":
+        return WhileOp(_expr_from(d["cond"]),
+                       [_op_from(o) for o in d["body"]])
+    if kind == "cond":
+        return CondOp(_expr_from(d["cond"]),
+                      [_op_from(o) for o in d["then"]],
+                      [_op_from(o) for o in d["else"]])
+    if kind == "overlapped":
+        nest = _op_from(d["nest"])
+        assert isinstance(nest, LoopNestOp)
+        return OverlappedOp([_op_from(o) for o in d["comm"]], nest)
+    raise PipelineError(f"unknown plan op tag {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+def _decl_to(decl: ArrayDecl) -> dict:
+    return {"name": decl.name, "shape": [int(s) for s in decl.shape],
+            "distribution": _dist_to(decl.distribution),
+            "dtype": str(decl.dtype),
+            "halo": [[int(a), int(b)] for a, b in decl.halo],
+            "is_temporary": decl.is_temporary}
+
+
+def _decl_from(d: dict) -> ArrayDecl:
+    return ArrayDecl(d["name"], tuple(d["shape"]),
+                     _dist_from(d["distribution"]),
+                     np.dtype(d["dtype"]),
+                     tuple((a, b) for a, b in d["halo"]),
+                     is_temporary=d["is_temporary"])
+
+
+def plan_to_dict(plan: Plan) -> dict:
+    """Pure-JSON document for one plan (schema-stamped)."""
+    return {
+        "schema": PLAN_SCHEMA_VERSION,
+        # a list, not a mapping: declaration order is program order
+        "arrays": [_decl_to(plan.arrays[n]) for n in plan.arrays],
+        "params": {k: int(v) for k, v in plan.params.items()},
+        "scalar_names": list(plan.scalar_names),
+        "entry_arrays": list(plan.entry_arrays),
+        "processors": (None if plan.processors is None
+                       else list(plan.processors)),
+        "ops": [_op_to(op) for op in plan.ops],
+    }
+
+
+def _check_schema(doc: dict, what: str) -> None:
+    found = doc.get("schema")
+    if found != PLAN_SCHEMA_VERSION:
+        raise PipelineError(
+            f"{what} has schema version {found!r}; this build reads "
+            f"version {PLAN_SCHEMA_VERSION}")
+
+
+def plan_from_dict(doc: dict) -> Plan:
+    _check_schema(doc, "plan document")
+    decls = [_decl_from(d) for d in doc["arrays"]]
+    return Plan(
+        arrays={d.name: d for d in decls},
+        params=dict(doc["params"]),
+        scalar_names=tuple(doc["scalar_names"]),
+        ops=[_op_from(o) for o in doc["ops"]],
+        entry_arrays=tuple(doc["entry_arrays"]),
+        processors=(None if doc["processors"] is None
+                    else tuple(doc["processors"])),
+    )
+
+
+def _dumps(doc: dict) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def plan_to_json(plan: Plan) -> str:
+    return _dumps(plan_to_dict(plan))
+
+
+def plan_from_json(text: str) -> Plan:
+    return plan_from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# compiled programs (plan + report), for the persistent cache
+# ---------------------------------------------------------------------------
+
+def _pass_stat_to(value: object) -> object:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {"__dataclass__": f"{cls.__module__}:{cls.__qualname__}",
+                "fields": dataclasses.asdict(value)}
+    return value
+
+
+def _pass_stat_from(value: object) -> object:
+    if isinstance(value, dict) and "__dataclass__" in value:
+        path = value["__dataclass__"]
+        try:
+            mod_name, qualname = path.split(":")
+            if not mod_name.startswith("repro."):
+                raise ValueError(path)
+            cls = getattr(importlib.import_module(mod_name), qualname)
+            return cls(**value["fields"])
+        except Exception:
+            return dict(value["fields"])
+    return value
+
+
+def program_to_dict(program: CompiledProgram) -> dict:
+    report = {f.name: getattr(program.report, f.name)
+              for f in dataclasses.fields(CompileReport)
+              if f.name != "pass_stats"}
+    report["pass_stats"] = {
+        k: _pass_stat_to(v)
+        for k, v in program.report.pass_stats.items()}
+    return {
+        "schema": PLAN_SCHEMA_VERSION,
+        "plan": plan_to_dict(program.plan),
+        "report": report,
+        "source_name": program.source_name,
+    }
+
+
+def program_from_dict(doc: dict) -> CompiledProgram:
+    _check_schema(doc, "program document")
+    rep = dict(doc["report"])
+    rep["pass_stats"] = {k: _pass_stat_from(v)
+                         for k, v in rep["pass_stats"].items()}
+    return CompiledProgram(
+        plan=plan_from_dict(doc["plan"]),
+        report=CompileReport(**rep),
+        source_name=doc["source_name"],
+    )
+
+
+def program_to_json(program: CompiledProgram) -> str:
+    return _dumps(program_to_dict(program))
+
+
+def program_from_json(text: str) -> CompiledProgram:
+    return program_from_dict(json.loads(text))

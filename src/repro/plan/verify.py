@@ -1,0 +1,487 @@
+"""The plan verifier: structural and paper-semantic invariants.
+
+Runs over a :class:`~repro.plan.ops.Plan` (the lowest-level IR) after
+codegen and after every plan pass.  It is the plan-level twin of
+:mod:`repro.analysis.verify_offsets`, which checks the same §3.1/§3.3
+overlap-coverage discipline at the statement-IR level; this one also
+checks what only exists after lowering — allocation lifetimes, declared
+halo widths, RSD extents, and op-structure well-formedness.
+
+Checks, grouped by the ``check`` code on each problem:
+
+``structure``
+    Declared-array references, dimension numbers in range, RSD/offset
+    rank agreement, ``OverlappedOp`` bodies holding only overlap shifts,
+    scalar references resolvable.
+``alloc``
+    Alloc-before-use, no double allocation, no free of unallocated
+    arrays, no use-after-free; conditional branches must agree on the
+    allocation state and loop bodies must preserve it.
+``halo``
+    Every ``OverlapShiftOp`` depth, RSD extension, and base offset fits
+    inside the ``ArrayDecl`` halo, and every offset read stays within
+    the declared overlap area.
+``coverage``
+    Every offset read is covered by prior overlap shifts of sufficient
+    depth with the matching fill kind, including corner pickup through
+    residency-clamped orthogonal extensions (Figures 9/10) — mirroring
+    the AST-level verifier's region model exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+
+from repro.errors import PlanVerificationError
+from repro.ir.nodes import Expr, OffsetRef, Reduction, ScalarRef
+from repro.plan.ops import (
+    AllocOp, ArrayDecl, CondOp, FreeOp, FullShiftOp, LoopNestOp,
+    OverlappedOp, OverlapShiftOp, Plan, PlanOp, ScalarAssignOp,
+    SeqLoopOp, WhileOp, walk,
+)
+
+Fill = float | None
+
+
+@dataclass(frozen=True)
+class RegionCover:
+    """What one (array, dim, sign) overlap region currently holds.
+
+    Shared between this plan-level verifier and the AST-level
+    :mod:`repro.analysis.verify_offsets` checker (which re-exports it):
+    both model residency with the same clamped-pickup transfer function,
+    so accepting/rejecting is consistent across the two IR levels.
+    """
+
+    amount: int                    # filled depth along the shifted dim
+    ortho: tuple[tuple[int, int], ...]  # (lo, hi) coverage per other dim
+    fill: Fill
+
+    def meet(self, other: "RegionCover") -> "RegionCover | None":
+        if self.fill != other.fill:
+            return None
+        ortho = tuple((min(a[0], b[0]), min(a[1], b[1]))
+                      for a, b in zip(self.ortho, other.ortho))
+        return RegionCover(min(self.amount, other.amount), ortho,
+                           self.fill)
+
+
+State = dict[tuple[str, int, int], RegionCover]
+
+
+@dataclass
+class PlanProblem:
+    """One verifier finding, with enough context to act on it."""
+
+    check: str      # "structure" | "alloc" | "halo" | "coverage"
+    where: str      # op description, e.g. "overlap_shift A +1 dim 1"
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.where}: {self.reason}"
+
+
+def _describe(op: PlanOp) -> str:
+    if isinstance(op, OverlapShiftOp):
+        return f"overlap_shift {op.array} {op.shift:+d} dim {op.dim}"
+    if isinstance(op, FullShiftOp):
+        return f"full_shift {op.dst} <- {op.src} {op.shift:+d} dim {op.dim}"
+    if isinstance(op, LoopNestOp):
+        return f"loop_nest [{'; '.join(str(s) for s in op.statements)}]"
+    if isinstance(op, AllocOp):
+        return f"alloc {', '.join(op.names)}"
+    if isinstance(op, FreeOp):
+        return f"free {', '.join(op.names)}"
+    if isinstance(op, ScalarAssignOp):
+        return f"scalar {op.name} = ..."
+    return type(op).__name__.removesuffix("Op").lower()
+
+
+@dataclass
+class _PlanVerifier:
+    plan: Plan
+    problems: list[PlanProblem] = field(default_factory=list)
+
+    def _add(self, check: str, op: PlanOp | None, reason: str) -> None:
+        where = _describe(op) if op is not None else "plan"
+        self.problems.append(PlanProblem(check, where, reason))
+
+    # -- declarations --------------------------------------------------------
+    def _decl(self, op: PlanOp, name: str) -> ArrayDecl | None:
+        decl = self.plan.arrays.get(name)
+        if decl is None:
+            self._add("structure", op,
+                      f"references undeclared array {name}")
+        return decl
+
+    def _check_entry(self) -> None:
+        for name in self.plan.entry_arrays:
+            if name not in self.plan.arrays:
+                self._add("structure", None,
+                          f"entry array {name} has no ArrayDecl")
+
+    # -- allocation state ----------------------------------------------------
+    def _use(self, op: PlanOp, name: str, allocated: set[str],
+             ever: set[str]) -> None:
+        if name in allocated:
+            return
+        if name in ever:
+            self._add("alloc", op, f"array {name} used after free")
+        else:
+            self._add("alloc", op,
+                      f"array {name} used before allocation")
+
+    # -- halo / bounds -------------------------------------------------------
+    def _check_shift_bounds(self, op: OverlapShiftOp,
+                            decl: ArrayDecl) -> None:
+        rank = len(decl.shape)
+        if not 1 <= op.dim <= rank:
+            self._add("structure", op,
+                      f"dim {op.dim} out of range for rank-{rank} "
+                      f"array {op.array}")
+            return
+        if op.shift == 0:
+            self._add("structure", op, "zero shift moves no data")
+            return
+        d = op.dim - 1
+        side = 1 if op.shift > 0 else 0
+        if abs(op.shift) > decl.halo[d][side]:
+            self._add("halo", op,
+                      f"shift depth {abs(op.shift)} exceeds declared "
+                      f"halo {decl.halo[d]} of {op.array} on dim "
+                      f"{op.dim}; widen the overlap area or shrink "
+                      f"the shift")
+        if op.rsd is not None:
+            if len(op.rsd.dims) != rank:
+                self._add("structure", op,
+                          f"RSD rank {len(op.rsd.dims)} != array rank "
+                          f"{rank}")
+                return
+            for k, rd in enumerate(op.rsd.dims):
+                if rd is None or k == d:
+                    continue
+                if rd.lo < 0 or rd.hi < 0:
+                    self._add("structure", op,
+                              f"negative RSD extension {rd} on dim "
+                              f"{k + 1}")
+                if rd.lo > decl.halo[k][0] or rd.hi > decl.halo[k][1]:
+                    self._add("halo", op,
+                              f"RSD extension ({rd.lo},{rd.hi}) on dim "
+                              f"{k + 1} exceeds declared halo "
+                              f"{decl.halo[k]} of {op.array}")
+        if op.base_offsets is not None:
+            if len(op.base_offsets) != rank:
+                self._add("structure", op,
+                          f"base_offsets rank {len(op.base_offsets)} != "
+                          f"array rank {rank}")
+                return
+            for k, o in enumerate(op.base_offsets):
+                if k == d or o == 0:
+                    continue
+                hside = 1 if o > 0 else 0
+                if abs(o) > decl.halo[k][hside]:
+                    self._add("halo", op,
+                              f"base offset {o:+d} on dim {k + 1} "
+                              f"escapes declared halo {decl.halo[k]} "
+                              f"of {op.array}")
+
+    def _check_offset_halo(self, op: PlanOp, ref: OffsetRef) -> None:
+        decl = self._decl(op, ref.name)
+        if decl is None:
+            return
+        rank = len(decl.shape)
+        if len(ref.offsets) != rank:
+            self._add("structure", op,
+                      f"offset reference {ref} has {len(ref.offsets)} "
+                      f"offsets for rank-{rank} array")
+            return
+        for k, o in enumerate(ref.offsets):
+            if o == 0:
+                continue
+            side = 1 if o > 0 else 0
+            if abs(o) > decl.halo[k][side]:
+                self._add("halo", op,
+                          f"offset {o:+d} on dim {k + 1} reads outside "
+                          f"the declared halo {decl.halo[k]} of "
+                          f"{ref.name}")
+
+    # -- coverage (mirrors analysis.verify_offsets at plan level) -----------
+    def _resident_depth(self, state: State, name: str, dim: int,
+                        sign: int) -> int:
+        cover = state.get((name, dim, sign))
+        return 0 if cover is None else cover.amount
+
+    def _apply_shift(self, state: State, op: OverlapShiftOp) -> None:
+        decl = self.plan.arrays.get(op.array)
+        if decl is None or not 1 <= op.dim <= len(decl.shape) or \
+                op.shift == 0:
+            return
+        rank = len(decl.shape)
+        d = op.dim - 1
+        sign = 1 if op.shift > 0 else -1
+        ortho = []
+        for k in range(rank):
+            if k == d:
+                ortho.append((0, 0))
+                continue
+            lo = hi = 0
+            if op.rsd is not None and len(op.rsd.dims) == rank and \
+                    op.rsd.dims[k] is not None:
+                lo = op.rsd.dims[k].lo
+                hi = op.rsd.dims[k].hi
+            if op.base_offsets and len(op.base_offsets) == rank:
+                o = op.base_offsets[k]
+                lo = max(lo, -o if o < 0 else 0)
+                hi = max(hi, o if o > 0 else 0)
+            # pickup is only as deep as the sender's dim-k residency at
+            # the moment this shift executes (Figures 9/10)
+            lo = min(lo, self._resident_depth(state, op.array, k, -1))
+            hi = min(hi, self._resident_depth(state, op.array, k, +1))
+            ortho.append((lo, hi))
+        key = (op.array, d, sign)
+        cover = RegionCover(abs(op.shift), tuple(ortho), op.boundary)
+        prev = state.get(key)
+        if prev is not None and prev.fill == cover.fill:
+            ortho2 = tuple((max(a[0], b[0]), max(a[1], b[1]))
+                           for a, b in zip(prev.ortho, cover.ortho))
+            cover = RegionCover(max(prev.amount, cover.amount), ortho2,
+                                cover.fill)
+        state[key] = cover
+
+    def _kill(self, state: State, name: str) -> None:
+        for key in list(state):
+            if key[0] == name:
+                del state[key]
+
+    def _check_ref_coverage(self, state: State, op: PlanOp,
+                            ref: OffsetRef) -> None:
+        offs = ref.offsets
+        clean = True
+        for k, o in enumerate(offs):
+            if o == 0:
+                continue
+            sign = 1 if o > 0 else -1
+            cover = state.get((ref.name, k, sign))
+            if cover is None:
+                self._add("coverage", op,
+                          f"{ref}: no prior overlap_shift fills dim "
+                          f"{k + 1} direction "
+                          f"{'+' if sign > 0 else '-'}")
+                clean = False
+                continue
+            if cover.fill != ref.boundary:
+                self._add("coverage", op,
+                          f"{ref}: fill kind mismatch on dim {k + 1}: "
+                          f"region holds {cover.fill}, reference needs "
+                          f"{ref.boundary}")
+                clean = False
+                continue
+            if cover.amount < abs(o):
+                self._add("coverage", op,
+                          f"{ref}: overlap depth {cover.amount} < "
+                          f"|{o}| on dim {k + 1}")
+                clean = False
+        active = [k for k, o in enumerate(offs) if o != 0]
+        if clean and len(active) > 1 and not self._corner_covered(
+                state, ref, offs, active):
+            self._add("coverage", op,
+                      f"{ref}: corner cells not carried — no shift "
+                      f"order covers offset {offs}")
+
+    def _corner_covered(self, state: State, ref: OffsetRef,
+                        offs: tuple[int, ...],
+                        active: list[int]) -> bool:
+        def covers(k: int, earlier: tuple[int, ...]) -> bool:
+            cover = state[(ref.name, k, 1 if offs[k] > 0 else -1)]
+            for j in earlier:
+                oj = offs[j]
+                lo, hi = cover.ortho[j]
+                if (oj < 0 and lo < -oj) or (oj > 0 and hi < oj):
+                    return False
+            return True
+
+        return any(
+            all(covers(k, perm[:i]) for i, k in enumerate(perm) if i)
+            for perm in permutations(active))
+
+    # -- expression references ----------------------------------------------
+    def _check_expr(self, op: PlanOp, expr: Expr, state: State,
+                    allocated: set[str], ever: set[str],
+                    scalars: set[str]) -> None:
+        for node in expr.walk():
+            if isinstance(node, OffsetRef):
+                self._use(op, node.name, allocated, ever)
+                self._check_offset_halo(op, node)
+                if node.name in allocated:
+                    self._check_ref_coverage(state, op, node)
+            elif isinstance(node, ScalarRef):
+                if node.name not in scalars and \
+                        node.name not in self.plan.params:
+                    self._add("structure", op,
+                              f"unbound scalar {node.name}")
+            elif isinstance(node, Reduction):
+                pass  # its argument is walked by expr.walk()
+
+    def _written_in(self, ops: list[PlanOp]) -> set[str]:
+        written: set[str] = set()
+        for op in walk(ops):
+            if isinstance(op, LoopNestOp):
+                written.update(s.lhs for s in op.statements)
+            elif isinstance(op, FullShiftOp):
+                written.add(op.dst)
+            elif isinstance(op, (AllocOp, FreeOp)):
+                written.update(op.names)
+        return written
+
+    # -- structured walk -----------------------------------------------------
+    def _walk(self, ops: list[PlanOp], state: State,
+              allocated: set[str], ever: set[str],
+              scalars: set[str]) -> None:
+        for op in ops:
+            if isinstance(op, AllocOp):
+                for name in op.names:
+                    if self._decl(op, name) is None:
+                        continue
+                    if name in allocated:
+                        self._add("alloc", op,
+                                  f"array {name} allocated while "
+                                  f"already live (missing free?)")
+                    allocated.add(name)
+                    ever.add(name)
+                    self._kill(state, name)
+            elif isinstance(op, FreeOp):
+                for name in op.names:
+                    if name not in allocated:
+                        self._add("alloc", op,
+                                  f"free of unallocated array {name} "
+                                  f"(alloc/free mismatch)")
+                    allocated.discard(name)
+                    ever.add(name)
+                    self._kill(state, name)
+            elif isinstance(op, OverlapShiftOp):
+                decl = self._decl(op, op.array)
+                self._use(op, op.array, allocated, ever)
+                if decl is not None:
+                    self._check_shift_bounds(op, decl)
+                self._apply_shift(state, op)
+            elif isinstance(op, FullShiftOp):
+                src = self._decl(op, op.src)
+                dst = self._decl(op, op.dst)
+                self._use(op, op.src, allocated, ever)
+                self._use(op, op.dst, allocated, ever)
+                if src is not None and dst is not None and \
+                        src.shape != dst.shape:
+                    self._add("structure", op,
+                              f"shape mismatch: {op.src}{src.shape} -> "
+                              f"{op.dst}{dst.shape}")
+                self._kill(state, op.dst)
+            elif isinstance(op, LoopNestOp):
+                if not op.statements:
+                    self._add("structure", op, "empty loop nest")
+                    continue
+                for stmt in op.statements:
+                    decl = self._decl(op, stmt.lhs)
+                    self._use(op, stmt.lhs, allocated, ever)
+                    if decl is not None and \
+                            len(op.space) != len(decl.shape):
+                        self._add("structure", op,
+                                  f"iteration space rank "
+                                  f"{len(op.space)} != rank of "
+                                  f"{stmt.lhs}")
+                    self._check_expr(op, stmt.rhs, state, allocated,
+                                     ever, scalars)
+                    if stmt.mask is not None:
+                        self._check_expr(op, stmt.mask, state,
+                                         allocated, ever, scalars)
+                    self._kill(state, stmt.lhs)
+            elif isinstance(op, ScalarAssignOp):
+                self._check_expr(op, op.rhs, state, allocated, ever,
+                                 scalars)
+                scalars.add(op.name)
+            elif isinstance(op, SeqLoopOp):
+                scalars.add(op.var)
+                self._enter_loop(op, op.body, state, allocated, ever,
+                                 scalars)
+            elif isinstance(op, WhileOp):
+                self._check_expr(op, op.cond, state, allocated, ever,
+                                 scalars)
+                self._enter_loop(op, op.body, state, allocated, ever,
+                                 scalars)
+            elif isinstance(op, CondOp):
+                self._check_expr(op, op.cond, state, allocated, ever,
+                                 scalars)
+                s_then, s_else = dict(state), dict(state)
+                a_then, a_else = set(allocated), set(allocated)
+                self._walk(op.then_ops, s_then, a_then, ever, scalars)
+                self._walk(op.else_ops, s_else, a_else, ever, scalars)
+                if a_then != a_else:
+                    self._add("alloc", op,
+                              f"branches disagree on allocation state: "
+                              f"then={sorted(a_then)} "
+                              f"else={sorted(a_else)}")
+                allocated.clear()
+                allocated.update(a_then & a_else)
+                state.clear()
+                for key in set(s_then) & set(s_else):
+                    met = s_then[key].meet(s_else[key])
+                    if met is not None:
+                        state[key] = met
+            elif isinstance(op, OverlappedOp):
+                for comm in op.comm_ops:
+                    if not isinstance(comm, OverlapShiftOp):
+                        self._add("structure", op,
+                                  f"comm block holds "
+                                  f"{type(comm).__name__}, only "
+                                  f"OverlapShiftOp may overlap")
+                self._walk(list(op.comm_ops), state, allocated, ever,
+                           scalars)
+                self._walk([op.nest], state, allocated, ever, scalars)
+            else:
+                self._add("structure", op,
+                          f"unknown plan op {type(op).__name__}")
+
+    def _enter_loop(self, op: PlanOp, body: list[PlanOp], state: State,
+                    allocated: set[str], ever: set[str],
+                    scalars: set[str]) -> None:
+        # conservative around the back edge: residency of anything the
+        # body redefines is unavailable on entry to any iteration
+        for name in self._written_in(body):
+            self._kill(state, name)
+        entry = set(allocated)
+        self._walk(body, state, allocated, ever, scalars)
+        if allocated != entry:
+            gained = sorted(allocated - entry)
+            lost = sorted(entry - allocated)
+            detail = "; ".join(
+                p for p in (f"leaks {gained}" if gained else "",
+                            f"frees {lost}" if lost else "") if p)
+            self._add("alloc", op,
+                      f"loop body changes allocation state across "
+                      f"iterations: {detail}")
+
+    def run(self) -> list[PlanProblem]:
+        self._check_entry()
+        allocated = {n for n in self.plan.entry_arrays
+                     if n in self.plan.arrays}
+        self._walk(self.plan.ops, {}, allocated, set(allocated),
+                   set(self.plan.scalar_names))
+        return self.problems
+
+
+def verify_plan(plan: Plan) -> list[PlanProblem]:
+    """Check every plan invariant; returns the (empty when sound)
+    problem list."""
+    return _PlanVerifier(plan).run()
+
+
+def assert_plan_valid(plan: Plan, phase: str = "codegen") -> None:
+    """Raise :class:`PlanVerificationError` if the plan is invalid."""
+    problems = verify_plan(plan)
+    if problems:
+        shown = "\n  ".join(str(p) for p in problems[:8])
+        more = len(problems) - 8
+        tail = f"\n  ... and {more} more" if more > 0 else ""
+        raise PlanVerificationError(
+            f"invalid plan after {phase}: {len(problems)} problem(s)\n"
+            f"  {shown}{tail}")

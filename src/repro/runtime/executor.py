@@ -15,9 +15,10 @@ from typing import TYPE_CHECKING, Mapping
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.compiler.plan import (
+from repro.plan import (
     AllocOp, CondOp, FreeOp, FullShiftOp, LoopNestOp, OverlappedOp,
     OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
+    op_label,
 )
 from repro.ir.nodes import (
     BinOp, Compare, Const, Expr, Intrinsic, OffsetRef, Reduction,
@@ -53,33 +54,9 @@ class ExecutionResult:
         return out
 
 
-def _op_label(op: PlanOp) -> tuple[str, dict[str, object]]:
-    """Span name and attributes for one plan op."""
-    if isinstance(op, OverlapShiftOp):
-        return "overlap_shift", {"array": op.array, "shift": op.shift,
-                                 "dim": op.dim}
-    if isinstance(op, FullShiftOp):
-        kind = "eoshift" if op.boundary is not None else "cshift"
-        return f"full_{kind}", {"dst": op.dst, "src": op.src,
-                                "shift": op.shift, "dim": op.dim}
-    if isinstance(op, LoopNestOp):
-        return "loop_nest", {"statements": len(op.statements),
-                             "fused": op.fused}
-    if isinstance(op, AllocOp):
-        return "alloc", {"names": list(op.names)}
-    if isinstance(op, FreeOp):
-        return "free", {"names": list(op.names)}
-    if isinstance(op, ScalarAssignOp):
-        return "scalar_assign", {"name": op.name}
-    if isinstance(op, SeqLoopOp):
-        return "seq_loop", {"var": op.var}
-    if isinstance(op, WhileOp):
-        return "while", {}
-    if isinstance(op, CondOp):
-        return "cond", {}
-    if isinstance(op, OverlappedOp):
-        return "overlapped", {}
-    return type(op).__name__, {}
+#: tracer/profiler span naming now lives with the IR (op_label); kept
+#: as a module alias for callers of the historic private name
+_op_label = op_label
 
 
 class _Exec:
@@ -218,7 +195,7 @@ class _Exec:
             return
         report = self.machine.report
         for op in ops:
-            name, attrs = _op_label(op)
+            name, attrs = op_label(op)
             frame = profiler.begin(name, attrs) \
                 if profiler is not None else None
             try:
@@ -476,15 +453,12 @@ class _Exec:
 
 
 def executor_class(backend: str) -> type[_Exec]:
-    """Resolve a backend name to its executor class."""
-    if backend == "perpe":
-        return _Exec
-    if backend == "vectorized":
-        from repro.runtime.vectorized import VectorizedExec
-        return VectorizedExec
-    raise ExecutionError(
-        f"unknown execution backend {backend!r}; "
-        f"expected 'perpe' or 'vectorized'")
+    """Resolve a backend name to its executor class (registry lookup).
+
+    Compatibility alias for :func:`repro.runtime.backends.get_backend`.
+    """
+    from repro.runtime.backends import get_backend
+    return get_backend(backend)
 
 
 def execute(plan: Plan, machine: Machine,
@@ -570,3 +544,9 @@ def execute(plan: Plan, machine: Machine,
         modelled_time=machine.report.modelled_time,
         profile=comm_profile,
     )
+
+
+# the reference backend registers itself; see repro.runtime.backends
+from repro.runtime.backends import register_backend  # noqa: E402
+
+register_backend("perpe", _Exec)

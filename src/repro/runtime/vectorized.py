@@ -34,7 +34,7 @@ from math import prod
 import numpy as np
 
 from repro.errors import ExecutionError, MachineError
-from repro.compiler.plan import FullShiftOp, LoopNestOp, OverlapShiftOp
+from repro.plan import FullShiftOp, LoopNestOp, OverlapShiftOp
 from repro.ir.nodes import OffsetRef
 from repro.ir.rsd import RSD
 from repro.machine.machine import Machine
@@ -413,3 +413,9 @@ class VectorizedExec(_Exec):
                                              self.overhead)
             hidden = min(comm_delta[pe], t_interior)
             report.pe_times[pe] -= hidden
+
+
+# registers under its public name; see repro.runtime.backends
+from repro.runtime.backends import register_backend  # noqa: E402
+
+register_backend("vectorized", VectorizedExec)

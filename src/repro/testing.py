@@ -166,6 +166,53 @@ def differential_check(program: GeneratedProgram,
                              f"program:\n{program.source}"))
 
 
+def plan_roundtrip_check(compiled, inputs: dict[str, np.ndarray],
+                         scalars: dict[str, float] | None = None,
+                         grids: tuple[tuple[int, ...], ...] = ((2, 2),),
+                         backends: tuple[str, ...] = ("perpe",
+                                                      "vectorized"),
+                         iterations: int = 1) -> None:
+    """Serialize a compiled program to JSON, revive it, and demand the
+    round trip is lossless.
+
+    Three levels of fidelity are checked: (1) the revived program
+    re-serializes to the byte-identical JSON document (the document is a
+    fixed point); (2) on every grid and backend, the revived plan
+    executes to bitwise-identical arrays and scalars; (3) cost
+    accounting (message/byte/copy counts, per-PE times) agrees exactly —
+    a persistent-cache hit must be observationally indistinguishable
+    from a recompile.
+    """
+    from repro.plan import program_from_json, program_to_json
+
+    doc = program_to_json(compiled)
+    revived = program_from_json(doc)
+    assert program_to_json(revived) == doc, (
+        "plan JSON is not a serialization fixed point")
+    for grid in grids:
+        for backend in backends:
+            results = {}
+            for tag, prog in (("original", compiled),
+                              ("revived", revived)):
+                machine = Machine(grid=grid, keep_message_log=True)
+                results[tag] = prog.run(
+                    machine, inputs=inputs, scalars=scalars,
+                    iterations=iterations, backend=backend)
+            a, b = results["original"], results["revived"]
+            ctx = f"grid {grid}, backend {backend}"
+            for name in a.arrays:
+                np.testing.assert_array_equal(
+                    a.arrays[name], b.arrays[name],
+                    err_msg=f"array {name} diverged after round trip, "
+                            f"{ctx}")
+            assert a.scalars == b.scalars, ctx
+            assert a.report.summary() == b.report.summary(), (
+                f"cost accounting diverged after round trip: {ctx}\n"
+                f"original: {a.report.summary()}\n"
+                f"revived:  {b.report.summary()}")
+            assert a.report.pe_times == b.report.pe_times, ctx
+
+
 def backend_equivalence_check(program: GeneratedProgram,
                               inputs: dict[str, np.ndarray],
                               levels: tuple[str, ...] = ("O0", "O2", "O4"),

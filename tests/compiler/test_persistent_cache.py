@@ -1,0 +1,142 @@
+"""The on-disk plan cache: cross-process persistence, atomicity,
+corruption tolerance, and machine-fingerprint keying.
+
+The keying regression under guard: a persistent entry must miss — not
+silently replay — when the machine configuration changes, because
+unlike the in-memory cache its entries outlive the process (and
+therefore the machine object) that wrote them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    PersistentPlanCache, PlanCache, cache_key, compile_hpf,
+)
+from repro.compiler.options import CompilerOptions
+from repro.kernels import KERNELS
+from repro.machine import Machine
+from repro.machine.cost_model import CostModel
+
+SPEC = KERNELS["purdue9"]
+
+
+def _compile(cache, bindings=None, **options):
+    return compile_hpf(SPEC.source, bindings=bindings or {"N": 16},
+                       outputs=set(SPEC.outputs), cache=cache,
+                       **options)
+
+
+class TestPersistence:
+    def test_miss_then_hit_within_process(self, tmp_path):
+        cache = PersistentPlanCache(tmp_path)
+        _compile(cache)
+        _compile(cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_survives_cache_object_lifetime(self, tmp_path):
+        first = _compile(PersistentPlanCache(tmp_path))
+        # a brand-new cache object (fresh process, in effect) hits the
+        # same entry file and revives an equivalent program
+        cache = PersistentPlanCache(tmp_path)
+        second = _compile(cache)
+        assert cache.stats.hits == 1
+        assert second is not first
+        machine = lambda: Machine(grid=(2, 2))  # noqa: E731
+        rng = np.random.default_rng(0)
+        inputs = {"U": rng.standard_normal((16, 16)).astype(np.float32)}
+        a = first.run(machine(), inputs=inputs)
+        b = second.run(machine(), inputs=inputs)
+        np.testing.assert_array_equal(a.arrays["T"], b.arrays["T"])
+        assert a.report.summary() == b.report.summary()
+
+    def test_distinct_options_get_distinct_entries(self, tmp_path):
+        cache = PersistentPlanCache(tmp_path)
+        _compile(cache, level="O0")
+        _compile(cache, level="O4")
+        assert len(cache) == 2
+        assert cache.stats.misses == 2
+
+    def test_corrupt_entry_degrades_to_recompile(self, tmp_path):
+        cache = PersistentPlanCache(tmp_path)
+        _compile(cache)
+        for f in tmp_path.glob("*.json"):
+            f.write_text("{ truncated garbage")
+        _compile(cache)
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+
+    def test_schema_mismatch_degrades_to_recompile(self, tmp_path):
+        cache = PersistentPlanCache(tmp_path)
+        _compile(cache)
+        for f in tmp_path.glob("*.json"):
+            doc = json.loads(f.read_text())
+            doc["plan"]["schema"] = 10**6
+            f.write_text(json.dumps(doc))
+        _compile(cache)
+        assert cache.stats.hits == 0
+
+    def test_no_tmp_droppings_after_put(self, tmp_path):
+        cache = PersistentPlanCache(tmp_path)
+        _compile(cache)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_invalidate(self, tmp_path):
+        cache = PersistentPlanCache(tmp_path)
+        _compile(cache)
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        _compile(cache)
+        assert cache.stats.misses == 2
+
+
+class TestMachineFingerprintKeying:
+    """Changing the PE grid or cost parameters must miss the cache."""
+
+    def _key(self, cache):
+        return cache.key_for(SPEC.source, "MAIN", {"N": 16},
+                             CompilerOptions())
+
+    def test_different_grid_misses(self, tmp_path):
+        a = PersistentPlanCache(tmp_path, machine=Machine(grid=(2, 2)))
+        b = PersistentPlanCache(tmp_path, machine=Machine(grid=(4, 4)))
+        assert self._key(a) != self._key(b)
+        _compile(a)
+        _compile(b)
+        assert b.stats.hits == 0
+        assert b.stats.misses == 1
+        assert len(a) == 2
+
+    def test_different_cost_model_misses(self, tmp_path):
+        base = CostModel()
+        tuned = CostModel(alpha=base.alpha * 2)
+        a = PersistentPlanCache(
+            tmp_path, machine=Machine(grid=(2, 2), cost_model=base))
+        b = PersistentPlanCache(
+            tmp_path, machine=Machine(grid=(2, 2), cost_model=tuned))
+        assert self._key(a) != self._key(b)
+        _compile(a)
+        _compile(b)
+        assert b.stats.hits == 0
+
+    def test_same_machine_hits(self, tmp_path):
+        a = PersistentPlanCache(tmp_path, machine=Machine(grid=(2, 2)))
+        b = PersistentPlanCache(tmp_path, machine=Machine(grid=(2, 2)))
+        _compile(a)
+        _compile(b)
+        assert b.stats.hits == 1
+
+    def test_in_memory_cache_stays_machine_agnostic(self):
+        # the in-memory cache shares plans across machines (plans are
+        # symbolic over the grid); only the persistent cache keys on it
+        cache = PlanCache()
+        key = cache.key_for(SPEC.source, "MAIN", {"N": 16},
+                            CompilerOptions())
+        assert key == cache_key(SPEC.source, "MAIN", {"N": 16},
+                                CompilerOptions())

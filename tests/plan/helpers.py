@@ -1,0 +1,56 @@
+"""Builders for small synthetic plans used across the plan-IR tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.linexpr import LinExpr
+from repro.ir.nodes import Compare, Const, OffsetRef, ScalarRef
+from repro.ir.types import Distribution, DistKind
+from repro.machine.cost_model import LoopStats
+from repro.plan import ArrayDecl, LoopNestOp, NestStmt, Plan
+
+BLOCK2 = Distribution((DistKind.BLOCK, DistKind.BLOCK))
+
+
+def decl(name: str, n: int = 8,
+         halo: tuple[tuple[int, int], ...] = ((1, 1), (1, 1)),
+         temporary: bool = False) -> ArrayDecl:
+    return ArrayDecl(name=name, shape=(n, n), distribution=BLOCK2,
+                     dtype=np.dtype(np.float32), halo=halo,
+                     is_temporary=temporary)
+
+
+def box(n: int = 8) -> tuple[tuple[LinExpr, LinExpr], ...]:
+    one, top = LinExpr(1), LinExpr(n)
+    return ((one, top), (one, top))
+
+
+def nest(lhs: str, rhs, n: int = 8, label: str = "") -> LoopNestOp:
+    return LoopNestOp(statements=[NestStmt(lhs=lhs, rhs=rhs)],
+                      space=box(n), stats=LoopStats(points=n * n),
+                      label=label)
+
+
+def copy_nest(dst: str, src: str,
+              offsets: tuple[int, ...] = (0, 0), n: int = 8) -> LoopNestOp:
+    return nest(dst, OffsetRef(src, offsets), n=n)
+
+
+def simple_plan(ops, arrays=None, n: int = 8,
+                entry: tuple[str, ...] = ("U",),
+                scalars: tuple[str, ...] = ()) -> Plan:
+    """A plan over U (entry) and V with 1-deep halos everywhere."""
+    if arrays is None:
+        arrays = {"U": decl("U", n), "V": decl("V", n, temporary=True)}
+    return Plan(arrays=arrays, params={"N": n}, scalar_names=scalars,
+                ops=ops, entry_arrays=entry)
+
+
+def scalar_true() -> Compare:
+    return Compare("<", Const(0.0), Const(1.0))
+
+
+__all__ = ["BLOCK2", "Compare", "Const", "OffsetRef", "ScalarRef",
+           "box", "copy_nest", "decl", "nest", "scalar_true",
+           "simple_plan"]

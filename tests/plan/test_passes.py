@@ -1,0 +1,242 @@
+"""Plan passes: scheduling, shift coalescing, dead-alloc elimination.
+
+The safety contract under test: with ``plan_passes=True``, no named
+kernel at any optimization level sends more messages or bytes than the
+unoptimized plan (checked against the executed cost accounting, not
+static op counts), results stay bitwise identical, and the passes remove
+redundancy the AST-level pipeline cannot see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanVerificationError
+from repro.kernels import KERNELS, compile_kernel, run_kernel
+from repro.machine import Machine
+from repro.plan import (
+    AllocOp, CoalesceShiftsPass, DeadAllocElimPass, FreeOp,
+    OverlapShiftOp, PlanPass, PlanPassManager, SchedulePass, verify_plan,
+)
+
+from tests.plan.helpers import copy_nest, decl, simple_plan
+
+
+def shift(array: str = "U", s: int = 1, dim: int = 1, **kw):
+    return OverlapShiftOp(array=array, shift=s, dim=dim, **kw)
+
+
+# ---------------------------------------------------------------------------
+# coalesce-shifts
+# ---------------------------------------------------------------------------
+
+def test_coalesces_duplicate_shift():
+    plan = simple_plan([AllocOp(names=("V",)), shift(s=1), shift(s=1),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("V",))])
+    new, stats = CoalesceShiftsPass().run(plan)
+    assert stats["coalesced_shifts"] == 1
+    assert new.count_ops(OverlapShiftOp) == 1
+    assert verify_plan(new) == []
+
+
+def test_deeper_shift_subsumes_shallower():
+    arrays = {"U": decl("U", halo=((2, 2), (2, 2))),
+              "V": decl("V", halo=((2, 2), (2, 2)), temporary=True)}
+    plan = simple_plan([AllocOp(names=("V",)), shift(s=2), shift(s=1),
+                        copy_nest("V", "U", (2, 0)),
+                        FreeOp(names=("V",))], arrays=arrays)
+    new, stats = CoalesceShiftsPass().run(plan)
+    assert stats["coalesced_shifts"] == 1
+    assert verify_plan(new) == []
+
+
+def test_never_coalesces_across_a_write():
+    # the intervening write to U invalidates its halo; the second shift
+    # re-fills it and must survive
+    plan = simple_plan([AllocOp(names=("V",)), shift(s=1),
+                        copy_nest("V", "U", (1, 0)),
+                        copy_nest("U", "U", (0, 0)), shift(s=1),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("V",))])
+    new, stats = CoalesceShiftsPass().run(plan)
+    assert stats["coalesced_shifts"] == 0
+    assert new.count_ops(OverlapShiftOp) == 2
+
+
+def test_never_coalesces_opposite_directions_or_fills():
+    plan = simple_plan([AllocOp(names=("V",)), shift(s=1), shift(s=-1),
+                        shift(s=1, dim=2, boundary=0.0),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("V",))])
+    new, stats = CoalesceShiftsPass().run(plan)
+    assert stats["coalesced_shifts"] == 0
+
+
+# ---------------------------------------------------------------------------
+# schedule
+# ---------------------------------------------------------------------------
+
+def test_schedule_hoists_comm_and_sinks_free():
+    plan = simple_plan([
+        AllocOp(names=("V",)),
+        copy_nest("U", "U", (0, 0)),   # independent compute on U... but
+                                       # writes U, so shifts of U depend
+        shift(array="V", s=1),         # V-shift can hoist above U work
+        copy_nest("V", "V", (1, 0)),
+        FreeOp(names=("V",)),
+    ])
+    new, stats = SchedulePass().run(plan)
+    kinds = [type(op).__name__ for op in new.ops]
+    # the V overlap shift moved ahead of the U loop nest
+    assert kinds.index("OverlapShiftOp") < kinds.index("LoopNestOp")
+    assert verify_plan(new) == []
+
+
+def test_schedule_respects_dependences():
+    plan = simple_plan([AllocOp(names=("V",)), shift(s=1),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("V",))])
+    new, _ = SchedulePass().run(plan)
+    kinds = [type(op).__name__ for op in new.ops]
+    # the shift of U is independent of V's alloc and may hoist above
+    # it, but the nest needs both and the free must stay last
+    assert kinds.index("AllocOp") < kinds.index("LoopNestOp")
+    assert kinds.index("OverlapShiftOp") < kinds.index("LoopNestOp")
+    assert kinds[-1] == "FreeOp"
+
+
+def test_schedule_is_deterministic():
+    plan = simple_plan([AllocOp(names=("V",)), shift(s=1),
+                        shift(s=1, dim=2),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("V",))])
+    a, _ = SchedulePass().run(plan)
+    b, _ = SchedulePass().run(plan)
+    assert [str(type(o)) for o in a.ops] == \
+        [str(type(o)) for o in b.ops]
+
+
+# ---------------------------------------------------------------------------
+# dead-alloc
+# ---------------------------------------------------------------------------
+
+def test_dead_alloc_removes_unused_temporary():
+    arrays = {"U": decl("U"), "V": decl("V", temporary=True),
+              "W": decl("W", temporary=True)}
+    plan = simple_plan([AllocOp(names=("V", "W")), shift(s=1),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("V", "W"))], arrays=arrays)
+    new, stats = DeadAllocElimPass().run(plan)
+    assert stats["dead_allocs"] == 1
+    assert stats["dead_decls"] == 1
+    assert "W" not in new.arrays
+    assert all("W" not in getattr(op, "names", ())
+               for op in new.walk_ops())
+    assert verify_plan(new) == []
+
+
+def test_dead_alloc_keeps_entry_arrays():
+    plan = simple_plan([AllocOp(names=("V",)), shift(s=1),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("V",))])
+    new, stats = DeadAllocElimPass().run(plan)
+    assert "U" in new.arrays and "V" in new.arrays
+    assert stats["dead_allocs"] == 0
+
+
+# ---------------------------------------------------------------------------
+# manager
+# ---------------------------------------------------------------------------
+
+def test_manager_verifies_after_each_pass():
+    class Breaker(PlanPass):
+        name = "breaker"
+
+        def run(self, plan):
+            import dataclasses
+            ops = [op for op in plan.ops
+                   if not isinstance(op, OverlapShiftOp)]
+            return dataclasses.replace(plan, ops=ops), {}
+
+    compiled = compile_kernel("purdue9", bindings={"N": 16})
+    with pytest.raises(PlanVerificationError, match="breaker"):
+        PlanPassManager(passes=[Breaker()]).run(compiled.plan)
+
+
+def test_manager_reports_stats_into_compile_report():
+    compiled = compile_kernel("purdue9", bindings={"N": 16},
+                              plan_passes=True)
+    stats = compiled.report.pass_stats["plan-passes"]
+    assert set(stats) == {"schedule", "coalesce-shifts", "dead-alloc"}
+
+
+# ---------------------------------------------------------------------------
+# the end-to-end safety contract, profiler-verified
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+@pytest.mark.parametrize("level", ["O0", "O2", "O4"])
+def test_passes_never_increase_messages_or_bytes(kernel, level):
+    n = {"N": 12}
+    base = run_kernel(kernel, bindings=n, level=level)
+    opt = run_kernel(kernel, bindings=n, level=level, plan_passes=True)
+    b, o = base.report.summary(), opt.report.summary()
+    assert o["messages"] <= b["messages"], (kernel, level, b, o)
+    assert o["message_bytes"] <= b["message_bytes"], (kernel, level)
+    for name in base.arrays:
+        np.testing.assert_array_equal(base.arrays[name],
+                                      opt.arrays[name])
+
+
+@pytest.mark.parametrize("backend", ["perpe", "vectorized"])
+def test_passes_preserve_results_on_both_backends(backend):
+    base = run_kernel("purdue9", bindings={"N": 16}, backend=backend)
+    opt = run_kernel("purdue9", bindings={"N": 16}, backend=backend,
+                     plan_passes=True)
+    for name in base.arrays:
+        np.testing.assert_array_equal(base.arrays[name],
+                                      opt.arrays[name])
+
+
+def test_coalescing_removes_redundancy_comm_union_cannot_see():
+    """At O2 the pipeline has fusion and context partitioning but no
+    communication unioning (an O3 feature), so the AST never loses its
+    redundant per-statement shifts — the plan is the only level left
+    that can prove and remove them.  The nine-point stencil re-shifts
+    SRC six times at O2; plan-level coalescing removes every one
+    without touching results, and the executed message count drops."""
+    base = compile_kernel("nine_point", bindings={"N": 16}, level="O2")
+    opt = compile_kernel("nine_point", bindings={"N": 16}, level="O2",
+                         plan_passes=True)
+    stats = opt.report.pass_stats["plan-passes"]["coalesce-shifts"]
+    assert stats["coalesced_shifts"] >= 1
+    assert opt.plan.count_ops(OverlapShiftOp) < \
+        base.plan.count_ops(OverlapShiftOp)
+    # and the optimized plan actually communicates less
+    rng = np.random.default_rng(0)
+    inputs = {"SRC": rng.standard_normal((16, 16)).astype(np.float32)}
+    rb = base.run(Machine(grid=(2, 2)), inputs=inputs)
+    ro = opt.run(Machine(grid=(2, 2)), inputs=inputs)
+    assert ro.report.summary()["messages"] < \
+        rb.report.summary()["messages"]
+    for name in rb.arrays:
+        np.testing.assert_array_equal(rb.arrays[name], ro.arrays[name])
+
+
+def test_dead_alloc_removes_what_comm_union_never_could():
+    """Dead allocations only exist at the plan level (temporaries are
+    named during codegen), so no AST pass — comm_union included — can
+    even represent this redundancy.  A plan with an orphaned temporary
+    pair loses it, and the verifier blesses the result."""
+    arrays = {"U": decl("U"), "V": decl("V", temporary=True),
+              "DEAD": decl("DEAD", temporary=True)}
+    plan = simple_plan([AllocOp(names=("V",)),
+                        AllocOp(names=("DEAD",)), shift(s=1),
+                        copy_nest("V", "U", (1, 0)),
+                        FreeOp(names=("DEAD",)),
+                        FreeOp(names=("V",))], arrays=arrays)
+    new, stats = PlanPassManager().run(plan)
+    assert stats["dead-alloc"]["dead_allocs"] == 1
+    assert "DEAD" not in new.arrays

@@ -1,0 +1,138 @@
+"""The uniform children()/rebuild() walker over nested plan ops.
+
+Regression tests for the coverage gap the old ad-hoc traversal had:
+``Plan.count_ops``/``walk_ops`` must see ops nested inside ``CondOp``
+branches, ``WhileOp``/``SeqLoopOp`` bodies, and both blocks of an
+``OverlappedOp`` — at any nesting depth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.plan import (
+    AllocOp, CondOp, FreeOp, LoopNestOp, OverlappedOp, OverlapShiftOp,
+    SeqLoopOp, WhileOp, map_blocks, walk,
+)
+from repro.ir.linexpr import LinExpr
+
+from tests.plan.helpers import OffsetRef, copy_nest, scalar_true, \
+    simple_plan
+
+
+def shift(array: str = "U", s: int = 1, dim: int = 1) -> OverlapShiftOp:
+    return OverlapShiftOp(array=array, shift=s, dim=dim)
+
+
+def deeply_nested_plan():
+    """Shifts and nests hidden inside every container op kind."""
+    inner_loop = SeqLoopOp(
+        var="KK", lo=LinExpr(1), hi=LinExpr(2),
+        body=[shift(s=-1), copy_nest("V", "U", (-1, 0))])
+    cond = CondOp(
+        cond=scalar_true(),
+        then_ops=[shift(s=1), copy_nest("V", "U", (1, 0))],
+        else_ops=[OverlappedOp(
+            comm_ops=[shift(s=1), shift(s=1, dim=2)],
+            nest=copy_nest("V", "U", (1, 1)))])
+    while_op = WhileOp(cond=scalar_true(), body=[cond])
+    return simple_plan(
+        [AllocOp(names=("V",)), inner_loop, while_op,
+         FreeOp(names=("V",))])
+
+
+def test_count_ops_sees_through_every_container():
+    plan = deeply_nested_plan()
+    # 1 in the seq loop, 1 in the then-branch, 2 in the OverlappedOp
+    # comm block (inside else inside while)
+    assert plan.count_ops(OverlapShiftOp) == 4
+    # copy nests: seq-loop body, then-branch, OverlappedOp nest block
+    assert plan.count_ops(LoopNestOp) == 3
+    assert plan.count_ops(CondOp) == 1
+    assert plan.count_ops(WhileOp) == 1
+    assert plan.count_ops(OverlappedOp) == 1
+
+
+def test_walk_is_preorder_and_complete():
+    plan = deeply_nested_plan()
+    kinds = [type(op).__name__ for op in plan.walk_ops()]
+    # container before its contents
+    assert kinds.index("SeqLoopOp") < kinds.index("OverlapShiftOp")
+    assert kinds.index("WhileOp") < kinds.index("CondOp")
+    assert kinds.index("CondOp") < kinds.index("OverlappedOp")
+    assert len(kinds) == len(list(walk(plan.ops)))
+    assert kinds.count("OverlapShiftOp") == 4
+
+
+def test_overlapped_op_walks_comm_block_then_nest():
+    op = OverlappedOp(comm_ops=[shift(s=1), shift(s=-1)],
+                      nest=copy_nest("V", "U", (1, 0)))
+    kinds = [type(o).__name__ for o in walk([op])]
+    assert kinds == ["OverlappedOp", "OverlapShiftOp", "OverlapShiftOp",
+                     "LoopNestOp"]
+
+
+def test_map_blocks_rewrites_nested_blocks():
+    plan = deeply_nested_plan()
+
+    def drop_shifts(block):
+        return [op for op in block
+                if not isinstance(op, OverlapShiftOp)]
+
+    # OverlappedOp's nest block must keep its single LoopNestOp, so
+    # only rewrite the other blocks
+    def rewrite(block):
+        if len(block) == 1 and isinstance(block[0], LoopNestOp):
+            return block
+        return drop_shifts(block)
+
+    new_ops = map_blocks(plan.ops, rewrite)
+    assert sum(1 for op in walk(new_ops)
+               if isinstance(op, OverlapShiftOp)) == 0
+    # the original plan is untouched (rebuild copies containers)
+    assert plan.count_ops(OverlapShiftOp) == 4
+
+
+def test_map_blocks_identity_preserves_structure():
+    plan = deeply_nested_plan()
+    new_ops = map_blocks(plan.ops, lambda block: block)
+    assert [type(o).__name__ for o in walk(new_ops)] == \
+        [type(o).__name__ for o in plan.walk_ops()]
+
+
+def test_leaf_rebuild_rejects_blocks():
+    with pytest.raises(PipelineError):
+        shift().rebuild([])
+
+
+def test_overlapped_rebuild_demands_single_nest():
+    op = OverlappedOp(comm_ops=[shift()],
+                      nest=copy_nest("V", "U", (1, 0)))
+    with pytest.raises(PipelineError):
+        op.rebuild([shift()], [])
+    with pytest.raises(PipelineError):
+        op.rebuild([shift()], [shift()])
+
+
+def test_compiled_plans_expose_nested_ops(machine2x2):
+    # a DO-wrapped kernel puts comms inside a SeqLoopOp; count_ops must
+    # still see them
+    from repro.compiler import compile_hpf
+    src = """
+      REAL, DIMENSION(N,N) :: A, B
+!HPF$ DISTRIBUTE A(BLOCK,BLOCK)
+!HPF$ ALIGN B WITH A
+      DO KK = 1, 2
+        B = CSHIFT(A,SHIFT=1,DIM=1) + A
+        A = B
+      ENDDO
+"""
+    compiled = compile_hpf(src, bindings={"N": 8}, level="O4",
+                           outputs={"A", "B"})
+    assert compiled.plan.count_ops(SeqLoopOp) == 1
+    assert compiled.plan.count_ops(OverlapShiftOp) >= 1
+    in_loop = [op for op in compiled.plan.walk_ops()
+               if isinstance(op, SeqLoopOp)]
+    assert sum(1 for op in walk(in_loop[0].body)
+               if isinstance(op, OverlapShiftOp)) >= 1

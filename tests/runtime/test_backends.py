@@ -1,0 +1,67 @@
+"""The execution-backend registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kernels import run_kernel
+from repro.runtime import backends
+from repro.runtime.backends import (
+    available_backends, get_backend, register_backend,
+)
+
+
+def test_builtins_resolve_lazily():
+    from repro.runtime.executor import _Exec
+    from repro.runtime.vectorized import VectorizedExec
+    assert get_backend("perpe") is _Exec
+    assert get_backend("vectorized") is VectorizedExec
+
+
+def test_available_backends_lists_builtins():
+    names = available_backends()
+    assert "perpe" in names and "vectorized" in names
+    assert names == sorted(names)
+
+
+def test_unknown_backend_is_actionable():
+    with pytest.raises(ExecutionError, match="perpe"):
+        get_backend("simd")
+
+
+def test_executor_class_delegates_to_registry():
+    from repro.runtime.executor import executor_class
+    assert executor_class("perpe") is get_backend("perpe")
+    with pytest.raises(ExecutionError):
+        executor_class("simd")
+
+
+def test_registered_backend_reaches_run_kernel(monkeypatch):
+    from repro.runtime.executor import _Exec
+
+    calls = []
+
+    class SpyExec(_Exec):
+        def __init__(self, *a, **kw):
+            calls.append("init")
+            super().__init__(*a, **kw)
+
+    monkeypatch.setitem(backends._REGISTRY, "spy", SpyExec)
+    try:
+        ref = run_kernel("five_point", bindings={"N": 8})
+        spy = run_kernel("five_point", bindings={"N": 8},
+                         backend="spy")
+    finally:
+        pass  # monkeypatch restores the registry entry
+    assert calls
+    np.testing.assert_array_equal(ref.arrays["DST"],
+                                  spy.arrays["DST"])
+
+
+def test_registration_overrides_and_lists(monkeypatch):
+    sentinel = type("Fake", (), {})
+    monkeypatch.setitem(backends._REGISTRY, "fake", sentinel)
+    assert get_backend("fake") is sentinel
+    assert "fake" in available_backends()

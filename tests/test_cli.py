@@ -307,3 +307,71 @@ class TestJsonOutput:
         main(["run", p9_file, "--bind", "N=32", "--output", "T",
               "--json"])
         assert capsys.readouterr().out == first
+
+
+class TestPlanCommand:
+    def test_text_default(self, capsys):
+        assert main(["plan", "purdue9", "--bind", "N=16"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap_shift U" in out
+        assert "program:" in out
+
+    def test_json_round_trips(self, capsys):
+        from repro.plan import plan_from_json, plan_to_json
+        assert main(["plan", "purdue9", "--bind", "N=16",
+                     "--json"]) == 0
+        doc = capsys.readouterr().out
+        assert plan_to_json(plan_from_json(doc)) == doc
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "plan.json"
+        assert main(["plan", "five_point", "--json", "-o",
+                     str(target)]) == 0
+        import json
+        assert "schema" in json.loads(target.read_text())
+
+    def test_source_file_argument(self, p9_file, capsys):
+        assert main(["plan", p9_file, "--bind", "N=16",
+                     "--output", "T"]) == 0
+        assert "loop nest" in capsys.readouterr().out
+
+    def test_unknown_kernel_errors(self, capsys):
+        assert main(["plan", "no_such_kernel"]) == 1
+        assert "known kernels" in capsys.readouterr().err
+
+    def test_plan_passes_flag(self, capsys):
+        assert main(["plan", "nine_point", "--bind", "N=16",
+                     "--level", "O2", "--plan-passes"]) == 0
+        base = capsys.readouterr().out
+        assert main(["plan", "nine_point", "--bind", "N=16",
+                     "--level", "O2"]) == 0
+        unopt = capsys.readouterr().out
+        assert base.count("overlap_shift") < unopt.count("overlap_shift")
+
+
+class TestCacheDir:
+    def test_persistent_cache_across_invocations(self, tmp_path,
+                                                 capsys):
+        cache_dir = str(tmp_path / "plans")
+        for _ in range(2):
+            assert main(["plan", "purdue9", "--bind", "N=16",
+                         "--cache-dir", cache_dir]) == 0
+            capsys.readouterr()
+        import pathlib
+        assert len(list(pathlib.Path(cache_dir).glob("*.json"))) == 1
+
+    def test_run_with_cache_dir(self, p9_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "plans")
+        args = ["run", p9_file, "--bind", "N=16", "--output", "T",
+                "--cache-dir", cache_dir, "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestBackendChoices:
+    def test_backend_choices_come_from_registry(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "x.f90", "--backend", "no_such_backend"])
+        assert "vectorized" in capsys.readouterr().err
