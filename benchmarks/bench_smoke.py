@@ -49,7 +49,7 @@ def _best(fn, repeats: int) -> float:
 
 def bench_exec(kernel: str = "nine_point", n: int = 512,
                grid: tuple[int, ...] = (32, 32), iterations: int = 2,
-               repeats: int = 5) -> dict:
+               repeats: int = 5, workers: int = 2) -> dict:
     from repro.compiler import compile_hpf
     from repro.kernels import KERNELS
     from repro.machine import Machine
@@ -58,7 +58,7 @@ def bench_exec(kernel: str = "nine_point", n: int = 512,
     compiled = compile_hpf(spec.source, bindings={"N": n}, level="O4",
                            outputs=set(spec.outputs))
     out = {"kernel": kernel, "n": n, "grid": list(grid),
-           "iterations": iterations}
+           "iterations": iterations, "workers": workers}
     for backend in ("perpe", "vectorized"):
         out[f"{backend}_ms"] = _best(
             lambda: compiled.run(Machine(grid=grid,
@@ -67,6 +67,16 @@ def bench_exec(kernel: str = "nine_point", n: int = 512,
                                  backend=backend),
             repeats) * 1e3
     out["vectorized_speedup"] = out["perpe_ms"] / out["vectorized_ms"]
+    # the parallel backend pays real process/shared-memory startup per
+    # run, so fewer repeats suffice (best-of semantics unchanged); on a
+    # single-core runner the "speedup" is honestly < 1 — the gate
+    # tracks the ratio against the recorded baseline, not against 1.0
+    out["parallel_ms"] = _best(
+        lambda: compiled.run(Machine(grid=grid, keep_message_log=False),
+                             iterations=iterations, backend="parallel",
+                             workers=workers),
+        max(2, repeats - 2)) * 1e3
+    out["parallel_speedup"] = out["perpe_ms"] / out["parallel_ms"]
     return out
 
 
@@ -183,6 +193,7 @@ def gated_metrics(exec_res: dict, compile_res: dict,
                   persistent_res: dict) -> dict[str, float]:
     return {
         "exec.vectorized_speedup": exec_res["vectorized_speedup"],
+        "exec.parallel_speedup": exec_res["parallel_speedup"],
         "compile.warm_hit_speedup": compile_res["warm_hit_speedup"],
         "compile.persistent_warm_speedup":
             persistent_res["persistent_warm_speedup"],
@@ -212,7 +223,10 @@ def main(argv: list[str] | None = None) -> int:
     metrics = gated_metrics(exec_res, compile_res, persistent_res)
     print(f"exec: perpe {exec_res['perpe_ms']:.1f} ms, "
           f"vectorized {exec_res['vectorized_ms']:.1f} ms "
-          f"({metrics['exec.vectorized_speedup']:.1f}x)")
+          f"({metrics['exec.vectorized_speedup']:.1f}x), "
+          f"parallel[{exec_res['workers']}w] "
+          f"{exec_res['parallel_ms']:.1f} ms "
+          f"({metrics['exec.parallel_speedup']:.2f}x)")
     print(f"compile: cold {compile_res['cold_ms']['purdue9']:.1f} ms, "
           f"warm hit {compile_res['warm_hit_ms'] * 1e3:.1f} us "
           f"({metrics['compile.warm_hit_speedup']:.0f}x), "

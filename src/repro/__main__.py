@@ -195,7 +195,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
     result = compiled.run(machine, inputs=inputs,
-                          iterations=args.iters, backend=args.backend)
+                          iterations=args.iters, backend=args.backend,
+                          workers=args.workers)
     if args.json:
         out = result.summary()
         out["checksums"] = {
@@ -236,7 +237,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
     compiled.run(machine, inputs=inputs, iterations=args.iters,
-                 tracer=tracer, backend=args.backend)
+                 tracer=tracer, backend=args.backend,
+                 workers=args.workers)
     if args.out:
         tracer.write_jsonl(args.out)
         print(f"wrote {sum(1 for _ in tracer.spans())} spans to "
@@ -277,7 +279,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
     result = compiled.run(machine, inputs=inputs, iterations=args.iters,
-                          backend=args.backend, profile=True)
+                          backend=args.backend, profile=True,
+                          workers=args.workers)
     profile = result.profile
     assert profile is not None
     profile.kernel = kernel_name
@@ -365,9 +368,12 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p)
     p.add_argument("--backend", default="perpe", choices=backends,
                    help="execution backend: per-PE interpretation "
-                        "(default) or whole-array vectorized slabs "
-                        "(identical results and cost report, faster "
-                        "wall-clock)")
+                        "(default), whole-array vectorized slabs, or "
+                        "parallel worker processes over shared memory "
+                        "(all identical results and cost reports)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker-process count for --backend parallel "
+                        "(default: cpu count, capped at the PE count)")
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
     p.add_argument("--iters", type=int, default=1,
@@ -397,7 +403,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="array live out of the routine (repeatable)")
     p.add_argument("--backend", default="perpe", choices=backends,
                    help="execution backend: per-PE interpretation "
-                        "(default) or whole-array vectorized slabs")
+                        "(default), whole-array vectorized slabs, or "
+                        "parallel worker processes")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker-process count for --backend parallel "
+                        "(default: cpu count, capped at the PE count)")
     _add_cache_flags(p)
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
@@ -432,8 +442,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--output", action="append", default=[],
                    help="array live out of the routine (repeatable)")
     p.add_argument("--backend", default="perpe", choices=backends,
-                   help="execution backend; both produce identical "
-                        "communication profiles")
+                   help="execution backend; all produce identical "
+                        "communication profiles (parallel adds "
+                        "measured per-worker wall-clock tracks)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker-process count for --backend parallel "
+                        "(default: cpu count, capped at the PE count)")
     _add_cache_flags(p)
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")

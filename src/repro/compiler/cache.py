@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -70,7 +71,16 @@ def cache_key(source: str, name: str,
 
 
 class PlanCache:
-    """LRU cache of compiled programs keyed by :func:`cache_key`."""
+    """LRU cache of compiled programs keyed by :func:`cache_key`.
+
+    Thread-safe: ``get``/``put``/``invalidate`` and the stats counters
+    run under one re-entrant lock.  Both the LRU bookkeeping
+    (``move_to_end``, eviction) and the counter read-modify-writes are
+    multi-step mutations, so without the lock concurrent callers — e.g.
+    threads sharing :data:`DEFAULT_CACHE`, or a threaded experiment
+    driver compiling while the parallel backend runs — could lose
+    entries or drop counter increments.
+    """
 
     def __init__(self, maxsize: int = 128) -> None:
         if maxsize < 1:
@@ -78,9 +88,11 @@ class PlanCache:
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def key_for(self, source: str, name: str,
                 bindings: "dict[str, int] | None",
@@ -93,20 +105,22 @@ class PlanCache:
         return cache_key(source, name, bindings, options)
 
     def get(self, key: str) -> CompiledProgram | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: str, program: CompiledProgram) -> None:
-        self._entries[key] = program
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = program
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self, key: str | None = None) -> int:
         """Drop one entry (or all, when ``key`` is ``None``).
@@ -114,13 +128,15 @@ class PlanCache:
         Returns the number of entries dropped; each counts as one
         invalidation.
         """
-        if key is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-        else:
-            dropped = 1 if self._entries.pop(key, None) is not None else 0
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            if key is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                dropped = 1 if self._entries.pop(key, None) is not None \
+                    else 0
+            self.stats.invalidations += dropped
+            return dropped
 
 
 class PersistentPlanCache:
@@ -166,15 +182,27 @@ class PersistentPlanCache:
 
     def get(self, key: str) -> CompiledProgram | None:
         from repro.plan.serialize import program_from_json
-        try:
-            text = self._file(key).read_text()
-            program = program_from_json(text)
-        except Exception:
-            # absent, unreadable, corrupt, or wrong schema: recompile
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return program
+        path = self._file(key)
+        for attempt in (0, 1):
+            try:
+                text = path.read_text()
+                program = program_from_json(text)
+            except FileNotFoundError:
+                break  # genuinely absent: recompile
+            except Exception:
+                # The file exists but did not parse.  A concurrent
+                # writer's ``os.replace`` may have presented a partial
+                # view (the name can briefly resolve oddly on some
+                # filesystems, or an older build left junk); re-read
+                # once — the rename is atomic, so the second read sees
+                # either the complete new entry or the complete old one.
+                if attempt == 0:
+                    continue
+                break  # still corrupt: degrade to recompilation
+            self.stats.hits += 1
+            return program
+        self.stats.misses += 1
+        return None
 
     def put(self, key: str, program: CompiledProgram) -> None:
         from repro.plan.serialize import program_to_json

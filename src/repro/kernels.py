@@ -254,14 +254,15 @@ def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
                level: str = "O4", backend: str = "perpe",
                iterations: int = 1, seed: int = 0, machine=None,
                cache=None, tracer=None, profile: bool = False,
-               **options):
+               workers: int | None = None, **options):
     """Compile and execute a registry kernel with seeded random inputs.
 
-    ``backend`` selects the execution strategy (``"perpe"`` or
-    ``"vectorized"``); both produce bitwise-identical results and cost
-    reports.  ``profile`` attaches a communication profile (see
-    :mod:`repro.obs.profile`) to the result; its kernel/level fields
-    are filled in here.  Returns the
+    ``backend`` selects the execution strategy (``"perpe"``,
+    ``"vectorized"``, or ``"parallel"``); all produce bitwise-identical
+    results and cost reports.  ``profile`` attaches a communication
+    profile (see :mod:`repro.obs.profile`) to the result; its
+    kernel/level fields are filled in here.  ``workers`` caps the
+    ``parallel`` backend's worker-process count.  Returns the
     :class:`~repro.runtime.executor.ExecutionResult`.
     """
     import numpy as np
@@ -278,7 +279,8 @@ def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
         for arr, decl in compiled.plan.arrays.items()
         if arr in compiled.plan.entry_arrays}
     result = compiled.run(machine, inputs=inputs, iterations=iterations,
-                          tracer=tracer, backend=backend, profile=profile)
+                          tracer=tracer, backend=backend, profile=profile,
+                          workers=workers)
     if result.profile is not None:
         result.profile.kernel = name
         result.profile.level = level

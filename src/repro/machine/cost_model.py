@@ -170,6 +170,77 @@ class CostReport:
         self.stores += stats.stores * stats.points
         self.flops += stats.flops * stats.points
 
+    # -- multi-process merge -------------------------------------------------
+    @classmethod
+    def merge_worker_reports(cls, reports: "list[CostReport]",
+                             owner_of: "list[int]") -> "CostReport":
+        """Merge full-replica reports from parallel workers.
+
+        Every worker of the process-parallel backend replays the complete
+        deterministic charge walk, so the replicas must agree bit-for-bit
+        — divergence means the workers' executions desynchronized, which
+        this helper treats as a hard error rather than papering over.
+        The merged report takes each PE's time rows from the worker that
+        *owns* that PE (``owner_of[pe]`` indexes into ``reports``) —
+        expressing that a PE's modelled time is authoritative on its
+        owner — and the order-sensitive aggregate sums from worker 0.
+
+        ``CostReport`` is a plain dataclass of floats/ints/lists, so the
+        shards pickle across process boundaries unchanged.
+        """
+        if not reports:
+            raise ValueError("merge_worker_reports needs >= 1 report")
+        first = reports[0]
+        for w, rep in enumerate(reports[1:], start=1):
+            if (rep.pe_times != first.pe_times
+                    or rep.pe_comm_times != first.pe_comm_times
+                    or rep.pe_copy_times != first.pe_copy_times
+                    or rep.summary() != first.summary()):
+                raise ValueError(
+                    f"worker {w} cost-report replica diverged from "
+                    f"worker 0: {rep.summary()} vs {first.summary()}")
+        npes = len(owner_of)
+        if any(len(r.pe_times) < npes for r in reports):
+            raise ValueError("replica reports cover fewer PEs than "
+                             "owner_of")
+        merged = cls(
+            pe_times=[reports[owner_of[pe]].pe_times[pe]
+                      for pe in range(npes)],
+            pe_comm_times=[reports[owner_of[pe]].pe_comm_times[pe]
+                           for pe in range(npes)],
+            pe_copy_times=[reports[owner_of[pe]].pe_copy_times[pe]
+                           for pe in range(npes)],
+            messages=first.messages,
+            message_bytes=first.message_bytes,
+            copies=first.copies,
+            copy_elements=first.copy_elements,
+            loop_points=first.loop_points,
+            mem_loads=first.mem_loads,
+            cached_loads=first.cached_loads,
+            stores=first.stores,
+            flops=first.flops,
+        )
+        return merged
+
+    def adopt(self, other: "CostReport") -> None:
+        """Overwrite this report's contents in place with ``other``'s.
+
+        Used by the parallel backend's coordinator: the machine's report
+        object is shared by reference (network, profiler frames), so the
+        merged state is installed into it rather than rebinding."""
+        self.pe_times = list(other.pe_times)
+        self.pe_comm_times = list(other.pe_comm_times)
+        self.pe_copy_times = list(other.pe_copy_times)
+        self.messages = other.messages
+        self.message_bytes = other.message_bytes
+        self.copies = other.copies
+        self.copy_elements = other.copy_elements
+        self.loop_points = other.loop_points
+        self.mem_loads = other.mem_loads
+        self.cached_loads = other.cached_loads
+        self.stores = other.stores
+        self.flops = other.flops
+
     def snapshot(self) -> tuple[float, ...]:
         """Cheap aggregate snapshot for before/after deltas (tracing)."""
         return (float(self.messages), float(self.message_bytes),

@@ -161,6 +161,27 @@ class Network:
         report.messages += nmsgs
         report.message_bytes += total_bytes
 
+    def install_worker_logs(self,
+                            logs: list[list[MessageRecord]]) -> None:
+        """Adopt the merged message log from parallel-backend workers.
+
+        Every worker replays the full deterministic charge walk, so the
+        logs must already be identical replicas; divergence is reported
+        as an error, never silently resolved.  ``MessageRecord`` is a
+        frozen dataclass of ints and a string, so worker logs pickle
+        unchanged and compare by value here.
+        """
+        if not logs:
+            raise MachineError("install_worker_logs needs >= 1 log")
+        first = logs[0]
+        for w, log in enumerate(logs[1:], start=1):
+            if log != first:
+                raise MachineError(
+                    f"worker {w} message log diverged from worker 0 "
+                    f"({len(log)} vs {len(first)} records)")
+        if self.keep_log:
+            self.log = list(first)
+
     @property
     def message_count(self) -> int:
         return self.report.messages

@@ -31,9 +31,11 @@ PROFILE_SCHEMA = {"type": "comm_profile", "version": 1}
 _READABLE_PROFILE_VERSIONS = (1,)
 
 #: Chrome-trace process ids: compile spans (wall clock) vs execution
-#: timeline (modelled clock).
+#: timeline (modelled clock) vs measured per-worker wall clock (present
+#: only for the ``parallel`` backend).
 COMPILE_PID = 0
 EXEC_PID = 1
+WORKERS_PID = 2
 
 
 def _sec_to_us(t: float) -> float:
@@ -69,6 +71,26 @@ def chrome_trace(profile: CommProfile,
                 "dur": _sec_to_us(seg["t1"] - seg["t0"]),
                 "args": {"phase": seg["phase"], "op": seg["op"]},
             })
+
+    if profile.worker_tracks:
+        events.append({"name": "process_name", "ph": "M",
+                       "pid": WORKERS_PID, "tid": 0,
+                       "args": {"name": "workers (measured wall time)"}})
+        for track in profile.worker_tracks:
+            wid = track["worker"]
+            pes = ",".join(str(p) for p in track["pes"])
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": WORKERS_PID, "tid": wid,
+                           "args": {"name": f"worker {wid} "
+                                            f"(PEs {pes})"}})
+            for ev in track["events"]:
+                events.append({
+                    "name": ev["name"], "cat": "worker-wall", "ph": "X",
+                    "pid": WORKERS_PID, "tid": wid,
+                    "ts": _sec_to_us(ev["t0"]),
+                    "dur": _sec_to_us(max(0.0, ev["t1"] - ev["t0"])),
+                    "args": {"op": ev["op"], "depth": ev["depth"]},
+                })
 
     if tracer is not None and tracer.roots:
         events.append({"name": "process_name", "ph": "M",

@@ -60,6 +60,10 @@ class OpSample:
     detail: str
     wall_incl: float = 0.0
     wall_self: float = 0.0
+    #: wall-clock offset of the op's start relative to the collector's
+    #: first sample — lets multi-process backends rebase worker
+    #: timelines onto one Chrome-trace clock
+    t_start: float = 0.0
     pe_time: list[float] = field(default_factory=list)
     pe_comm: list[float] = field(default_factory=list)
     pe_copy: list[float] = field(default_factory=list)
@@ -152,6 +156,9 @@ class ProfileCollector:
 
         sample.wall_incl = now - frame.t0
         sample.wall_self = sample.wall_incl - frame.child_wall
+        sample.t_start = frame.t0 - (self.wall_start
+                                     if self.wall_start is not None
+                                     else frame.t0)
         sample.pe_time = deltas(report.pe_times, frame.pe_time0,
                                 frame.child_pe_time)
         sample.pe_comm = deltas(report.pe_comm_times, frame.pe_comm0,
@@ -221,6 +228,11 @@ class CommProfile:
     totals: dict
     kernel: str | None = None
     level: str | None = None
+    #: measured per-worker wall-clock tracks, present only for the
+    #: ``parallel`` backend: ``[{"worker", "pes", "wall_s", "events":
+    #: [{"op", "name", "depth", "t0", "t1"}]}]`` with times in seconds
+    #: relative to each worker's first op
+    worker_tracks: list[dict] | None = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -296,7 +308,9 @@ class CommProfile:
         return cls(grid=tuple(machine.grid), npes=npes, backend=backend,
                    matrix=matrix, timeline=timeline,
                    validation=validation, totals=totals, kernel=kernel,
-                   level=level)
+                   level=level,
+                   worker_tracks=getattr(collector, "worker_tracks",
+                                         None))
 
     # -- queries -------------------------------------------------------------
     def pair_matrix(self, cls_name: str | None = None,
@@ -320,13 +334,18 @@ class CommProfile:
 
     # -- (de)serialization ---------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "grid": list(self.grid), "npes": self.npes,
             "backend": self.backend, "kernel": self.kernel,
             "level": self.level, "matrix": self.matrix,
             "timeline": self.timeline, "validation": self.validation,
             "totals": self.totals,
         }
+        # only the parallel backend produces tracks; omitting the key
+        # otherwise keeps serialized profiles (and goldens) unchanged
+        if self.worker_tracks is not None:
+            out["worker_tracks"] = self.worker_tracks
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "CommProfile":
@@ -334,4 +353,5 @@ class CommProfile:
                    backend=data["backend"], matrix=data["matrix"],
                    timeline=data["timeline"],
                    validation=data["validation"], totals=data["totals"],
-                   kernel=data.get("kernel"), level=data.get("level"))
+                   kernel=data.get("kernel"), level=data.get("level"),
+                   worker_tracks=data.get("worker_tracks"))

@@ -340,14 +340,16 @@ class CompiledProgram:
     trace: object | None = None  # PassTrace when requested
 
     def run(self, machine, inputs=None, scalars=None, iterations: int = 1,
-            tracer=None, backend: str = "perpe", profile: bool = False):
+            tracer=None, backend: str = "perpe", profile: bool = False,
+            workers: int | None = None):
         """Execute on a machine; see :func:`repro.runtime.executor.execute`."""
         from repro.runtime.executor import execute
         return execute(self.plan, machine, inputs=inputs, scalars=scalars,
                        iterations=iterations,
                        hpf_overhead=self.report.pass_stats.get(
                            "hpf_overhead", False),
-                       tracer=tracer, backend=backend, profile=profile)
+                       tracer=tracer, backend=backend, profile=profile,
+                       workers=workers)
 
     def emit_fortran(self, name: str = "NODE_PROGRAM") -> str:
         """Render the plan as a Fortran77+MPI node-program listing (the

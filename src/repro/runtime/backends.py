@@ -23,6 +23,7 @@ from repro.errors import ExecutionError
 _BUILTIN: dict[str, tuple[str, str]] = {
     "perpe": ("repro.runtime.executor", "_Exec"),
     "vectorized": ("repro.runtime.vectorized", "VectorizedExec"),
+    "parallel": ("repro.runtime.parallel", "ParallelExec"),
 }
 
 _REGISTRY: dict[str, type] = {}

@@ -13,9 +13,23 @@ overlap area: a runtime shift must not clobber overlap data that offset
 references elsewhere still read (and the naive path's source arrays
 need no overlap areas at all).  The buffer's extra copy is charged to
 the cost model — it is part of what made library CSHIFTs expensive.
+
+Like :mod:`repro.runtime.overlap`, the copy loops separate charging
+from moving so the process-parallel backend can replay the exact charge
+sequence while each worker moves only its own PEs' blocks:
+
+* ``scratch_factory`` substitutes the scratch buffer's allocator (the
+  parallel backend allocates it in shared memory);
+* ``move`` gates the per-PE copies (charges always run for every PE);
+* ``sync`` is invoked at the phase boundaries where cross-PE reads
+  begin or end (after copy-in, after the exchange, before the scratch
+  buffer is freed) — the parallel backend plugs its worker barrier in
+  here, other backends leave it as a no-op.
 """
 
 from __future__ import annotations
+
+from math import prod
 
 import numpy as np
 
@@ -26,20 +40,30 @@ from repro.runtime.distribution import Layout
 from repro.runtime.overlap import overlap_shift
 
 
+def _noop_sync() -> None:
+    return None
+
+
 def _scratch_like(machine: Machine, src: DArray, shift: int,
-                  dim0: int) -> DArray:
+                  dim0: int, *, scratch_factory=None,
+                  move=None) -> DArray:
     """A transient padded copy of ``src`` with just enough overlap for
     the shift; models the runtime's communication buffer."""
     s = abs(shift)
     halo = tuple((0, 0) if k != dim0 else
                  ((0, s) if shift > 0 else (s, 0))
                  for k in range(src.rank))
-    scratch = DArray.create(machine, f"__shiftbuf_{src.name}__",
-                            src.layout, src.dtype, halo)
+    create = scratch_factory or DArray.create
+    scratch = create(machine, f"__shiftbuf_{src.name}__",
+                     src.layout, src.dtype, halo)
+    itemsize = np.dtype(src.dtype).itemsize
     for pe in src.layout.grid.ranks():
-        block = src.interior(pe)
-        scratch.interior(pe)[...] = block
-        machine.charge_copy(pe, int(block.size), block.itemsize)
+        nelems = prod(src.layout.local_shape(pe))
+        if nelems == 0:
+            continue
+        if move is None or move(pe):
+            scratch.interior(pe)[...] = src.interior(pe)
+        machine.charge_copy(pe, nelems, itemsize)
     return scratch
 
 
@@ -66,31 +90,47 @@ def _shifted_interior(buf: DArray, pe: int, shift: int,
 
 
 def _full_shift(machine: Machine, dst: DArray, src: DArray, shift: int,
-                dim: int, boundary: float | None) -> None:
+                dim: int, boundary: float | None, *,
+                scratch_factory=None, move=None, sync=None) -> None:
     if dst.layout.shape != src.layout.shape:
         raise ExecutionError(
             f"shift shape mismatch: {dst.name} vs {src.name}")
     d = dim - 1
-    scratch = _scratch_like(machine, src, shift, d)
+    sync = sync or _noop_sync
+    scratch = _scratch_like(machine, src, shift, d,
+                            scratch_factory=scratch_factory, move=move)
     try:
-        overlap_shift(machine, scratch, shift, dim, boundary=boundary)
+        sync()  # copy-in done everywhere before neighbors read the buffer
+        overlap_shift(machine, scratch, shift, dim, boundary=boundary,
+                      move=move)
+        sync()  # exchange done; copy-out reads only this PE's buffer
+        itemsize = np.dtype(src.dtype).itemsize
         for pe in src.layout.grid.ranks():
-            block = _shifted_interior(scratch, pe, shift, d)
-            dst.interior(pe)[...] = block
-            machine.charge_copy(pe, int(block.size), block.itemsize)
+            nelems = prod(src.layout.local_shape(pe))
+            if nelems == 0:
+                continue
+            if move is None or move(pe):
+                block = _shifted_interior(scratch, pe, shift, d)
+                dst.interior(pe)[...] = block
+            machine.charge_copy(pe, nelems, itemsize)
     finally:
+        sync()  # nobody may still be reading the buffer when it dies
         scratch.free(machine)
 
 
 def full_cshift(machine: Machine, dst: DArray, src: DArray, shift: int,
-                dim: int) -> None:
+                dim: int, *, scratch_factory=None, move=None,
+                sync=None) -> None:
     """``dst = CSHIFT(src, shift, dim)`` with explicit buffering and
     intraprocessor copying — the costs the offset-array optimization
     eliminates."""
-    _full_shift(machine, dst, src, shift, dim, boundary=None)
+    _full_shift(machine, dst, src, shift, dim, boundary=None,
+                scratch_factory=scratch_factory, move=move, sync=sync)
 
 
 def full_eoshift(machine: Machine, dst: DArray, src: DArray, shift: int,
-                 dim: int, boundary: float = 0.0) -> None:
+                 dim: int, boundary: float = 0.0, *,
+                 scratch_factory=None, move=None, sync=None) -> None:
     """``dst = EOSHIFT(src, shift, dim, boundary)`` (end-off shift)."""
-    _full_shift(machine, dst, src, shift, dim, boundary=boundary)
+    _full_shift(machine, dst, src, shift, dim, boundary=boundary,
+                scratch_factory=scratch_factory, move=move, sync=sync)

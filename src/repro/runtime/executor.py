@@ -62,9 +62,14 @@ _op_label = op_label
 class _Exec:
     def __init__(self, plan: Plan, machine: Machine,
                  scalars: Mapping[str, float] | None,
-                 hpf_overhead: bool, tracer=None) -> None:
+                 hpf_overhead: bool, tracer=None,
+                 workers: int | None = None) -> None:
         from repro.obs.tracer import coalesce
         self.tracer = coalesce(tracer)
+        #: Requested worker-process count; only the ``parallel`` backend
+        #: acts on it, but it is part of the shared constructor contract
+        #: so ``execute`` can pass it to any registered backend.
+        self.workers = workers
         #: Optional :class:`repro.obs.profile.ProfileCollector`.  Lives
         #: on the shared dispatch loop so both backends attribute ops
         #: identically — part of the backend-equivalence contract.
@@ -95,6 +100,14 @@ class _Exec:
         if da is None:
             raise ExecutionError(f"DEALLOCATE of unallocated {name}")
         da.free(self.machine)
+
+    def close(self) -> None:
+        """Release executor-held resources (worker pools, shared memory).
+
+        No-op for in-process backends; ``execute`` calls it in a
+        ``finally`` so multi-process backends always shut down their
+        workers, error or not.
+        """
 
     def darray(self, name: str) -> DArray:
         try:
@@ -469,7 +482,8 @@ def execute(plan: Plan, machine: Machine,
             reset_machine: bool = True,
             tracer=None,
             backend: str = "perpe",
-            profile: bool = False) -> ExecutionResult:
+            profile: bool = False,
+            workers: int | None = None) -> ExecutionResult:
     """Run a compiled plan.
 
     ``inputs`` seeds entry arrays (by name, case-insensitive); arrays not
@@ -485,6 +499,8 @@ def execute(plan: Plan, machine: Machine,
     ``profile`` attaches a :class:`repro.obs.profile.ProfileCollector`
     (requires ``keep_message_log=True`` on the machine) and returns the
     condensed :class:`~repro.obs.profile.CommProfile` on the result.
+    ``workers`` caps the worker-process count of the ``parallel``
+    backend (default: ``os.cpu_count()``); other backends ignore it.
     """
     from repro.obs.tracer import coalesce
     tracer = coalesce(tracer)
@@ -496,42 +512,48 @@ def execute(plan: Plan, machine: Machine,
             f"program declares !HPF$ PROCESSORS {plan.processors} but "
             f"the machine grid is {tuple(machine.grid)}")
     ex = executor_class(backend)(plan, machine, scalars, hpf_overhead,
-                                 tracer=tracer)
+                                 tracer=tracer, workers=workers)
     collector = None
     if profile:
         from repro.obs.profile import CommProfile, ProfileCollector
         collector = ProfileCollector(machine)
         ex.profiler = collector
-    with tracer.span("execute", kind="execute",
-                     grid="x".join(map(str, machine.grid)),
-                     iterations=iterations, backend=backend) as span:
-        inputs_up = {k.upper(): v for k, v in (inputs or {}).items()}
-        with tracer.span("materialize-inputs", kind="runtime"):
-            for name in plan.entry_arrays:
-                ex.materialize(name, inputs_up.get(name))
-        for i in range(iterations):
-            if iterations > 1 and tracer.enabled:
-                with tracer.span("iteration", kind="runtime", i=i):
+    try:
+        with tracer.span("execute", kind="execute",
+                         grid="x".join(map(str, machine.grid)),
+                         iterations=iterations, backend=backend) as span:
+            inputs_up = {k.upper(): v for k, v in (inputs or {}).items()}
+            with tracer.span("materialize-inputs", kind="runtime"):
+                for name in plan.entry_arrays:
+                    ex.materialize(name, inputs_up.get(name))
+            for i in range(iterations):
+                if iterations > 1 and tracer.enabled:
+                    with tracer.span("iteration", kind="runtime", i=i):
+                        ex.run_ops(plan.ops)
+                else:
                     ex.run_ops(plan.ops)
-            else:
-                ex.run_ops(plan.ops)
-        with tracer.span("gather-results", kind="runtime"):
-            arrays = {name: da.gather() for name, da in ex.darrays.items()}
-            for name in list(ex.darrays):
-                ex.release(name)
-        if tracer.enabled:
-            # prefixed "total_" so they don't double-count against the
-            # per-op deltas when counters are summed across the tree
-            r = machine.report
-            span.gauge("total_messages", r.messages)
-            span.gauge("total_bytes", r.message_bytes)
-            span.gauge("total_copies", r.copies)
-            span.gauge("total_copy_elements", r.copy_elements)
-            span.gauge("total_compute_points", r.loop_points)
-            span.gauge("modelled_time_s", r.modelled_time)
-            span.gauge("peak_memory_per_pe", machine.memory.peak_per_pe)
-            for pe, t in enumerate(r.pe_times):
-                span.gauge(f"pe{pe}_time_s", t)
+            with tracer.span("gather-results", kind="runtime"):
+                arrays = {name: da.gather()
+                          for name, da in ex.darrays.items()}
+                for name in list(ex.darrays):
+                    ex.release(name)
+            if tracer.enabled:
+                # prefixed "total_" so they don't double-count against
+                # the per-op deltas when counters are summed across the
+                # tree
+                r = machine.report
+                span.gauge("total_messages", r.messages)
+                span.gauge("total_bytes", r.message_bytes)
+                span.gauge("total_copies", r.copies)
+                span.gauge("total_copy_elements", r.copy_elements)
+                span.gauge("total_compute_points", r.loop_points)
+                span.gauge("modelled_time_s", r.modelled_time)
+                span.gauge("peak_memory_per_pe",
+                           machine.memory.peak_per_pe)
+                for pe, t in enumerate(r.pe_times):
+                    span.gauge(f"pe{pe}_time_s", t)
+    finally:
+        ex.close()
     comm_profile = None
     if collector is not None:
         comm_profile = CommProfile.from_run(machine, collector,

@@ -12,9 +12,25 @@ dimensions so the message also carries overlap cells filled by earlier
 shift's *source* is itself an offset array (``OVERLAP_CSHIFT(U<+1,0>,
 SHIFT=-1, DIM=2)`` in Figure 13), the equivalent slab widening is derived
 from the base offsets.
+
+The per-receiver loop separates *charging* (cost-model accounting,
+message logging) from *moving* (the NumPy slab writes): slab extents
+come from the layout, never from the data, so a caller can replay the
+exact charge sequence while moving data for only a subset of PEs.  The
+process-parallel backend uses this through the ``move`` predicate —
+every worker charges all PEs identically (keeping cost reports
+bit-identical across backends) but writes only the blocks it owns.
+
+Degenerate zero-width slabs (possible only through hand-built layouts
+today — BLOCK layouts reject empty blocks at construction — but
+legitimately producible by future distribution kinds) are elided here
+at the call site: :meth:`Network.send`/:meth:`Network.record` reject
+zero-size messages by contract.
 """
 
 from __future__ import annotations
+
+from math import prod
 
 import numpy as np
 
@@ -37,20 +53,29 @@ def _effective_rsd(da: DArray, dim0: int, rsd: RSD | None,
 def _ortho_slice(da: DArray, pe: int, k: int, ext_lo: int,
                  ext_hi: int) -> slice:
     """Padded-coordinate slice of dim ``k``: interior extended by
-    ``ext_lo``/``ext_hi`` overlap cells."""
+    ``ext_lo``/``ext_hi`` overlap cells.
+
+    Extents come from the layout (not the padded block) so the slice can
+    be computed without touching — or even holding — PE data.
+    """
     halo_lo, halo_hi = da.halo[k]
     if ext_lo > halo_lo or ext_hi > halo_hi:
         raise ExecutionError(
             f"{da.name}: RSD extension ({ext_lo},{ext_hi}) exceeds halo "
             f"({halo_lo},{halo_hi}) in dim {k + 1}")
-    n_local = da.padded(pe).shape[k] - halo_lo - halo_hi
+    n_local = da.layout.local_shape(pe)[k]
     return slice(halo_lo - ext_lo, halo_lo + n_local + ext_hi)
+
+
+def _slab_elems(idx: list[slice]) -> int:
+    return prod(sl.stop - sl.start for sl in idx)
 
 
 def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
                   rsd: RSD | None = None,
                   base_offsets: tuple[int, ...] | None = None,
-                  boundary: float | None = None) -> None:
+                  boundary: float | None = None,
+                  move=None) -> None:
     """Fill overlap areas of ``da`` for a shift of ``shift`` along the
     1-based dimension ``dim``.
 
@@ -62,6 +87,11 @@ def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
     the *high*-side overlap area; negative fills the low side.  One
     message per PE is sent (self-messages on 1-wide grid dimensions are
     priced as local copies by the network).
+
+    ``move`` (``pe -> bool``, default: always) gates the data movement
+    per receiving PE while the charge walk always covers every PE —
+    the hook the process-parallel backend's workers use to split data
+    movement without perturbing cost accounting.
     """
     if shift == 0:
         raise ExecutionError("overlap_shift with zero shift")
@@ -84,10 +114,12 @@ def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
     layout = da.layout
     n_global = layout.shape[d]
     tag = comm_tag(da.name, dim, shift, widened=not eff.is_trivial)
+    itemsize = np.dtype(da.dtype).itemsize
+    if move is None:
+        move = _move_always
 
     for pe in layout.grid.ranks():
-        padded = da.padded(pe)
-        n_local = padded.shape[d] - halo_lo - halo_hi
+        n_local = layout.local_shape(pe)[d]
         # destination: the halo slab on the sign side
         dst_idx: list[slice] = []
         for k in range(da.rank):
@@ -105,17 +137,22 @@ def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
         if not layout.is_distributed(d):
             # collapsed dimension: the "interprocessor" component is a
             # purely local circular wrap of the slab
-            src_idx = list(dst_idx)
-            if sign > 0:
-                src_idx[d] = slice(halo_lo, halo_lo + s)
-            else:
-                src_idx[d] = slice(halo_lo + n_local - s, halo_lo + n_local)
-            slab = padded[tuple(src_idx)]
-            if boundary is not None:
-                slab = np.full_like(slab, boundary)
-            padded[tuple(dst_idx)] = slab
-            machine.charge_copy(pe, int(np.prod(slab.shape)),
-                                padded.itemsize)
+            nelems = _slab_elems(dst_idx)
+            if nelems == 0:
+                continue  # degenerate empty slab: nothing moves
+            if move(pe):
+                padded = da.padded(pe)
+                src_idx = list(dst_idx)
+                if sign > 0:
+                    src_idx[d] = slice(halo_lo, halo_lo + s)
+                else:
+                    src_idx[d] = slice(halo_lo + n_local - s,
+                                       halo_lo + n_local)
+                slab = padded[tuple(src_idx)]
+                if boundary is not None:
+                    slab = np.full_like(slab, boundary)
+                padded[tuple(dst_idx)] = slab
+            machine.charge_copy(pe, nelems, itemsize)
             continue
 
         # boundary (EOSHIFT) handling: a PE at the global edge fills its
@@ -123,14 +160,15 @@ def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
         box_lo, box_hi = layout.owned_box(pe)[d]
         at_edge = (box_hi == n_global) if sign > 0 else (box_lo == 1)
         if boundary is not None and at_edge:
-            shape = tuple(sl.stop - sl.start for sl in dst_idx)
-            padded[tuple(dst_idx)] = np.full(shape, boundary,
-                                             dtype=padded.dtype)
+            if move(pe):
+                padded = da.padded(pe)
+                shape = tuple(sl.stop - sl.start for sl in dst_idx)
+                padded[tuple(dst_idx)] = np.full(shape, boundary,
+                                                 dtype=padded.dtype)
             continue
 
         sender = layout.neighbor(pe, d, sign)
-        sender_padded = da.padded(sender)
-        sender_n = sender_padded.shape[d] - halo_lo - halo_hi
+        sender_n = layout.local_shape(sender)[d]
         src_idx = []
         for k in range(da.rank):
             if k == d:
@@ -143,6 +181,16 @@ def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
                 rd = eff.dims[k]
                 assert rd is not None
                 src_idx.append(_ortho_slice(da, sender, k, rd.lo, rd.hi))
-        payload = sender_padded[tuple(src_idx)]
-        received = machine.network.send(sender, pe, payload, tag=tag)
-        padded[tuple(dst_idx)] = received
+        nelems = _slab_elems(src_idx)
+        if nelems == 0:
+            continue  # empty slab: the network rejects zero-size sends
+        if move(pe):
+            payload = da.padded(sender)[tuple(src_idx)]
+            received = machine.network.send(sender, pe, payload, tag=tag)
+            da.padded(pe)[tuple(dst_idx)] = received
+        else:
+            machine.network.record(sender, pe, nelems, itemsize, tag=tag)
+
+
+def _move_always(pe: int) -> bool:
+    return True

@@ -1,0 +1,661 @@
+"""Process-parallel execution backend over shared-memory blocks.
+
+One OS process per worker, ``W = min(workers, npes)`` workers (default
+``os.cpu_count()``), PEs mapped round-robin: worker ``w`` *owns* PEs
+``{pe : pe % W == w}``.  Every (array, PE) padded local block lives in a
+:mod:`multiprocessing.shared_memory` segment, so an ``OVERLAP_SHIFT``
+halo exchange is a cross-block slab copy performed concurrently by the
+receiving PE's owner, synchronized by per-plan-op barriers.
+
+**Equivalence contract.**  The backend must produce bitwise-identical
+arrays/scalars and an identical *modelled* :class:`CostReport`, message
+log, and comm profile to ``perpe``/``vectorized``.  It gets this by
+construction: every worker replays the **full deterministic charge
+walk** over all PEs — the same code paths as the reference executor,
+via the ``move`` predicate of :func:`repro.runtime.overlap.overlap_shift`
+and :func:`repro.runtime.cshift.full_cshift` — but performs NumPy data
+movement only for the PEs it owns.  The coordinator verifies that all
+workers' replica reports/logs/scalars agree and installs the merged
+state (each PE's time rows taken from its owner, in PE-rank order).
+Replication also makes control flow (``DO WHILE`` guards, ``IF``
+conditions, reduction results) identical in every worker, which is what
+lets a fixed barrier schedule work at all.
+
+**Synchronization.**  Writes are owner-local by construction (a worker
+only ever writes blocks of PEs it owns); the races are reads of a
+neighbor's block.  Barriers therefore bracket exactly the cross-block
+phases: around each ``OVERLAP_SHIFT``, at the three phase boundaries of
+a buffered full shift (after copy-in, after the exchange, before the
+scratch buffer dies), around distributed reductions (which read every
+PE's block), after mid-plan allocations (all blocks must exist before
+any worker touches them), and before frees (no attach-after-unlink).
+The deterministic replicated walk guarantees every worker reaches the
+same barrier points in the same order; a generous timeout plus
+``Barrier.abort()`` on worker error turns a hang into a diagnosable
+failure instead of a deadlock.
+
+**Shared-memory lifecycle.**  Segment names are
+``{run_id}-{array}-g{gen}-p{pe}`` where ``gen`` is a per-array-name
+generation counter every process advances identically (entry arrays in
+``plan.entry_arrays`` order, then plan allocations in execution order),
+so free-then-reallocate never aliases a stale segment.  The parent
+creates entry-array blocks; workers create blocks for the PEs they own
+on mid-plan allocations and attach lazily to everything else.  Unlink
+responsibility is disjoint (each worker unlinks its owned PEs' blocks,
+the parent unlinks arrays that survive to the end), double-unlink is
+tolerated, and every attach is unregistered from the
+``resource_tracker`` so lifetimes stay fully manual.
+
+**Measured time.**  Besides the modelled report, each worker measures
+real wall-clock per op (including barrier waits).  The coordinator
+installs worker 0's samples into the parent profiler — so
+``repro profile --backend parallel`` emits a modelled-vs-*measured*
+validation table — and attaches one wall-clock track per worker
+(``CommProfile.worker_tracks``) that the Chrome-trace exporter renders
+as a real concurrency timeline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue
+import traceback
+import uuid
+from math import prod
+from typing import Mapping
+
+import numpy as np
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.errors import ExecutionError, MachineError
+from repro.machine.cost_model import CostReport
+from repro.machine.machine import Machine
+from repro.plan import FullShiftOp, OverlapShiftOp, Plan
+from repro.runtime.cshift import full_cshift, full_eoshift
+from repro.runtime.darray import DArray, Halo
+from repro.runtime.distribution import Layout, cached_layout
+from repro.runtime.executor import _Exec
+from repro.runtime.overlap import overlap_shift
+
+#: Safety net for hung barriers (a worker died without aborting): waits
+#: raise BrokenBarrierError after this instead of deadlocking the run.
+BARRIER_TIMEOUT_S = 120.0
+
+#: How long the coordinator waits for one worker reply before declaring
+#: the pool wedged (longer than the barrier timeout so worker-side
+#: timeouts surface as worker errors, not coordinator timeouts).
+REPLY_TIMEOUT_S = BARRIER_TIMEOUT_S + 60.0
+
+
+try:  # POSIX only; the fallback path covers other platforms
+    import _posixshmem
+except ImportError:  # pragma: no cover
+    _posixshmem = None
+
+
+def _untrack(seg: shared_memory.SharedMemory) -> None:
+    """Remove ``seg`` from this process's resource tracker.
+
+    ``SharedMemory`` registers segments on *attach* as well as create
+    (fixed only in newer CPythons via ``track=False``), so without this
+    every attaching process would try to unlink the segment at exit.
+    Lifetimes here are fully manual: creators/owners unlink explicitly
+    and double-unlinks are tolerated.
+    """
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_segment(name: str) -> None:
+    """Destroy one named segment without touching the resource tracker.
+
+    ``SharedMemory.unlink`` unconditionally unregisters the name, which
+    errors in the (process-shared) tracker because :func:`_untrack`
+    already removed it — so go straight to ``shm_unlink``.  Raises
+    ``FileNotFoundError`` if the segment is already gone.
+    """
+    if _posixshmem is not None:
+        _posixshmem.shm_unlink("/" + name)
+        return
+    seg = shared_memory.SharedMemory(name=name)  # pragma: no cover
+    try:
+        resource_tracker.register(seg._name, "shared_memory")
+    except Exception:
+        pass
+    seg.unlink()
+    seg.close()
+
+
+class ShmDArray(DArray):
+    """A :class:`DArray` whose per-PE padded blocks live in shared memory.
+
+    ``owned_pes`` is the set of PEs whose segments this *instance* is
+    responsible for destroying (workers: their round-robin share; the
+    parent: every PE).  Blocks are attached lazily on first
+    :meth:`padded` access, so a worker maps only the blocks it actually
+    reads or writes.
+    """
+
+    def __init__(self, name: str, layout: Layout, dtype: np.dtype,
+                 halo: Halo, *, run_id: str, gen: int,
+                 shapes: list[tuple[int, ...]],
+                 owned_pes: frozenset[int]) -> None:
+        DArray.__init__(self, name, layout, np.dtype(dtype), halo, [])
+        self.run_id = run_id
+        self.gen = gen
+        self.owned_pes = frozenset(owned_pes)
+        self._shapes = shapes
+        self._segs: dict[int, shared_memory.SharedMemory] = {}
+        self._views: dict[int, np.ndarray] = {}
+
+    # -- construction ------------------------------------------------------
+    @staticmethod
+    def build(machine: Machine, name: str, layout: Layout,
+              dtype: np.dtype, halo: Halo | None, *, run_id: str,
+              gen: int, create_pes, owned_pes,
+              charge: bool) -> "ShmDArray":
+        """Validate + (optionally) charge exactly like
+        :meth:`DArray.create`, then create segments for ``create_pes``.
+
+        Workers pass ``charge=True`` (they replicate the reference
+        allocation charges); the parent passes ``charge=False`` (its
+        memory accounting comes from the merged worker peaks).
+        """
+        rank = len(layout.shape)
+        halo = halo or tuple((0, 0) for _ in range(rank))
+        if len(halo) != rank:
+            raise MachineError(f"halo rank mismatch for {name}")
+        for d, (lo, hi) in enumerate(halo):
+            limit = layout.max_shift(d)
+            if max(lo, hi) > limit:
+                raise MachineError(
+                    f"{name}: halo {max(lo, hi)} along dim {d + 1} exceeds "
+                    f"the minimum local extent {limit}; use a smaller shift "
+                    f"or fewer processors")
+        dtype = np.dtype(dtype)
+        shapes = []
+        for pe in layout.grid.ranks():
+            local = layout.local_shape(pe)
+            shapes.append(tuple(n + lo + hi
+                                for n, (lo, hi) in zip(local, halo)))
+        if charge:
+            nbytes = [prod(s) * dtype.itemsize for s in shapes]
+            machine.memory.allocate_all(name, nbytes)
+        da = ShmDArray(name, layout, dtype, halo, run_id=run_id, gen=gen,
+                       shapes=shapes, owned_pes=frozenset(owned_pes))
+        for pe in create_pes:
+            da._attach(pe, create=True)
+        return da
+
+    def seg_name(self, pe: int) -> str:
+        return f"{self.run_id}-{self.name}-g{self.gen}-p{pe}"
+
+    def _attach(self, pe: int, create: bool = False) -> np.ndarray:
+        shape = self._shapes[pe]
+        if create:
+            nbytes = prod(shape) * self.dtype.itemsize
+            seg = shared_memory.SharedMemory(name=self.seg_name(pe),
+                                             create=True, size=nbytes)
+        else:
+            seg = shared_memory.SharedMemory(name=self.seg_name(pe))
+        _untrack(seg)
+        view = np.ndarray(shape, dtype=self.dtype, buffer=seg.buf)
+        if create:
+            view.fill(0)
+        self._segs[pe] = seg
+        self._views[pe] = view
+        return view
+
+    # -- views -------------------------------------------------------------
+    def padded(self, pe: int) -> np.ndarray:
+        view = self._views.get(pe)
+        if view is None:
+            view = self._attach(pe)
+        return view
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mappings (segments stay alive)."""
+        self._views.clear()
+        segs, self._segs = self._segs, {}
+        for seg in segs.values():
+            try:
+                seg.close()
+            except BufferError:
+                pass  # a live external view pins the mapping; leave it
+
+    def unlink_owned(self) -> None:
+        """Destroy the segments this instance is responsible for.
+
+        ``FileNotFoundError`` is swallowed: on Linux unlink-while-mapped
+        is safe and another responsible party may legitimately have
+        unlinked first (the parent's error-path sweep).
+        """
+        for pe in self.owned_pes:
+            try:
+                _unlink_segment(self.seg_name(pe))
+            except FileNotFoundError:
+                pass
+
+    def free(self, machine: Machine) -> None:
+        machine.memory.free_all(self.name)
+        self.unlink_owned()
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+class _WorkerExec(_Exec):
+    """The executor a worker process runs: full charge walk, owned moves."""
+
+    def __init__(self, plan: Plan, machine: Machine,
+                 scalars: Mapping[str, float] | None, hpf_overhead: bool,
+                 *, wid: int, nworkers: int, run_id: str,
+                 barrier) -> None:
+        super().__init__(plan, machine, scalars, hpf_overhead)
+        self.wid = wid
+        self.nworkers = nworkers
+        self.run_id = run_id
+        self.barrier = barrier
+        self.owned = frozenset(range(wid, machine.npes, nworkers))
+        self._move = self.owned.__contains__
+        self._gen: dict[str, int] = {}
+
+    def _next_gen(self, name: str) -> int:
+        gen = self._gen.get(name, 0) + 1
+        self._gen[name] = gen
+        return gen
+
+    def _bwait(self) -> None:
+        self.barrier.wait(BARRIER_TIMEOUT_S)
+
+    # -- array lifecycle ---------------------------------------------------
+    def setup_entry_arrays(self) -> None:
+        """Attach the parent-created entry arrays, replicating the
+        reference executor's allocation charges in ``entry_arrays``
+        order (the order ``execute`` materializes them)."""
+        for name in self.plan.entry_arrays:
+            decl = self.plan.arrays[name]
+            layout = cached_layout(decl.shape, decl.distribution,
+                                   self.machine.topology)
+            da = ShmDArray.build(
+                self.machine, name, layout, decl.dtype, decl.halo,
+                run_id=self.run_id, gen=self._next_gen(name),
+                create_pes=(), owned_pes=self.owned, charge=True)
+            self.darrays[name] = da
+
+    def materialize(self, name: str,
+                    initial: np.ndarray | None = None) -> None:
+        if initial is not None:
+            raise ExecutionError(
+                "parallel worker cannot seed arrays mid-plan")
+        decl = self.plan.arrays[name]
+        layout = cached_layout(decl.shape, decl.distribution,
+                               self.machine.topology)
+        da = ShmDArray.build(
+            self.machine, name, layout, decl.dtype, decl.halo,
+            run_id=self.run_id, gen=self._next_gen(name),
+            create_pes=self.owned, owned_pes=self.owned, charge=True)
+        self._bwait()  # every PE's block exists before anyone touches it
+        self.darrays[name] = da
+
+    def release(self, name: str) -> None:
+        # everyone must be past their last read before segments die
+        self._bwait()
+        super().release(name)  # ShmDArray.free unlinks this worker's PEs
+
+    def _scratch_factory(self, machine: Machine, name: str,
+                         layout: Layout, dtype: np.dtype,
+                         halo: Halo) -> DArray:
+        da = ShmDArray.build(
+            machine, name, layout, dtype, halo,
+            run_id=self.run_id, gen=self._next_gen(name),
+            create_pes=self.owned, owned_pes=self.owned, charge=True)
+        self._bwait()
+        return da
+
+    # -- cross-block ops ---------------------------------------------------
+    def do_overlap_shift(self, op: OverlapShiftOp) -> None:
+        self._bwait()  # senders' interiors fully written
+        overlap_shift(self.machine, self.darray(op.array),
+                      op.shift, op.dim, rsd=op.rsd,
+                      base_offsets=op.base_offsets,
+                      boundary=op.boundary, move=self._move)
+        self._bwait()  # slab reads done before owners overwrite sources
+
+    def do_full_shift(self, op: FullShiftOp) -> None:
+        dst, src = self.darray(op.dst), self.darray(op.src)
+        if op.boundary is None:
+            full_cshift(self.machine, dst, src, op.shift, op.dim,
+                        scratch_factory=self._scratch_factory,
+                        move=self._move, sync=self._bwait)
+        else:
+            full_eoshift(self.machine, dst, src, op.shift, op.dim,
+                         op.boundary,
+                         scratch_factory=self._scratch_factory,
+                         move=self._move, sync=self._bwait)
+
+    def _reduce(self, expr) -> float:
+        self._bwait()  # reductions read every PE's block
+        try:
+            return super()._reduce(expr)
+        finally:
+            self._bwait()
+
+    # -- compute gating ----------------------------------------------------
+    def _exec_nest_box(self, op, box, pe: int) -> int:
+        if pe in self.owned:
+            return super()._exec_nest_box(op, box, pe)
+        points = 1
+        for lo, hi in box:
+            points *= hi - lo + 1
+        return points
+
+    # -- shard reporting ---------------------------------------------------
+    def shard(self) -> dict:
+        """Cumulative replica state shipped to the coordinator after
+        every run command."""
+        prof = None
+        if self.profiler is not None:
+            prof = {"samples": self.profiler.samples,
+                    "wall_total": self.profiler.wall_total}
+        return {
+            "report": self.machine.report,
+            "log": list(self.machine.network.log),
+            "peaks": [self.machine.memory.peak(pe)
+                      for pe in range(self.machine.npes)],
+            "scalars": dict(self.scalars),
+            "live": sorted((n, da.gen)
+                           for n, da in self.darrays.items()),
+            "prof": prof,
+        }
+
+    def close_attachments(self) -> None:
+        for da in self.darrays.values():
+            da.close()
+
+
+def _worker_main(wid: int, nworkers: int, plan: Plan,
+                 machine_cfg: dict, scalars, hpf_overhead: bool,
+                 run_id: str, profile: bool, barrier, cmd_q,
+                 result_q) -> None:
+    ex = None
+    try:
+        machine = Machine(**machine_cfg)
+        ex = _WorkerExec(plan, machine, scalars, hpf_overhead,
+                         wid=wid, nworkers=nworkers, run_id=run_id,
+                         barrier=barrier)
+        if profile:
+            from repro.obs.profile import ProfileCollector
+            ex.profiler = ProfileCollector(machine)
+        ex.setup_entry_arrays()
+        while True:
+            cmd = cmd_q.get()
+            if cmd[0] == "stop":
+                break
+            ex.run_ops(plan.ops)
+            result_q.put(("done", wid, pickle.dumps(ex.shard())))
+    except BaseException as exc:  # noqa: BLE001 — must reach the parent
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        payload = None
+        try:
+            payload = pickle.dumps(exc)
+            pickle.loads(payload)
+        except Exception:
+            payload = None
+        try:
+            result_q.put(("error", wid, pickle.dumps(
+                {"exc": payload, "tb": traceback.format_exc()})))
+        except Exception:
+            pass
+    finally:
+        if ex is not None:
+            ex.close_attachments()
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+class ParallelExec(_Exec):
+    """Coordinator executor registered as the ``parallel`` backend.
+
+    Runs in the parent process: materializes entry arrays in shared
+    memory, drives the worker pool (started lazily at the first
+    ``run_ops`` so profiler assignment is known), and after every
+    iteration verifies the workers' replica states agree and installs
+    the merged report/log/peaks/scalars into the parent machine — so
+    ``execute``'s gather/result code works unchanged.
+    """
+
+    def __init__(self, plan: Plan, machine: Machine,
+                 scalars: Mapping[str, float] | None,
+                 hpf_overhead: bool, tracer=None,
+                 workers: int | None = None) -> None:
+        super().__init__(plan, machine, scalars, hpf_overhead,
+                         tracer=tracer, workers=workers)
+        if workers is not None and workers < 1:
+            raise ExecutionError(
+                f"parallel backend needs >= 1 worker, got {workers}")
+        requested = workers or (os.cpu_count() or 1)
+        self.nworkers = max(1, min(requested, machine.npes))
+        self.owner_of = [pe % self.nworkers
+                         for pe in range(machine.npes)]
+        self._init_scalars = dict(scalars or {})
+        self._hpf_overhead = bool(hpf_overhead)
+        self.run_id = f"repro-{uuid.uuid4().hex[:12]}"
+        self._gen: dict[str, int] = {}
+        self._procs: list = []
+        self._cmd_qs: list = []
+        self._result_q = None
+
+    def _next_gen(self, name: str) -> int:
+        gen = self._gen.get(name, 0) + 1
+        self._gen[name] = gen
+        return gen
+
+    # -- array lifecycle (parent: real blocks, no charges) -----------------
+    def materialize(self, name: str,
+                    initial: np.ndarray | None = None) -> None:
+        decl = self.plan.arrays[name]
+        layout = cached_layout(decl.shape, decl.distribution,
+                               self.machine.topology)
+        pes = list(layout.grid.ranks())
+        da = ShmDArray.build(
+            self.machine, name, layout, decl.dtype, decl.halo,
+            run_id=self.run_id, gen=self._next_gen(name),
+            create_pes=pes, owned_pes=pes, charge=False)
+        if initial is not None:
+            da.scatter(np.asarray(initial))
+        self.darrays[name] = da
+
+    # release() is inherited: ShmDArray.free unlinks every PE's segment
+    # (free_all on the parent's never-charged heaps is a no-op).
+
+    # -- pool --------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._procs:
+            return
+        method = ("fork" if "fork" in mp.get_all_start_methods()
+                  else "spawn")
+        ctx = mp.get_context(method)
+        self._barrier = ctx.Barrier(self.nworkers)
+        self._result_q = ctx.Queue()
+        self._cmd_qs = [ctx.SimpleQueue() for _ in range(self.nworkers)]
+        machine_cfg = dict(
+            grid=tuple(self.machine.grid),
+            cost_model=self.machine.cost_model,
+            memory_per_pe=self.machine.memory_per_pe,
+            keep_message_log=self.machine.keep_message_log)
+        profile = self.profiler is not None
+        for wid in range(self.nworkers):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(wid, self.nworkers, self.plan, machine_cfg,
+                      self._init_scalars, self._hpf_overhead,
+                      self.run_id, profile, self._barrier,
+                      self._cmd_qs[wid], self._result_q),
+                daemon=True,
+                name=f"repro-parallel-w{wid}")
+            p.start()
+            self._procs.append(p)
+
+    def run_ops(self, ops) -> None:
+        self._ensure_pool()
+        for q in self._cmd_qs:
+            q.put(("run",))
+        shards: dict[int, dict] = {}
+        errors: dict[int, dict] = {}
+        for _ in range(self.nworkers):
+            try:
+                kind, wid, payload = self._result_q.get(
+                    timeout=REPLY_TIMEOUT_S)
+            except queue.Empty:
+                self._terminate()
+                raise ExecutionError(
+                    "parallel backend: worker reply timed out "
+                    f"(waited {REPLY_TIMEOUT_S:.0f}s; "
+                    f"got {len(shards) + len(errors)}"
+                    f"/{self.nworkers} replies)") from None
+            data = pickle.loads(payload)
+            if kind == "done":
+                shards[wid] = data
+            else:
+                errors[wid] = data
+        if errors:
+            self._terminate()
+            wid = min(errors)
+            exc_payload = errors[wid]["exc"]
+            if exc_payload is not None:
+                raise pickle.loads(exc_payload)
+            raise ExecutionError(
+                f"parallel worker {wid} failed:\n{errors[wid]['tb']}")
+        self._merge([shards[wid] for wid in range(self.nworkers)])
+
+    # -- merge -------------------------------------------------------------
+    def _merge(self, shards: list[dict]) -> None:
+        merged = CostReport.merge_worker_reports(
+            [s["report"] for s in shards], self.owner_of)
+        self.machine.report.adopt(merged)
+        self.machine.network.install_worker_logs(
+            [s["log"] for s in shards])
+
+        peaks0 = shards[0]["peaks"]
+        scalars0 = shards[0]["scalars"]
+        live0 = shards[0]["live"]
+        for w, s in enumerate(shards[1:], start=1):
+            if s["peaks"] != peaks0:
+                raise ExecutionError(
+                    f"worker {w} memory peaks diverged from worker 0")
+            if s["scalars"] != scalars0:
+                raise ExecutionError(
+                    f"worker {w} scalars diverged from worker 0: "
+                    f"{s['scalars']} vs {scalars0}")
+            if s["live"] != live0:
+                raise ExecutionError(
+                    f"worker {w} live arrays diverged from worker 0: "
+                    f"{s['live']} vs {live0}")
+        self.machine.memory.adopt_peaks(peaks0)
+        self.scalars = dict(scalars0)
+        self._sync_darrays(live0)
+        if self.profiler is not None:
+            self._install_profiles(shards)
+
+    def _sync_darrays(self, live: list[tuple[str, int]]) -> None:
+        """Mirror the workers' live-array set: attach plan-allocated
+        arrays that appeared, drop arrays the plan freed (the workers
+        already unlinked their segments)."""
+        for name, gen in live:
+            cur = self.darrays.get(name)
+            if cur is not None and cur.gen == gen:
+                continue
+            if cur is not None:
+                cur.close()
+            decl = self.plan.arrays[name]
+            layout = cached_layout(decl.shape, decl.distribution,
+                                   self.machine.topology)
+            pes = list(layout.grid.ranks())
+            self.darrays[name] = ShmDArray.build(
+                self.machine, name, layout, decl.dtype, decl.halo,
+                run_id=self.run_id, gen=gen, create_pes=(),
+                owned_pes=pes, charge=False)
+            self._gen[name] = max(self._gen.get(name, 0), gen)
+        live_names = {name for name, _ in live}
+        for name in [n for n in self.darrays if n not in live_names]:
+            self.darrays.pop(name).close()
+
+    def _install_profiles(self, shards: list[dict]) -> None:
+        """Worker 0's samples become the parent collector's (modelled
+        deltas are identical replicas; wall-clock is worker 0's real
+        measurement, barrier waits included), and every worker gets a
+        wall-clock track for the Chrome trace."""
+        collector = self.profiler
+        prof0 = shards[0]["prof"]
+        collector.samples = prof0["samples"]
+        collector.wall_start = 0.0
+        collector.wall_end = prof0["wall_total"]
+        tracks = []
+        for wid, s in enumerate(shards):
+            prof = s["prof"]
+            events = [{"op": smp.index, "name": smp.name,
+                       "depth": smp.depth, "t0": smp.t_start,
+                       "t1": smp.t_start + smp.wall_incl}
+                      for smp in prof["samples"]]
+            tracks.append({
+                "worker": wid,
+                "pes": sorted(pe for pe in range(self.machine.npes)
+                              if self.owner_of[pe] == wid),
+                "wall_s": prof["wall_total"],
+                "events": events,
+            })
+        collector.worker_tracks = tracks
+
+    # -- shutdown ----------------------------------------------------------
+    def _terminate(self) -> None:
+        procs, self._procs = self._procs, []
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+        self._cmd_qs = []
+
+    def close(self) -> None:
+        procs = self._procs
+        if procs:
+            for q in self._cmd_qs:
+                try:
+                    q.put(("stop",))
+                except Exception:
+                    pass
+            for p in procs:
+                p.join(timeout=10.0)
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=5.0)
+            self._procs = []
+            self._cmd_qs = []
+        # error paths can leave arrays behind (execute's release loop
+        # never ran); destroy their segments rather than leak /dev/shm
+        for name in list(self.darrays):
+            da = self.darrays.pop(name)
+            try:
+                da.free(self.machine)
+            except Exception:
+                pass
+
+
+# self-registration, mirroring the other backends
+from repro.runtime.backends import register_backend  # noqa: E402
+
+register_backend("parallel", ParallelExec)

@@ -213,7 +213,9 @@ def vec_overlap_shift(machine: Machine, va: VArray, shift: int, dim: int,
 
     if not layout.is_distributed(d):
         for pe in layout.grid.ranks():
-            machine.charge_copy(pe, ortho_elems(pe), itemsize)
+            nelems = ortho_elems(pe)
+            if nelems:  # degenerate empty slabs are elided, not charged
+                machine.charge_copy(pe, nelems, itemsize)
         return
     neighbor = layout.neighbor
     owned_box = layout.owned_box
@@ -224,7 +226,10 @@ def vec_overlap_shift(machine: Machine, va: VArray, shift: int, dim: int,
         if boundary is not None and at_edge:
             continue  # boundary fill, no message
         sender = neighbor(pe, d, sign)
-        transfers.append((sender, pe, ortho_elems(sender)))
+        nelems = ortho_elems(sender)
+        if nelems == 0:
+            continue  # empty slab: the network rejects zero-size sends
+        transfers.append((sender, pe, nelems))
     machine.network.record_batch(transfers, itemsize, tag=tag)
 
 
@@ -247,9 +252,9 @@ def vec_full_shift(machine: Machine, dst: VArray, src: VArray,
     try:
         scratch.interior[...] = src.interior
         for pe in src.layout.grid.ranks():
-            machine.charge_copy(
-                pe, prod(src.layout.local_shape(pe)),
-                scratch.data.itemsize)
+            nelems = prod(src.layout.local_shape(pe))
+            if nelems:
+                machine.charge_copy(pe, nelems, scratch.data.itemsize)
         vec_overlap_shift(machine, scratch, shift, dim, boundary=boundary)
         lo = scratch.halo[d][0]
         n = scratch.layout.shape[d]
@@ -263,9 +268,9 @@ def vec_full_shift(machine: Machine, dst: VArray, src: VArray,
                     for k in range(scratch.rank))
         dst.interior[...] = scratch.data[idx]
         for pe in src.layout.grid.ranks():
-            machine.charge_copy(
-                pe, prod(src.layout.local_shape(pe)),
-                scratch.data.itemsize)
+            nelems = prod(src.layout.local_shape(pe))
+            if nelems:
+                machine.charge_copy(pe, nelems, scratch.data.itemsize)
     finally:
         scratch.free(machine)
 

@@ -213,21 +213,34 @@ def plan_roundtrip_check(compiled, inputs: dict[str, np.ndarray],
             assert a.report.pe_times == b.report.pe_times, ctx
 
 
+#: Backends every equivalence sweep covers, with the extra run kwargs
+#: each needs (the parallel backend runs 2 worker processes so the
+#: round-robin PE mapping and barrier schedule are actually exercised).
+EQUIVALENCE_BACKENDS: tuple[tuple[str, dict], ...] = (
+    ("perpe", {}),
+    ("vectorized", {}),
+    ("parallel", {"workers": 2}),
+)
+
+
 def backend_equivalence_check(program: GeneratedProgram,
                               inputs: dict[str, np.ndarray],
                               levels: tuple[str, ...] = ("O0", "O2", "O4"),
                               grids: tuple[tuple[int, ...], ...] = ((2, 2),),
-                              iterations: int = 1) -> None:
-    """Run under both execution backends at every level/grid; demand
+                              iterations: int = 1,
+                              backends: tuple[tuple[str, dict], ...] =
+                              EQUIVALENCE_BACKENDS) -> None:
+    """Run under every execution backend at every level/grid; demand
     bitwise-identical arrays and scalars AND identical cost accounting
     (message/byte/copy counts, per-PE times, peak memory) AND an
     identical tagged message log / communication profile.
 
-    This is the vectorized backend's contract: it is an execution
-    strategy, not a semantics or cost change, so nothing observable may
-    differ from the per-PE executor — down to the ``(src, dst, nbytes,
-    tag)`` tuple of every logged message, which is what makes the
-    communication profiler backend-agnostic.
+    This is the three-backend contract: ``vectorized`` and ``parallel``
+    are execution strategies, not semantics or cost changes, so nothing
+    observable may differ from the per-PE executor — down to the
+    ``(src, dst, nbytes, tag)`` tuple of every logged message, which is
+    what makes the communication profiler backend-agnostic.  The
+    ``perpe`` baseline is always compared first.
     """
     for level in levels:
         compiled = compile_hpf(program.source, bindings=program.bindings,
@@ -235,34 +248,40 @@ def backend_equivalence_check(program: GeneratedProgram,
         for grid in grids:
             results = {}
             logs = {}
-            for backend in ("perpe", "vectorized"):
+            for backend, extra in backends:
                 machine = Machine(grid=grid, keep_message_log=True)
                 results[backend] = compiled.run(
                     machine, inputs=inputs, scalars=program.scalars,
                     iterations=iterations, backend=backend,
-                    profile=True)
+                    profile=True, **extra)
                 logs[backend] = [(m.src, m.dst, m.nbytes, m.tag)
                                  for m in machine.network.log]
-            a, b = results["perpe"], results["vectorized"]
-            ctx = (f"level {level}, grid {grid}\n"
-                   f"program:\n{program.source}")
-            for name in a.arrays:
-                np.testing.assert_array_equal(
-                    a.arrays[name], b.arrays[name],
-                    err_msg=f"array {name}, {ctx}")
-            assert a.scalars == b.scalars, ctx
-            assert a.report.summary() == b.report.summary(), (
-                f"cost accounting diverged: {ctx}\n"
-                f"perpe:      {a.report.summary()}\n"
-                f"vectorized: {b.report.summary()}")
-            assert a.report.pe_times == b.report.pe_times, ctx
-            assert a.report.pe_comm_times == b.report.pe_comm_times, ctx
-            assert a.report.pe_copy_times == b.report.pe_copy_times, ctx
-            assert a.peak_memory_per_pe == b.peak_memory_per_pe, ctx
-            assert logs["perpe"] == logs["vectorized"], (
-                f"message log diverged: {ctx}")
-            assert a.profile is not None and b.profile is not None
-            assert a.profile.matrix == b.profile.matrix, (
-                f"communication matrices diverged: {ctx}")
-            assert a.profile.totals["messages_by_class"] == \
-                b.profile.totals["messages_by_class"], ctx
+            base = backends[0][0]
+            a = results[base]
+            for backend, _ in backends[1:]:
+                b = results[backend]
+                ctx = (f"level {level}, grid {grid}, "
+                       f"{base} vs {backend}\n"
+                       f"program:\n{program.source}")
+                for name in a.arrays:
+                    np.testing.assert_array_equal(
+                        a.arrays[name], b.arrays[name],
+                        err_msg=f"array {name}, {ctx}")
+                assert a.scalars == b.scalars, ctx
+                assert a.report.summary() == b.report.summary(), (
+                    f"cost accounting diverged: {ctx}\n"
+                    f"{base}: {a.report.summary()}\n"
+                    f"{backend}: {b.report.summary()}")
+                assert a.report.pe_times == b.report.pe_times, ctx
+                assert a.report.pe_comm_times == \
+                    b.report.pe_comm_times, ctx
+                assert a.report.pe_copy_times == \
+                    b.report.pe_copy_times, ctx
+                assert a.peak_memory_per_pe == b.peak_memory_per_pe, ctx
+                assert logs[base] == logs[backend], (
+                    f"message log diverged: {ctx}")
+                assert a.profile is not None and b.profile is not None
+                assert a.profile.matrix == b.profile.matrix, (
+                    f"communication matrices diverged: {ctx}")
+                assert a.profile.totals["messages_by_class"] == \
+                    b.profile.totals["messages_by_class"], ctx

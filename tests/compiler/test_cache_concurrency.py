@@ -1,0 +1,186 @@
+"""Plan-cache concurrency: threaded LRU access and multi-process
+persistent-cache races.
+
+The in-memory :class:`PlanCache` is shared (``DEFAULT_CACHE``, threaded
+experiment drivers), so its LRU bookkeeping and stats counters must be
+atomic under contention — before the lock, concurrent ``put`` calls
+could lose entries mid-eviction and concurrent ``get`` calls dropped
+counter increments.  The :class:`PersistentPlanCache` is shared across
+*processes*; its reads must tolerate racing atomic writers (a reader can
+catch the entry file mid-``os.replace``) and converge on exactly one
+durable entry per key.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+from repro.compiler import PersistentPlanCache, PlanCache, compile_hpf
+from repro.kernels import KERNELS
+
+SPEC = KERNELS["five_point"]
+
+
+def _compile(cache, n=12):
+    return compile_hpf(SPEC.source, bindings={"N": n},
+                       outputs=set(SPEC.outputs), cache=cache)
+
+
+class TestThreadedPlanCache:
+    N_THREADS = 8
+    OPS_PER_THREAD = 200
+
+    def test_concurrent_get_put_loses_nothing(self):
+        """8 threads hammer one cache over disjoint key ranges; every
+        thread's entries must survive (maxsize is never exceeded, so an
+        entry can only vanish through a lost update) and the counters
+        must sum to exactly the number of operations issued."""
+        nkeys = 4  # per thread
+        cache = PlanCache(maxsize=self.N_THREADS * nkeys)
+        program = object()  # the cache never inspects entries
+        errors = []
+        start = threading.Barrier(self.N_THREADS)
+
+        def hammer(tid):
+            try:
+                start.wait()
+                keys = [f"k{tid}-{i}" for i in range(nkeys)]
+                for op in range(self.OPS_PER_THREAD):
+                    key = keys[op % nkeys]
+                    if cache.get(key) is None:
+                        cache.put(key, program)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(tid,))
+                   for tid in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) == self.N_THREADS * nkeys
+        for tid in range(self.N_THREADS):
+            for i in range(nkeys):
+                assert cache.get(f"k{tid}-{i}") is program
+        # every get was either a hit or a miss, every miss was followed
+        # by a put: hits + misses == ops issued (modulo the final
+        # verification gets, counted explicitly)
+        ops = self.N_THREADS * self.OPS_PER_THREAD
+        verification_gets = self.N_THREADS * nkeys
+        assert cache.stats.hits + cache.stats.misses == \
+            ops + verification_gets
+        assert cache.stats.evictions == 0
+
+    def test_concurrent_invalidate_is_consistent(self):
+        cache = PlanCache(maxsize=64)
+        for i in range(32):
+            cache.put(f"k{i}", object())
+        dropped = []
+        start = threading.Barrier(4)
+
+        def clear():
+            start.wait()
+            dropped.append(cache.invalidate())
+
+        threads = [threading.Thread(target=clear) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # the 32 entries are dropped exactly once between the racers
+        assert sum(dropped) == 32
+        assert cache.stats.invalidations == 32
+        assert len(cache) == 0
+
+    def test_threaded_compile_same_kernel(self):
+        """End-to-end: concurrent compile_hpf calls sharing one cache
+        must each get a usable program and account every lookup."""
+        cache = PlanCache()
+        results = [None] * self.N_THREADS
+        start = threading.Barrier(self.N_THREADS)
+
+        def compile_one(tid):
+            start.wait()
+            results[tid] = _compile(cache)
+
+        threads = [threading.Thread(target=compile_one, args=(tid,))
+                   for tid in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is not None for r in results)
+        assert len(cache) == 1
+        assert cache.stats.hits + cache.stats.misses == self.N_THREADS
+
+
+def _persistent_worker(path, n, out_q):
+    try:
+        cache = PersistentPlanCache(path)
+        program = _compile(cache, n=n)
+        out_q.put(("ok", program.plan is not None,
+                   cache.stats.hits, cache.stats.misses))
+    except BaseException as exc:  # pragma: no cover
+        out_q.put(("error", repr(exc), 0, 0))
+
+
+class TestMultiprocessPersistentCache:
+    N_PROCS = 6
+
+    def test_racing_processes_one_durable_entry(self, tmp_path):
+        """N processes compile the same kernel against one cache
+        directory at once.  All must succeed — a reader catching a
+        racing writer mid-rename retries and at worst recompiles — and
+        exactly one durable entry file must remain, with no temp-file
+        litter."""
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        out_q = ctx.Queue()
+        procs = [ctx.Process(target=_persistent_worker,
+                             args=(str(tmp_path), 12, out_q))
+                 for _ in range(self.N_PROCS)]
+        for p in procs:
+            p.start()
+        replies = [out_q.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+        assert all(r[0] == "ok" for r in replies), replies
+        assert all(r[1] for r in replies)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        assert list(tmp_path.glob("*.tmp")) == []
+        # the entry is immediately usable by a fresh cache object
+        cache = PersistentPlanCache(tmp_path)
+        assert _compile(cache, n=12) is not None
+        assert cache.stats.hits == 1
+
+    def test_reader_tolerates_truncated_then_valid_entry(self, tmp_path):
+        """Direct simulation of the mid-rename window: the first read
+        attempt sees a truncated document, the retry sees the complete
+        one — the lookup must hit, not crash or miss."""
+        cache = PersistentPlanCache(tmp_path)
+        _compile(cache, n=12)  # miss + durable put
+        entry = next(tmp_path.glob("*.json"))
+        good = entry.read_text()
+
+        real_read_text = type(entry).read_text
+        calls = {"n": 0}
+
+        def flaky_read_text(self, *a, **kw):
+            if self == entry:
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    return good[: len(good) // 2]
+            return real_read_text(self, *a, **kw)
+
+        try:
+            type(entry).read_text = flaky_read_text
+            hits_before = cache.stats.hits
+            assert cache.get(entry.stem) is not None
+        finally:
+            type(entry).read_text = real_read_text
+        assert calls["n"] == 2  # retried exactly once
+        assert cache.stats.hits == hits_before + 1

@@ -64,3 +64,72 @@ class TestSend:
         a = np.arange(16.0).reshape(4, 4)
         received = net.send(0, 1, a[:, 1])  # strided column
         np.testing.assert_array_equal(received, a[:, 1])
+
+
+class TestRecordBatch:
+    def test_empty_batch_is_a_noop(self):
+        net = network()
+        net.record_batch([], itemsize=8)
+        assert net.message_count == 0
+        assert net.report.copies == 0
+        assert net.log == []
+        assert net.report.pe_times == [0.0] * 4
+
+    def test_matches_per_record_accounting(self):
+        batched, looped = network(), network()
+        transfers = [(0, 1, 4), (1, 2, 16), (3, 0, 4)]
+        batched.record_batch(transfers, itemsize=8, tag="ovl:U")
+        for src, dst, nelems in transfers:
+            looped.record(src, dst, nelems, 8, tag="ovl:U")
+        assert batched.report.pe_times == looped.report.pe_times
+        assert batched.report.messages == looped.report.messages
+        assert batched.report.message_bytes == \
+            looped.report.message_bytes
+        assert [(m.src, m.dst, m.nbytes, m.tag) for m in batched.log] \
+            == [(m.src, m.dst, m.nbytes, m.tag) for m in looped.log]
+
+    def test_mixed_self_sends_become_copies(self):
+        net = network()
+        net.record_batch([(0, 1, 4), (2, 2, 16), (3, 3, 4), (1, 0, 4)],
+                         itemsize=8)
+        assert net.message_count == 2  # the two cross-PE transfers
+        assert net.report.copies == 2  # the two self-sends
+        assert net.report.copy_elements == 20
+        # self-sends never appear in the message log
+        assert {(m.src, m.dst) for m in net.log} == {(0, 1), (1, 0)}
+
+    def test_zero_element_entry_rejected(self):
+        net = network()
+        with pytest.raises(MachineError, match="zero-size"):
+            net.record_batch([(0, 1, 4), (1, 2, 0)], itemsize=8)
+
+    def test_grows_report_to_batch_pes(self):
+        report = CostReport()  # starts with no PEs at all
+        net = Network(SP2_COST_MODEL, report, keep_log=False)
+        net.record_batch([(5, 1, 4)], itemsize=8)
+        assert len(report.pe_times) >= 6
+
+
+class TestInstallWorkerLogs:
+    def _log(self, net):
+        return [(m.src, m.dst, m.nbytes, m.tag) for m in net.log]
+
+    def test_adopts_agreeing_replicas(self):
+        from repro.machine.network import MessageRecord
+        net = network()
+        replica = [MessageRecord(0, 1, 32, "ovl:U")]
+        net.install_worker_logs([list(replica), list(replica)])
+        assert self._log(net) == [(0, 1, 32, "ovl:U")]
+
+    def test_rejects_divergent_replicas(self):
+        from repro.machine.network import MessageRecord
+        net = network()
+        with pytest.raises(MachineError, match="diverged"):
+            net.install_worker_logs(
+                [[MessageRecord(0, 1, 32, "a")],
+                 [MessageRecord(0, 2, 32, "a")]])
+
+    def test_rejects_empty_replica_list(self):
+        net = network()
+        with pytest.raises(MachineError):
+            net.install_worker_logs([])

@@ -65,3 +65,28 @@ def test_registration_overrides_and_lists(monkeypatch):
     monkeypatch.setitem(backends._REGISTRY, "fake", sentinel)
     assert get_backend("fake") is sentinel
     assert "fake" in available_backends()
+
+
+def test_parallel_is_a_builtin():
+    from repro.runtime.parallel import ParallelExec
+    assert get_backend("parallel") is ParallelExec
+    assert "parallel" in available_backends()
+
+
+def test_user_registration_shadows_builtin():
+    """register_backend over a builtin name wins — an explicit entry in
+    the registry takes precedence over lazy builtin resolution — and
+    unregistering restores the builtin, not a dead name."""
+    from repro.runtime.executor import _Exec
+
+    class Shadow(_Exec):
+        pass
+
+    assert get_backend("perpe") is _Exec  # builtin resolved (and cached)
+    register_backend("perpe", Shadow)
+    try:
+        assert get_backend("perpe") is Shadow
+        assert available_backends().count("perpe") == 1
+    finally:
+        register_backend("perpe", _Exec)
+    assert get_backend("perpe") is _Exec

@@ -1,0 +1,203 @@
+"""Differential tests: the process-parallel backend.
+
+The ``parallel`` backend's contract is the same strict equivalence the
+vectorized backend promises — bitwise-equal arrays and scalars AND an
+identical *modelled* cost report and tagged message log on every valid
+plan — plus real measured wall-clock per worker.  These tests enforce
+the contract over the named paper kernels and random programs at every
+optimization level, and cover the parallel-specific machinery: worker
+mapping (round-robin, oversubscription, the PE-count cap), shared-memory
+segment cleanup, worker error propagation, and the per-worker measured
+profile tracks.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_hpf
+from repro.errors import ExecutionError
+from repro.kernels import KERNELS, run_kernel
+from repro.machine import Machine
+from repro.runtime.backends import get_backend
+from repro.testing import (
+    GeneratedProgram, backend_equivalence_check, random_inputs,
+    random_program,
+)
+
+SMALL_N = {"five_point": 12, "nine_point_cshift": 12, "nine_point": 12,
+           "purdue9": 12, "twentyfive_point": 16, "seven_point_3d": 8,
+           "box27_3d": 8}
+
+
+def _kernel_program(name: str) -> tuple[GeneratedProgram, dict]:
+    """Wrap a registry kernel as a GeneratedProgram with seeded inputs,
+    so the named kernels run through ``backend_equivalence_check``."""
+    spec = KERNELS[name]
+    prog = GeneratedProgram(source=spec.source,
+                            arrays=sorted(spec.outputs),
+                            bindings={"N": SMALL_N[name]})
+    compiled = compile_hpf(spec.source, bindings=prog.bindings,
+                           level="O0", outputs=set(spec.outputs))
+    rng = np.random.default_rng(7)
+    inputs = {
+        arr: rng.standard_normal(decl.shape).astype(decl.dtype)
+        for arr, decl in compiled.plan.arrays.items()
+        if arr in compiled.plan.entry_arrays}
+    return prog, inputs
+
+
+def _run(name, *, workers, level="O2", grid=(2, 2), **kw):
+    machine = Machine(grid=grid, keep_message_log=True)
+    res = run_kernel(name, bindings={"N": SMALL_N[name]}, level=level,
+                     backend="parallel", machine=machine,
+                     workers=workers, **kw)
+    return res, machine
+
+
+class TestNamedKernels:
+    """Acceptance: the three-backend equivalence check passes for every
+    named kernel at every optimization level."""
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_equivalence_all_levels(self, name):
+        prog, inputs = _kernel_program(name)
+        backend_equivalence_check(
+            prog, inputs, levels=("O0", "O1", "O2", "O3", "O4"))
+
+    @pytest.mark.parametrize("grid", [(4, 1), (1, 4), (3, 2)])
+    def test_asymmetric_grids(self, grid):
+        prog, inputs = _kernel_program("nine_point")
+        backend_equivalence_check(prog, inputs, levels=("O4",),
+                                  grids=(grid,))
+
+    def test_multi_iteration(self):
+        prog, inputs = _kernel_program("purdue9")
+        backend_equivalence_check(prog, inputs, levels=("O4",),
+                                  iterations=3)
+
+
+class TestRandomPrograms:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_default_generator(self, seed):
+        prog = random_program(seed)
+        backend_equivalence_check(prog, random_inputs(seed, prog),
+                                  levels=("O0", "O4"))
+
+
+class TestWorkerMapping:
+    """The PE-to-worker map is round-robin ``pe % W`` with ``W`` capped
+    at the PE count; the result must not depend on the mapping."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 8, None])
+    def test_any_worker_count_is_equivalent(self, workers):
+        ref = run_kernel("nine_point", bindings={"N": 12}, level="O2",
+                         machine=Machine(grid=(2, 2)))
+        res, _ = _run("nine_point", workers=workers)
+        np.testing.assert_array_equal(ref.arrays["DST"],
+                                      res.arrays["DST"])
+        assert ref.report.summary() == res.report.summary()
+        assert ref.report.pe_times == res.report.pe_times
+
+    def test_worker_cap_at_pe_count(self):
+        cls = get_backend("parallel")
+        compiled = compile_hpf(KERNELS["five_point"].source,
+                               bindings={"N": 12}, level="O2",
+                               outputs={"DST"})
+        ex = cls(compiled.plan, Machine(grid=(2, 2)), None, False,
+                 workers=64)
+        try:
+            assert ex.nworkers == 4  # capped at npes
+            assert ex.owner_of == [0, 1, 2, 3]
+        finally:
+            ex.close()
+
+    def test_round_robin_when_fewer_workers(self):
+        cls = get_backend("parallel")
+        compiled = compile_hpf(KERNELS["five_point"].source,
+                               bindings={"N": 12}, level="O2",
+                               outputs={"DST"})
+        ex = cls(compiled.plan, Machine(grid=(3, 2)), None, False,
+                 workers=4)
+        try:
+            assert ex.nworkers == 4
+            assert ex.owner_of == [0, 1, 2, 3, 0, 1]
+        finally:
+            ex.close()
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ExecutionError, match="worker"):
+            _run("five_point", workers=0)
+
+
+class TestMeasuredProfile:
+    def test_worker_tracks_attached(self):
+        res, _ = _run("nine_point", workers=2, profile=True)
+        tracks = res.profile.worker_tracks
+        assert tracks is not None and len(tracks) == 2
+        covered = sorted(pe for t in tracks for pe in t["pes"])
+        assert covered == [0, 1, 2, 3]
+        for t in tracks:
+            assert t["wall_s"] >= 0.0
+            assert t["events"], "worker track has no measured events"
+            for ev in t["events"]:
+                assert ev["t1"] >= ev["t0"] >= 0.0
+
+    def test_modelled_profile_matches_perpe(self):
+        machine = Machine(grid=(2, 2), keep_message_log=True)
+        ref = run_kernel("nine_point", bindings={"N": 12}, level="O2",
+                         machine=machine, profile=True)
+        res, _ = _run("nine_point", workers=2, profile=True)
+        assert ref.profile.matrix == res.profile.matrix
+        assert ref.profile.totals["messages_by_class"] == \
+            res.profile.totals["messages_by_class"]
+        assert ref.profile.worker_tracks is None  # perpe has no workers
+
+    def test_chrome_trace_gets_worker_track(self):
+        from repro.obs.export import chrome_trace
+        res, _ = _run("nine_point", workers=2, profile=True)
+        events = chrome_trace(res.profile)["traceEvents"]
+        worker_events = [e for e in events
+                         if e.get("cat") == "worker-wall"]
+        assert worker_events
+        assert all(e["pid"] == 2 for e in worker_events)
+
+    def test_profile_dict_roundtrip_keeps_tracks(self):
+        from repro.obs.profile import CommProfile
+        res, _ = _run("nine_point", workers=2, profile=True)
+        revived = CommProfile.from_dict(res.profile.to_dict())
+        assert revived.worker_tracks == res.profile.worker_tracks
+        # perpe profiles must serialize exactly as before (no new key)
+        ref = run_kernel("nine_point", bindings={"N": 12}, level="O2",
+                         machine=Machine(grid=(2, 2),
+                                         keep_message_log=True),
+                         profile=True)
+        assert "worker_tracks" not in ref.profile.to_dict()
+
+
+class TestLifecycle:
+    def test_no_shared_memory_leak(self):
+        before = set(glob.glob("/dev/shm/repro-*"))
+        _run("purdue9", workers=2, iterations=2)
+        after = set(glob.glob("/dev/shm/repro-*"))
+        assert after <= before
+
+    def test_worker_error_propagates_and_cleans_up(self):
+        before = set(glob.glob("/dev/shm/repro-*"))
+        machine = Machine(grid=(2, 2), memory_per_pe=64)
+        with pytest.raises(ExecutionError, match="worker") as exc:
+            run_kernel("five_point", bindings={"N": 12},
+                       backend="parallel", workers=2, machine=machine)
+        # the modelled OOM raised inside the worker reaches the caller
+        assert "SimulatedOutOfMemoryError" in str(exc.value)
+        after = set(glob.glob("/dev/shm/repro-*"))
+        assert after <= before
+
+    def test_scalars_and_reductions_agree(self):
+        prog = random_program(4242)  # generator mixes in reductions
+        backend_equivalence_check(prog, random_inputs(4242, prog),
+                                  levels=("O4",))
