@@ -109,26 +109,59 @@ class CostReport:
 
     Times are per-PE; :attr:`modelled_time` is the max over PEs of each
     PE's accumulated time (BSP-style: PEs run the same SPMD program).
+
+    The four float memory/arithmetic aggregates are kept as *per-PE
+    rows* (``pe_mem_loads`` …) and summed in PE order by the property
+    accessors.  This makes the aggregates ownership-mergeable: each
+    parallel worker charges only the PEs it owns, and the merged report
+    — rows taken from each PE's owner — sums to bitwise the same floats
+    as a serial backend, because every backend folds the same rows in
+    the same PE order.  Integer counters are order-free and stay plain
+    scalars summed across workers.
     """
 
     pe_times: list[float] = field(default_factory=list)
     pe_comm_times: list[float] = field(default_factory=list)
     pe_copy_times: list[float] = field(default_factory=list)
+    pe_mem_loads: list[float] = field(default_factory=list)
+    pe_cached_loads: list[float] = field(default_factory=list)
+    pe_stores: list[float] = field(default_factory=list)
+    pe_flops: list[float] = field(default_factory=list)
     messages: int = 0
     message_bytes: int = 0
     copies: int = 0
     copy_elements: int = 0
     loop_points: int = 0
-    mem_loads: float = 0.0
-    cached_loads: float = 0.0
-    stores: float = 0.0
-    flops: float = 0.0
+
+    #: per-PE row lists grown together by :meth:`ensure_pes`; every row
+    #: is authoritative only on the PE's owning worker
+    _PE_ROWS = ("pe_times", "pe_comm_times", "pe_copy_times",
+                "pe_mem_loads", "pe_cached_loads", "pe_stores",
+                "pe_flops")
+    #: order-free integer counters, summed across worker shards
+    _INT_COUNTERS = ("messages", "message_bytes", "copies",
+                     "copy_elements", "loop_points")
 
     def ensure_pes(self, npes: int) -> None:
         while len(self.pe_times) < npes:
-            self.pe_times.append(0.0)
-            self.pe_comm_times.append(0.0)
-            self.pe_copy_times.append(0.0)
+            for row in self._PE_ROWS:
+                getattr(self, row).append(0.0)
+
+    @property
+    def mem_loads(self) -> float:
+        return sum(self.pe_mem_loads)
+
+    @property
+    def cached_loads(self) -> float:
+        return sum(self.pe_cached_loads)
+
+    @property
+    def stores(self) -> float:
+        return sum(self.pe_stores)
+
+    @property
+    def flops(self) -> float:
+        return sum(self.pe_flops)
 
     @property
     def modelled_time(self) -> float:
@@ -165,61 +198,55 @@ class CostReport:
         self.ensure_pes(pe + 1)
         self.pe_times[pe] += model.loop_time(stats, overhead_factor)
         self.loop_points += stats.points
-        self.mem_loads += stats.mem_loads * stats.points
-        self.cached_loads += stats.cached_loads * stats.points
-        self.stores += stats.stores * stats.points
-        self.flops += stats.flops * stats.points
+        self.pe_mem_loads[pe] += stats.mem_loads * stats.points
+        self.pe_cached_loads[pe] += stats.cached_loads * stats.points
+        self.pe_stores[pe] += stats.stores * stats.points
+        self.pe_flops[pe] += stats.flops * stats.points
 
     # -- multi-process merge -------------------------------------------------
     @classmethod
     def merge_worker_reports(cls, reports: "list[CostReport]",
                              owner_of: "list[int]") -> "CostReport":
-        """Merge full-replica reports from parallel workers.
+        """Merge *ownership-partial* reports from parallel workers.
 
-        Every worker of the process-parallel backend replays the complete
-        deterministic charge walk, so the replicas must agree bit-for-bit
-        — divergence means the workers' executions desynchronized, which
-        this helper treats as a hard error rather than papering over.
-        The merged report takes each PE's time rows from the worker that
-        *owns* that PE (``owner_of[pe]`` indexes into ``reports``) —
-        expressing that a PE's modelled time is authoritative on its
-        owner — and the order-sensitive aggregate sums from worker 0.
+        Each worker of the process-parallel backend charges only the PEs
+        it owns, so its report has non-zero rows exactly on those PEs.
+        The merged report takes each PE's rows from the worker that owns
+        it (``owner_of[pe]`` indexes into ``reports``) and sums the
+        order-free integer counters across all shards.  A worker
+        charging a PE it does *not* own means the ownership gating broke
+        — the workers' executions desynchronized — which is reported as
+        a hard error rather than papered over.
 
         ``CostReport`` is a plain dataclass of floats/ints/lists, so the
         shards pickle across process boundaries unchanged.
         """
         if not reports:
             raise ValueError("merge_worker_reports needs >= 1 report")
-        first = reports[0]
-        for w, rep in enumerate(reports[1:], start=1):
-            if (rep.pe_times != first.pe_times
-                    or rep.pe_comm_times != first.pe_comm_times
-                    or rep.pe_copy_times != first.pe_copy_times
-                    or rep.summary() != first.summary()):
-                raise ValueError(
-                    f"worker {w} cost-report replica diverged from "
-                    f"worker 0: {rep.summary()} vs {first.summary()}")
         npes = len(owner_of)
         if any(len(r.pe_times) < npes for r in reports):
-            raise ValueError("replica reports cover fewer PEs than "
+            raise ValueError("worker reports cover fewer PEs than "
                              "owner_of")
-        merged = cls(
-            pe_times=[reports[owner_of[pe]].pe_times[pe]
-                      for pe in range(npes)],
-            pe_comm_times=[reports[owner_of[pe]].pe_comm_times[pe]
-                           for pe in range(npes)],
-            pe_copy_times=[reports[owner_of[pe]].pe_copy_times[pe]
-                           for pe in range(npes)],
-            messages=first.messages,
-            message_bytes=first.message_bytes,
-            copies=first.copies,
-            copy_elements=first.copy_elements,
-            loop_points=first.loop_points,
-            mem_loads=first.mem_loads,
-            cached_loads=first.cached_loads,
-            stores=first.stores,
-            flops=first.flops,
-        )
+        for pe in range(npes):
+            for w, rep in enumerate(reports):
+                if w == owner_of[pe]:
+                    continue
+                bad = [row for row in cls._PE_ROWS
+                       if getattr(rep, row)[pe] != 0.0]
+                if bad:
+                    raise ValueError(
+                        f"worker {w} charged PE {pe} it does not own "
+                        f"(owner is worker {owner_of[pe]}; non-zero "
+                        f"rows: {', '.join(bad)}) — ownership gating "
+                        f"desynchronized")
+        merged = cls()
+        for row in cls._PE_ROWS:
+            setattr(merged, row,
+                    [getattr(reports[owner_of[pe]], row)[pe]
+                     for pe in range(npes)])
+        for counter in cls._INT_COUNTERS:
+            setattr(merged, counter,
+                    sum(getattr(r, counter) for r in reports))
         return merged
 
     def adopt(self, other: "CostReport") -> None:
@@ -228,18 +255,10 @@ class CostReport:
         Used by the parallel backend's coordinator: the machine's report
         object is shared by reference (network, profiler frames), so the
         merged state is installed into it rather than rebinding."""
-        self.pe_times = list(other.pe_times)
-        self.pe_comm_times = list(other.pe_comm_times)
-        self.pe_copy_times = list(other.pe_copy_times)
-        self.messages = other.messages
-        self.message_bytes = other.message_bytes
-        self.copies = other.copies
-        self.copy_elements = other.copy_elements
-        self.loop_points = other.loop_points
-        self.mem_loads = other.mem_loads
-        self.cached_loads = other.cached_loads
-        self.stores = other.stores
-        self.flops = other.flops
+        for row in self._PE_ROWS:
+            setattr(self, row, list(getattr(other, row)))
+        for counter in self._INT_COUNTERS:
+            setattr(self, counter, getattr(other, counter))
 
     def snapshot(self) -> tuple[float, ...]:
         """Cheap aggregate snapshot for before/after deltas (tracing)."""

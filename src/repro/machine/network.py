@@ -28,7 +28,10 @@ from repro.machine.cost_model import CostModel, CostReport
 #:   through a scratch communication buffer: the unconverted-shift path
 #:   (compensating copies and the naive O0 translation) whose
 #:   intraprocessor components the offset-array optimization deletes.
-TAG_CLASSES = ("halo", "rsd", "bufshift")
+#: * ``allreduce`` — the butterfly rounds of a reduction collective
+#:   (SUM/MAXVAL/MINVAL): ``ceil(log2 P)`` 8-byte exchanges per PE that
+#:   combine per-PE partials into the globally agreed scalar.
+TAG_CLASSES = ("halo", "rsd", "bufshift", "allreduce")
 
 #: Name prefix of scratch communication buffers; messages on these
 #: arrays classify as ``bufshift`` regardless of their slab shape.
@@ -60,14 +63,44 @@ def tag_class(tag: str) -> str:
     return head if head in TAG_CLASSES else "other"
 
 
+def allreduce_tag(op: str) -> str:
+    """The canonical message tag for one reduction collective."""
+    return f"allreduce:{op}"
+
+
+def butterfly_partner(pe: int, rnd: int, npes: int) -> int:
+    """PE ``pe``'s exchange partner in round ``rnd`` of a recursive-
+    doubling butterfly over ``npes`` ranks.
+
+    For the power-of-two case this is the classic ``pe XOR 2^rnd``; when
+    the XOR partner falls off the end of a non-power-of-two rank count
+    the exchange wraps cyclically.  The partner is never ``pe`` itself:
+    every round has ``0 < 2^rnd < npes``.
+    """
+    step = 1 << rnd
+    partner = pe ^ step
+    if partner >= npes:
+        partner = (pe + step) % npes
+    return partner
+
+
 @dataclass(frozen=True)
 class MessageRecord:
-    """One logged point-to-point message."""
+    """One logged point-to-point message.
+
+    ``seq`` is the record's position in the machine-global message
+    order.  Serial backends log records already in order, so the stamp
+    is redundant there; parallel workers each log only the records whose
+    *source* PE they own, and the parent splices the worker logs back
+    into the global order by sorting on ``seq``.  It is excluded from
+    equality so a merged log compares equal to a serially produced one.
+    """
 
     src: int
     dst: int
     nbytes: int
     tag: str
+    seq: int = field(default=-1, compare=False)
 
     def __str__(self) -> str:
         return f"{self.src}->{self.dst} {self.nbytes}B [{self.tag}]"
@@ -75,12 +108,25 @@ class MessageRecord:
 
 @dataclass
 class Network:
-    """Records messages and charges their cost to the sending PE."""
+    """Records messages and charges their cost to the sending PE.
+
+    ``owned`` is the ownership predicate of the process-parallel
+    backend: when set, only transfers whose source PE satisfies it are
+    charged and logged — but the global sequence counter still advances
+    for skipped records, so every worker stamps the records it *does*
+    log with their position in the machine-global message order.
+    Serial backends leave ``owned`` as ``None`` and charge everything.
+    """
 
     cost_model: CostModel
     report: CostReport
     log: list[MessageRecord] = field(default_factory=list)
     keep_log: bool = True
+    owned: "object" = None  # callable pe -> bool, or None (own all)
+    _seq: int = 0
+
+    def _owns(self, pe: int) -> bool:
+        return self.owned is None or self.owned(pe)
 
     def send(self, src: int, dst: int, payload: np.ndarray,
              tag: str = "") -> np.ndarray:
@@ -96,13 +142,19 @@ class Network:
             raise MachineError("zero-size message; caller should elide it")
         data = np.ascontiguousarray(payload).copy()
         if src == dst:
-            self.report.add_copy(src, data.size, data.itemsize,
-                                 self.cost_model)
+            if self._owns(src):
+                self.report.add_copy(src, data.size, data.itemsize,
+                                     self.cost_model)
             return data
-        rec = MessageRecord(src, dst, int(data.nbytes), tag)
-        if self.keep_log:
-            self.log.append(rec)
-        self.report.add_message(src, int(data.nbytes), self.cost_model)
+        seq = self._seq
+        self._seq = seq + 1
+        if self._owns(src):
+            if self.keep_log:
+                self.log.append(
+                    MessageRecord(src, dst, int(data.nbytes), tag,
+                                  seq=seq))
+            self.report.add_message(src, int(data.nbytes),
+                                    self.cost_model)
         return data
 
     def record(self, src: int, dst: int, nelems: int, itemsize: int,
@@ -116,11 +168,17 @@ class Network:
         if nelems == 0:
             raise MachineError("zero-size message; caller should elide it")
         if src == dst:
-            self.report.add_copy(src, nelems, itemsize, self.cost_model)
+            if self._owns(src):
+                self.report.add_copy(src, nelems, itemsize,
+                                     self.cost_model)
+            return
+        seq = self._seq
+        self._seq = seq + 1
+        if not self._owns(src):
             return
         nbytes = int(nelems) * int(itemsize)
         if self.keep_log:
-            self.log.append(MessageRecord(src, dst, nbytes, tag))
+            self.log.append(MessageRecord(src, dst, nbytes, tag, seq=seq))
         self.report.add_message(src, nbytes, self.cost_model)
 
     def record_batch(self, transfers: list[tuple[int, int, int]],
@@ -137,6 +195,7 @@ class Network:
         pe_times = report.pe_times
         pe_comm = report.pe_comm_times
         log = self.log if self.keep_log else None
+        owned = self.owned
         msg_t: dict[int, float] = {}
         nmsgs = 0
         total_bytes = 0
@@ -145,7 +204,13 @@ class Network:
                 raise MachineError("zero-size message; caller should "
                                    "elide it")
             if src == dst:
-                report.add_copy(src, nelems, itemsize, self.cost_model)
+                if owned is None or owned(src):
+                    report.add_copy(src, nelems, itemsize,
+                                    self.cost_model)
+                continue
+            seq = self._seq
+            self._seq = seq + 1
+            if owned is not None and not owned(src):
                 continue
             nbytes = nelems * itemsize
             t = msg_t.get(nbytes)
@@ -153,7 +218,7 @@ class Network:
                 t = self.cost_model.msg_time(nbytes)
                 msg_t[nbytes] = t
             if log is not None:
-                log.append(MessageRecord(src, dst, nbytes, tag))
+                log.append(MessageRecord(src, dst, nbytes, tag, seq=seq))
             pe_times[src] += t
             pe_comm[src] += t
             nmsgs += 1
@@ -161,26 +226,51 @@ class Network:
         report.messages += nmsgs
         report.message_bytes += total_bytes
 
+    def allreduce(self, pe: int, npes: int, nbytes: int = 8,
+                  tag: str = "allreduce:SUM") -> None:
+        """Charge and log PE ``pe``'s share of one reduction collective.
+
+        Models a recursive-doubling butterfly: ``ceil(log2 npes)``
+        rounds, one ``nbytes`` exchange with a distinct partner per
+        round, each priced as an ordinary point-to-point message on the
+        sender.  Executors call this once per PE in rank order so every
+        backend charges the identical per-PE addend sequence.
+        """
+        rounds = (npes - 1).bit_length() if npes > 1 else 0
+        elems = max(1, nbytes // 8)
+        for rnd in range(rounds):
+            self.record(pe, butterfly_partner(pe, rnd, npes), elems, 8,
+                        tag)
+
     def install_worker_logs(self,
                             logs: list[list[MessageRecord]]) -> None:
-        """Adopt the merged message log from parallel-backend workers.
+        """Splice ownership-partial worker logs into the global order.
 
-        Every worker replays the full deterministic charge walk, so the
-        logs must already be identical replicas; divergence is reported
-        as an error, never silently resolved.  ``MessageRecord`` is a
-        frozen dataclass of ints and a string, so worker logs pickle
-        unchanged and compare by value here.
+        Each parallel worker logs only the records whose source PE it
+        owns, stamped with their position in the machine-global message
+        sequence (every worker's sequence counter advances even for the
+        records it skips, so the stamps agree across workers).  The
+        merged log is the concatenation sorted by ``seq``; the stamps
+        must tile ``0..n-1`` exactly — a gap means some record was
+        charged by no worker, a duplicate means two workers both believe
+        they own its source PE.  Either way the workers desynchronized
+        and the error says where.  ``MessageRecord`` is a frozen
+        dataclass of ints and a string, so worker logs pickle unchanged.
         """
         if not logs:
             raise MachineError("install_worker_logs needs >= 1 log")
-        first = logs[0]
-        for w, log in enumerate(logs[1:], start=1):
-            if log != first:
+        merged = sorted((rec for log in logs for rec in log),
+                        key=lambda rec: rec.seq)
+        for pos, rec in enumerate(merged):
+            if rec.seq != pos:
+                kind = ("duplicated by two workers" if rec.seq < pos
+                        else "logged by no worker")
                 raise MachineError(
-                    f"worker {w} message log diverged from worker 0 "
-                    f"({len(log)} vs {len(first)} records)")
+                    f"worker message logs desynchronized: global "
+                    f"message #{min(pos, rec.seq)} {kind} (next record "
+                    f"is {rec} with seq {rec.seq}, expected {pos})")
         if self.keep_log:
-            self.log = list(first)
+            self.log = merged
 
     @property
     def message_count(self) -> int:

@@ -9,10 +9,10 @@ collected samples plus the :class:`~repro.machine.network.Network`
 message log into three artifacts:
 
 * a per-PE-pair **communication matrix** (messages and bytes), split by
-  tag class (``halo`` / ``rsd`` / ``bufshift``, see
+  tag class (``halo`` / ``rsd`` / ``bufshift`` / ``allreduce``, see
   :data:`repro.machine.network.TAG_CLASSES`) — which shifts got unioned,
   which corners rode along via RSDs, which messages are the naive
-  buffered path;
+  buffered path, and the butterfly rounds of each reduction collective;
 * a phase-attributed per-PE **timeline** (``comm`` / ``copy`` /
   ``compute`` slices in modelled time, one lane per PE) built from each
   op's per-PE cost-report deltas;
@@ -21,9 +21,10 @@ message log into three artifacts:
   scale-normalized error statistic.
 
 Caveats, stated once: the matrix covers logged point-to-point messages
-(reduction allreduce charges bypass the network log, identically on both
-backends; self-sends are priced as local copies and carry no message
-record), and an :class:`~repro.plan.OverlappedOp`'s
+(self-sends are priced as local copies and carry no message record;
+reduction collectives log one record per butterfly round through
+:meth:`~repro.machine.network.Network.allreduce`, identically on every
+backend), and an :class:`~repro.plan.OverlappedOp`'s
 communication-hiding credit can shrink its compute slice to zero.
 """
 

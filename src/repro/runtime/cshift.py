@@ -15,12 +15,14 @@ need no overlap areas at all).  The buffer's extra copy is charged to
 the cost model — it is part of what made library CSHIFTs expensive.
 
 Like :mod:`repro.runtime.overlap`, the copy loops separate charging
-from moving so the process-parallel backend can replay the exact charge
-sequence while each worker moves only its own PEs' blocks:
+from moving so the process-parallel backend can run the shared code
+unchanged while each worker moves only its own PEs' blocks:
 
 * ``scratch_factory`` substitutes the scratch buffer's allocator (the
   parallel backend allocates it in shared memory);
-* ``move`` gates the per-PE copies (charges always run for every PE);
+* ``move`` gates the per-PE copies; the charge calls still run for
+  every PE, and the machine's ownership gate
+  (:meth:`Machine.set_ownership`) decides whether each one charges;
 * ``sync`` is invoked at the phase boundaries where cross-PE reads
   begin or end (after copy-in, after the exchange, before the scratch
   buffer is freed) — the parallel backend plugs its worker barrier in

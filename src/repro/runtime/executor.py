@@ -116,6 +116,47 @@ class _Exec:
             raise ExecutionError(
                 f"array {name} used before allocation") from None
 
+    # -- ownership ----------------------------------------------------------
+    def compute_ranks(self):
+        """The PEs whose data this executor computes, in rank order.
+
+        Serial backends compute every PE; parallel workers override this
+        to walk only the PEs they own (owner-computes execution).  Cost
+        charging is gated separately by :meth:`Machine.set_ownership`,
+        so walks that only *charge* (never touch data) stay over all
+        ranks and rely on the machine to skip non-owned PEs.
+        """
+        return self.machine.topology.ranks()
+
+    def communicate(self, value: float, what: str) -> float:
+        """Agree on a control-flow scalar across the executing parties.
+
+        Identity for single-process backends.  Parallel workers override
+        this with a broadcast-verify over the collective channel: every
+        scalar assignment, IF condition, and DO WHILE condition passes
+        through here, so the workers' control flow can never silently
+        diverge — the value each worker computed is compared bitwise and
+        a mismatch aborts the run naming the divergent worker.
+        """
+        return value
+
+    def _combine_partials(self, partials: dict[int, float], fold,
+                          what: str) -> float:
+        """Fold per-PE reduction partials into the global result.
+
+        ``partials`` maps every computed PE rank to its local partial.
+        Serial backends hold all ranks and fold in rank order; parallel
+        workers override this to exchange their owned partials through
+        the collective channel, folding in the same rank order so the
+        result is bitwise identical.
+        """
+        total: float | None = None
+        for pe in sorted(partials):
+            p = partials[pe]
+            total = p if total is None else float(fold(total, p))
+        assert total is not None
+        return total
+
     # -- scalar evaluation --------------------------------------------------
     def scalar(self, expr: Expr) -> float:
         if isinstance(expr, Const):
@@ -156,8 +197,11 @@ class _Exec:
         """Distributed reduction: each PE reduces its owned subgrid of
         the operand, then the partials combine via a logarithmic
         exchange and the result replicates (the HPF lowering of
-        SUM/MAXVAL/MINVAL).  Charges both the per-PE reduction loop and
-        the allreduce messages."""
+        SUM/MAXVAL/MINVAL).  Charges the per-PE reduction loop and the
+        butterfly allreduce messages (tagged ``allreduce:<op>`` in the
+        message log); parallel workers compute only their owned PEs'
+        partials and combine them through the collective channel."""
+        from repro.machine.network import allreduce_tag
         refs = [n for n in expr.arg.walk() if isinstance(n, OffsetRef)]
         if not refs:
             raise ExecutionError(
@@ -171,25 +215,27 @@ class _Exec:
                    "MINVAL": np.min}[expr.op]
         fold = {"SUM": np.add, "MAXVAL": np.maximum,
                 "MINVAL": np.minimum}[expr.op]
-        total: float | None = None
+        computed = set(self.compute_ranks())
+        partials: dict[int, float] = {}
         npes = self.machine.npes
-        rounds = (npes - 1).bit_length() if npes > 1 else 0
+        network = self.machine.network
+        tag = allreduce_tag(expr.op)
+        # one walk over ALL ranks: data movement happens only on the
+        # computed (owned) PEs, but the charge calls run for every PE —
+        # the machine/network gate them internally, and the network's
+        # global message sequence must tick for non-owned PEs too
         for pe in self.machine.topology.ranks():
             box = [(lo, hi) for lo, hi in first.owned_box(pe)]
-            local = self._eval(expr.arg, pe, box)
-            partial = float(combine(local))
-            total = partial if total is None else float(
-                fold(total, partial))
+            if pe in computed:
+                local = self._eval(expr.arg, pe, box)
+                partials[pe] = float(combine(local))
             points = 1
             for lo, hi in box:
                 points *= hi - lo + 1
             self.machine.charge_loop(
                 pe, scaled_to_points(per_point, points), self.overhead)
-            for _ in range(rounds):
-                self.machine.report.add_message(
-                    pe, 8, self.machine.cost_model)
-        assert total is not None
-        return total
+            network.allreduce(pe, npes, 8, tag)
+        return self._combine_partials(partials, fold, str(expr))
 
     def bound(self, e) -> int:
         binding = dict(self.plan.params)
@@ -260,7 +306,8 @@ class _Exec:
             for name in op.names:
                 self.release(name)
         elif isinstance(op, ScalarAssignOp):
-            self.scalars[op.name] = self.scalar(op.rhs)
+            self.scalars[op.name] = self.communicate(
+                self.scalar(op.rhs), f"scalar {op.name}")
         elif isinstance(op, SeqLoopOp):
             lo, hi = self.bound(op.lo), self.bound(op.hi)
             for k in range(lo, hi + 1):
@@ -268,7 +315,8 @@ class _Exec:
                 self.run_ops(op.body)
         elif isinstance(op, WhileOp):
             guard = 0
-            while self.scalar(op.cond):
+            while self.communicate(self.scalar(op.cond),
+                                   "DO WHILE condition"):
                 self.run_ops(op.body)
                 guard += 1
                 if guard > 1_000_000:
@@ -276,7 +324,9 @@ class _Exec:
                         "DO WHILE exceeded 1e6 iterations; "
                         "non-converging loop?")
         elif isinstance(op, CondOp):
-            branch = op.then_ops if self.scalar(op.cond) else op.else_ops
+            taken = self.communicate(self.scalar(op.cond),
+                                     "IF condition")
+            branch = op.then_ops if taken else op.else_ops
             self.run_ops(branch)
         elif isinstance(op, OverlappedOp):
             self.run_overlapped(op)
@@ -288,7 +338,7 @@ class _Exec:
     def run_nest(self, op: LoopNestOp) -> None:
         space = tuple((self.bound(lo), self.bound(hi))
                       for lo, hi in op.space)
-        for pe in self.machine.topology.ranks():
+        for pe in self.compute_ranks():
             points = self._run_nest_on_pe(op, space, pe)
             if points:
                 self.machine.charge_loop(
@@ -308,7 +358,7 @@ class _Exec:
         space = tuple((self.bound(lo), self.bound(hi))
                       for lo, hi in nest.space)
         shrink = self._nest_reach(nest)
-        for pe in self.machine.topology.ranks():
+        for pe in self.compute_ranks():
             box = self._nest_box(nest, space, pe)
             if box is None:
                 continue

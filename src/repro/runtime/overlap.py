@@ -18,8 +18,11 @@ message logging) from *moving* (the NumPy slab writes): slab extents
 come from the layout, never from the data, so a caller can replay the
 exact charge sequence while moving data for only a subset of PEs.  The
 process-parallel backend uses this through the ``move`` predicate —
-every worker charges all PEs identically (keeping cost reports
-bit-identical across backends) but writes only the blocks it owns.
+each worker writes only the blocks it owns — while charge *gating*
+happens inside the machine (:meth:`Machine.set_ownership`): the walk
+here still visits every PE in rank order, the machine skips charges
+for non-owned PEs, and the network's sequence counter keeps ticking so
+worker message logs splice back into the serial order.
 
 Degenerate zero-width slabs (possible only through hand-built layouts
 today — BLOCK layouts reject empty blocks at construction — but
@@ -89,9 +92,10 @@ def overlap_shift(machine: Machine, da: DArray, shift: int, dim: int,
     priced as local copies by the network).
 
     ``move`` (``pe -> bool``, default: always) gates the data movement
-    per receiving PE while the charge walk always covers every PE —
-    the hook the process-parallel backend's workers use to split data
-    movement without perturbing cost accounting.
+    per receiving PE while the walk itself covers every PE — the hook
+    the process-parallel backend's workers use to split data movement;
+    cost charging on non-owned PEs is skipped by the machine's
+    ownership gate, not here.
     """
     if shift == 0:
         raise ExecutionError("overlap_shift with zero shift")

@@ -7,32 +7,51 @@ One OS process per worker, ``W = min(workers, npes)`` workers (default
 halo exchange is a cross-block slab copy performed concurrently by the
 receiving PE's owner, synchronized by per-plan-op barriers.
 
+**Ownership execution.**  Each worker executes, charges, and logs only
+the PEs it owns — true owner-computes SPMD, no replicated walk.  The
+executor's :meth:`~repro.runtime.executor._Exec.compute_ranks` hook
+restricts data movement and loop charging to owned PEs, and
+:meth:`Machine.set_ownership` gates the machine/network charge paths so
+the shared ``overlap_shift``/``full_cshift`` code runs unchanged.  The
+values a replicated walk would recompute everywhere are instead
+*communicated* through the :class:`CollectiveChannel`, a tiny
+allreduce/broadcast primitive layered over the barrier on one shared
+float64 scratch segment: reduction partials combine via
+:meth:`CollectiveChannel.allreduce` (folded in PE-rank order, so the
+result is bitwise identical to the serial fold), and every scalar
+assignment, ``IF`` condition, and ``DO WHILE`` guard passes through
+:meth:`CollectiveChannel.bcast_check`, which verifies all workers
+computed the bit-identical value — control flow can never silently
+diverge, and a corrupted payload aborts the run naming the divergent
+worker.
+
 **Equivalence contract.**  The backend must produce bitwise-identical
 arrays/scalars and an identical *modelled* :class:`CostReport`, message
-log, and comm profile to ``perpe``/``vectorized``.  It gets this by
-construction: every worker replays the **full deterministic charge
-walk** over all PEs — the same code paths as the reference executor,
-via the ``move`` predicate of :func:`repro.runtime.overlap.overlap_shift`
-and :func:`repro.runtime.cshift.full_cshift` — but performs NumPy data
-movement only for the PEs it owns.  The coordinator verifies that all
-workers' replica reports/logs/scalars agree and installs the merged
-state (each PE's time rows taken from its owner, in PE-rank order).
-Replication also makes control flow (``DO WHILE`` guards, ``IF``
-conditions, reduction results) identical in every worker, which is what
-lets a fixed barrier schedule work at all.
+log, and comm profile to ``perpe``/``vectorized``.  The merged report
+takes each PE's per-PE rows (times and the float memory/flop
+aggregates) from that PE's owner and sums the order-free integer
+counters across workers; worker message logs carry global sequence
+stamps (the network's sequence counter ticks even for skipped records)
+and splice back into the exact serial order, verified gap- and
+duplicate-free.  A worker charging a PE it does not own is detected at
+merge time and reported as desynchronization.
 
 **Synchronization.**  Writes are owner-local by construction (a worker
 only ever writes blocks of PEs it owns); the races are reads of a
 neighbor's block.  Barriers therefore bracket exactly the cross-block
 phases: around each ``OVERLAP_SHIFT``, at the three phase boundaries of
 a buffered full shift (after copy-in, after the exchange, before the
-scratch buffer dies), around distributed reductions (which read every
-PE's block), after mid-plan allocations (all blocks must exist before
-any worker touches them), and before frees (no attach-after-unlink).
-The deterministic replicated walk guarantees every worker reaches the
-same barrier points in the same order; a generous timeout plus
-``Barrier.abort()`` on worker error turns a hang into a diagnosable
-failure instead of a deadlock.
+scratch buffer dies), inside every collective (reduction combines and
+scalar broadcasts), after mid-plan allocations (all blocks must exist
+before any worker touches them), and before frees (no
+attach-after-unlink).  Communicated control flow guarantees every
+worker reaches the same barrier points in the same order; a timeout
+(:data:`BARRIER_TIMEOUT_S`, overridable via
+``REPRO_PARALLEL_BARRIER_TIMEOUT``) plus ``Barrier.abort()`` on worker
+error turns a hang into a diagnosable failure instead of a deadlock,
+and the coordinator polls worker liveness so a dead worker aborts its
+peers within a fraction of a second, naming the dead worker and the
+PEs it owned.
 
 **Shared-memory lifecycle.**  Segment names are
 ``{run_id}-{array}-g{gen}-p{pe}`` where ``gen`` is a per-array-name
@@ -57,13 +76,16 @@ as a real concurrency timeline.
 
 from __future__ import annotations
 
+import glob as _glob
 import multiprocessing as mp
 import os
 import pickle
 import queue
+import time
 import traceback
 import uuid
 from math import prod
+from threading import BrokenBarrierError
 from typing import Mapping
 
 import numpy as np
@@ -81,12 +103,44 @@ from repro.runtime.overlap import overlap_shift
 
 #: Safety net for hung barriers (a worker died without aborting): waits
 #: raise BrokenBarrierError after this instead of deadlocking the run.
+#: Overridable per run via the ``REPRO_PARALLEL_BARRIER_TIMEOUT``
+#: environment variable (seconds; the failure-injection tests shrink it
+#: so a forced stall is detected in milliseconds, not minutes).
 BARRIER_TIMEOUT_S = 120.0
 
 #: How long the coordinator waits for one worker reply before declaring
 #: the pool wedged (longer than the barrier timeout so worker-side
 #: timeouts surface as worker errors, not coordinator timeouts).
 REPLY_TIMEOUT_S = BARRIER_TIMEOUT_S + 60.0
+
+#: Liveness-poll period of the coordinator's reply loop: how often it
+#: checks worker processes are still alive while waiting for replies.
+POLL_INTERVAL_S = 0.25
+
+#: After the first worker error reply, how long the coordinator keeps
+#: draining further replies before terminating the pool.
+ERROR_GRACE_S = 5.0
+
+#: Fault-injection hook for the failure tests:
+#: ``REPRO_PARALLEL_INJECT="<mode>:<wid>"`` with mode one of ``die``
+#: (hard ``os._exit`` at the first barrier), ``stall`` (sleep through
+#: the first barrier so peers hit the barrier timeout), or ``corrupt``
+#: (scribble on the worker's first collective payload so peers detect
+#: the divergence).  Parsed in the worker; never set in production.
+INJECT_ENV = "REPRO_PARALLEL_INJECT"
+BARRIER_TIMEOUT_ENV = "REPRO_PARALLEL_BARRIER_TIMEOUT"
+
+
+def _barrier_timeout() -> float:
+    try:
+        return float(os.environ[BARRIER_TIMEOUT_ENV])
+    except (KeyError, ValueError):
+        return BARRIER_TIMEOUT_S
+
+
+def _owned_pes(wid: int, nworkers: int, npes: int) -> list[int]:
+    """The PEs worker ``wid`` owns under the round-robin map."""
+    return list(range(wid, npes, nworkers))
 
 
 try:  # POSIX only; the fallback path covers other platforms
@@ -248,23 +302,211 @@ class ShmDArray(DArray):
 
 
 # ---------------------------------------------------------------------------
+# collective channel
+# ---------------------------------------------------------------------------
+
+class CollectiveChannel:
+    """Allreduce/broadcast primitive layered over the worker barrier.
+
+    One shared segment (``{run_id}-coll``) holds three arrays:
+
+    * ``vals[npes]`` — float64 slots where each worker publishes the
+      per-PE reduction partials of the PEs it owns;
+    * ``out[nworkers]`` — each worker's computed result of the current
+      collective, compared *bitwise* (as int64 bit patterns, so NaNs
+      compare honestly) to catch divergence and corruption;
+    * ``stamps[nworkers]`` — each worker's current collective id, so a
+      worker arriving at the wrong collective is named instead of
+      silently exchanging garbage.
+
+    Every phase transition is a barrier wait: writes happen before the
+    barrier that publishes them and reads happen before the barrier
+    that allows the next collective's writes, so no worker can race a
+    slow peer's verification.  ``allreduce`` needs three barriers
+    (publish partials / publish folded result / release ``out``);
+    ``bcast_check`` needs two (publish value / release ``out``).
+    """
+
+    def __init__(self, run_id: str, npes: int, nworkers: int, *,
+                 create: bool) -> None:
+        self.run_id = run_id
+        self.npes = npes
+        self.nworkers = nworkers
+        nbytes = 8 * (npes + 2 * nworkers)
+        if create:
+            seg = shared_memory.SharedMemory(name=self.seg_name(run_id),
+                                             create=True, size=nbytes)
+        else:
+            seg = shared_memory.SharedMemory(name=self.seg_name(run_id))
+        _untrack(seg)
+        self._seg = seg
+        self.vals = np.ndarray((npes,), np.float64, seg.buf)
+        self.out = np.ndarray((nworkers,), np.float64, seg.buf,
+                              8 * npes)
+        self.out_bits = np.ndarray((nworkers,), np.int64, seg.buf,
+                                   8 * npes)
+        self.stamps = np.ndarray((nworkers,), np.int64, seg.buf,
+                                 8 * (npes + nworkers))
+        if create:
+            self.vals.fill(0.0)
+            self.out.fill(0.0)
+            self.stamps.fill(-1)
+        # worker-side state, set by bind(); the parent only creates,
+        # unlinks, and never participates in collectives
+        self.wid = -1
+        self._barrier = None
+        self._timeout = BARRIER_TIMEOUT_S
+        self._cid = 0
+        self._corrupt_next = False
+
+    @staticmethod
+    def seg_name(run_id: str) -> str:
+        return f"{run_id}-coll"
+
+    def bind(self, wid: int, barrier, timeout: float) -> None:
+        self.wid = wid
+        self._barrier = barrier
+        self._timeout = timeout
+
+    def inject_corruption(self) -> None:
+        """Arm a one-shot payload corruption (failure-injection tests)."""
+        self._corrupt_next = True
+
+    # -- protocol ----------------------------------------------------------
+    def _wait(self, what: str) -> None:
+        try:
+            self._barrier.wait(self._timeout)
+        except BrokenBarrierError:
+            raise ExecutionError(
+                f"parallel worker {self.wid}: barrier broken during "
+                f"{what} — a peer worker died, stalled past the "
+                f"{self._timeout:g}s barrier timeout, or aborted"
+            ) from None
+
+    def _peer_pes(self, wid: int) -> list[int]:
+        return _owned_pes(wid, self.nworkers, self.npes)
+
+    def _check_stamps(self, cid: int, what: str) -> None:
+        lagging = [w for w in range(self.nworkers)
+                   if int(self.stamps[w]) != cid]
+        if lagging:
+            w = lagging[0]
+            raise ExecutionError(
+                f"parallel workers desynchronized at collective #{cid} "
+                f"({what}): worker {w} (owns PEs {self._peer_pes(w)}) "
+                f"is at collective #{int(self.stamps[w])}")
+
+    def _check_agreement(self, what: str) -> None:
+        mine = int(self.out_bits[self.wid])
+        bad = [w for w in range(self.nworkers)
+               if int(self.out_bits[w]) != mine]
+        if bad:
+            w = bad[0]
+            raise ExecutionError(
+                f"parallel workers diverged on {what}: worker {w} "
+                f"(owns PEs {self._peer_pes(w)}) published "
+                f"{float(self.out[w])!r} but worker {self.wid} "
+                f"(owns PEs {self._peer_pes(self.wid)}) computed "
+                f"{float(self.out[self.wid])!r} — corrupted collective "
+                f"payload or desynchronized control flow")
+
+    def allreduce(self, partials: dict[int, float], fold,
+                  what: str) -> float:
+        """Combine per-PE partials across workers, folding in PE-rank
+        order so the result is bitwise identical to the serial fold."""
+        cid = self._cid
+        self._cid += 1
+        for pe, v in partials.items():
+            self.vals[pe] = v
+        self.stamps[self.wid] = cid
+        self._wait(f"allreduce publish ({what})")
+        self._check_stamps(cid, what)
+        total = float(self.vals[0])
+        for pe in range(1, self.npes):
+            total = float(fold(total, float(self.vals[pe])))
+        self.out[self.wid] = total
+        if self._corrupt_next:
+            self._corrupt_next = False
+            self.out_bits[self.wid] = ~int(self.out_bits[self.wid])
+            total = float(self.out[self.wid])
+        self._wait(f"allreduce combine ({what})")
+        self._check_agreement(what)
+        self._wait(f"allreduce release ({what})")
+        return total
+
+    def bcast_check(self, value: float, what: str) -> float:
+        """Verify all workers computed the bit-identical scalar.
+
+        Scalar expressions are deterministic given agreed inputs, so
+        every worker computes the value locally; this collective is the
+        proof they actually agree — the parallel analogue of a
+        broadcast, with the broadcast replaced by an equality check
+        that catches corruption and divergence instead of masking it.
+        """
+        cid = self._cid
+        self._cid += 1
+        self.out[self.wid] = value
+        if self._corrupt_next:
+            self._corrupt_next = False
+            self.out_bits[self.wid] = ~int(self.out_bits[self.wid])
+            value = float(self.out[self.wid])
+        self.stamps[self.wid] = cid
+        self._wait(f"scalar broadcast ({what})")
+        self._check_stamps(cid, what)
+        self._check_agreement(what)
+        self._wait(f"scalar release ({what})")
+        return value
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self.vals = self.out = self.out_bits = self.stamps = None
+        seg, self._seg = self._seg, None
+        if seg is not None:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover
+                pass
+
+    def unlink(self) -> None:
+        try:
+            _unlink_segment(self.seg_name(self.run_id))
+        except FileNotFoundError:
+            pass
+
+
+# ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
 
 class _WorkerExec(_Exec):
-    """The executor a worker process runs: full charge walk, owned moves."""
+    """The executor a worker process runs: ownership execution.
+
+    Computes, charges, and logs only the PEs it owns; everything the
+    old replicated walk recomputed everywhere (scalars, reduction
+    results, loop conditions) goes through the collective channel.
+    """
 
     def __init__(self, plan: Plan, machine: Machine,
                  scalars: Mapping[str, float] | None, hpf_overhead: bool,
                  *, wid: int, nworkers: int, run_id: str,
-                 barrier) -> None:
+                 barrier, channel: CollectiveChannel,
+                 inject: str | None = None) -> None:
         super().__init__(plan, machine, scalars, hpf_overhead)
         self.wid = wid
         self.nworkers = nworkers
         self.run_id = run_id
         self.barrier = barrier
         self.owned = frozenset(range(wid, machine.npes, nworkers))
+        self._ranks = sorted(self.owned)
         self._move = self.owned.__contains__
+        machine.set_ownership(self._move)
+        self._timeout = _barrier_timeout()
+        self.channel = channel
+        channel.bind(wid, barrier, self._timeout)
+        self._inject = inject  # "die" | "stall" | None, one-shot
+        if inject == "corrupt":
+            channel.inject_corruption()
+            self._inject = None
         self._gen: dict[str, int] = {}
 
     def _next_gen(self, name: str) -> int:
@@ -273,7 +515,32 @@ class _WorkerExec(_Exec):
         return gen
 
     def _bwait(self) -> None:
-        self.barrier.wait(BARRIER_TIMEOUT_S)
+        if self._inject is not None:
+            mode, self._inject = self._inject, None
+            if mode == "die":
+                os._exit(3)
+            elif mode == "stall":
+                # sleep through the barrier so peers hit the timeout;
+                # terminated by the coordinator long before this expires
+                time.sleep(max(60.0, self._timeout * 10.0))
+        try:
+            self.barrier.wait(self._timeout)
+        except BrokenBarrierError:
+            raise ExecutionError(
+                f"parallel worker {self.wid}: barrier broken — a peer "
+                f"worker died, stalled past the {self._timeout:g}s "
+                f"barrier timeout, or aborted") from None
+
+    # -- ownership hooks ---------------------------------------------------
+    def compute_ranks(self):
+        return self._ranks
+
+    def communicate(self, value: float, what: str) -> float:
+        return self.channel.bcast_check(value, what)
+
+    def _combine_partials(self, partials: dict[int, float], fold,
+                          what: str) -> float:
+        return self.channel.allreduce(partials, fold, what)
 
     # -- array lifecycle ---------------------------------------------------
     def setup_entry_arrays(self) -> None:
@@ -341,21 +608,10 @@ class _WorkerExec(_Exec):
                          scratch_factory=self._scratch_factory,
                          move=self._move, sync=self._bwait)
 
-    def _reduce(self, expr) -> float:
-        self._bwait()  # reductions read every PE's block
-        try:
-            return super()._reduce(expr)
-        finally:
-            self._bwait()
-
-    # -- compute gating ----------------------------------------------------
-    def _exec_nest_box(self, op, box, pe: int) -> int:
-        if pe in self.owned:
-            return super()._exec_nest_box(op, box, pe)
-        points = 1
-        for lo, hi in box:
-            points *= hi - lo + 1
-        return points
+    # reductions need no extra barriers: each worker reads only its own
+    # owned blocks for the partials, and the collective channel's
+    # allreduce synchronizes the combine — _reduce and _exec_nest_box
+    # run the base owner-computes code paths unchanged
 
     # -- shard reporting ---------------------------------------------------
     def shard(self) -> dict:
@@ -381,16 +637,34 @@ class _WorkerExec(_Exec):
             da.close()
 
 
+def _parse_inject(wid: int) -> str | None:
+    """This worker's fault-injection mode from :data:`INJECT_ENV`."""
+    spec = os.environ.get(INJECT_ENV, "")
+    if not spec:
+        return None
+    mode, _, target = spec.partition(":")
+    try:
+        if int(target) != wid:
+            return None
+    except ValueError:
+        return None
+    return mode if mode in ("die", "stall", "corrupt") else None
+
+
 def _worker_main(wid: int, nworkers: int, plan: Plan,
                  machine_cfg: dict, scalars, hpf_overhead: bool,
                  run_id: str, profile: bool, barrier, cmd_q,
                  result_q) -> None:
     ex = None
+    channel = None
     try:
         machine = Machine(**machine_cfg)
+        channel = CollectiveChannel(run_id, machine.npes, nworkers,
+                                    create=False)
         ex = _WorkerExec(plan, machine, scalars, hpf_overhead,
                          wid=wid, nworkers=nworkers, run_id=run_id,
-                         barrier=barrier)
+                         barrier=barrier, channel=channel,
+                         inject=_parse_inject(wid))
         if profile:
             from repro.obs.profile import ProfileCollector
             ex.profiler = ProfileCollector(machine)
@@ -420,6 +694,8 @@ def _worker_main(wid: int, nworkers: int, plan: Plan,
     finally:
         if ex is not None:
             ex.close_attachments()
+        if channel is not None:
+            channel.close()
 
 
 # ---------------------------------------------------------------------------
@@ -432,9 +708,13 @@ class ParallelExec(_Exec):
     Runs in the parent process: materializes entry arrays in shared
     memory, drives the worker pool (started lazily at the first
     ``run_ops`` so profiler assignment is known), and after every
-    iteration verifies the workers' replica states agree and installs
-    the merged report/log/peaks/scalars into the parent machine — so
-    ``execute``'s gather/result code works unchanged.
+    iteration splices the workers' ownership-partial shards — per-PE
+    report rows from each PE's owner, seq-ordered message logs, per-op
+    profile samples — into the parent machine, so ``execute``'s
+    gather/result code works unchanged.  Worker liveness is polled
+    while waiting for replies: a dead or stalled worker aborts the
+    whole pool within :data:`POLL_INTERVAL_S` with an error naming the
+    worker and the PEs it owned.
     """
 
     def __init__(self, plan: Plan, machine: Machine,
@@ -457,6 +737,10 @@ class ParallelExec(_Exec):
         self._procs: list = []
         self._cmd_qs: list = []
         self._result_q = None
+        # created up front so workers can attach immediately on spawn;
+        # the parent never participates in collectives, only unlinks
+        self._channel = CollectiveChannel(self.run_id, machine.npes,
+                                          self.nworkers, create=True)
 
     def _next_gen(self, name: str) -> int:
         gen = self._gen.get(name, 0) + 1
@@ -509,31 +793,87 @@ class ParallelExec(_Exec):
             p.start()
             self._procs.append(p)
 
+    def _abort_barrier(self) -> None:
+        barrier = getattr(self, "_barrier", None)
+        if barrier is not None:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
     def run_ops(self, ops) -> None:
         self._ensure_pool()
         for q in self._cmd_qs:
             q.put(("run",))
         shards: dict[int, dict] = {}
         errors: dict[int, dict] = {}
-        for _ in range(self.nworkers):
-            try:
-                kind, wid, payload = self._result_q.get(
-                    timeout=REPLY_TIMEOUT_S)
-            except queue.Empty:
+        pending = set(range(self.nworkers))
+        deadline = time.monotonic() + REPLY_TIMEOUT_S
+        grace_deadline: float | None = None
+        while pending:
+            now = time.monotonic()
+            if errors and grace_deadline is None:
+                # peers of a failed worker abort fast via the broken
+                # barrier; give them a moment to report, then move on
+                grace_deadline = now + ERROR_GRACE_S
+            if grace_deadline is not None and now > grace_deadline:
+                break
+            if now > deadline:
+                self._abort_barrier()
                 self._terminate()
                 raise ExecutionError(
                     "parallel backend: worker reply timed out "
                     f"(waited {REPLY_TIMEOUT_S:.0f}s; "
                     f"got {len(shards) + len(errors)}"
                     f"/{self.nworkers} replies)") from None
+            try:
+                kind, wid, payload = self._result_q.get(
+                    timeout=POLL_INTERVAL_S)
+            except queue.Empty:
+                dead = [w for w in sorted(pending)
+                        if not self._procs[w].is_alive()]
+                if dead:
+                    # a worker died without reporting (killed, OOM,
+                    # os._exit): break its peers out of their barrier
+                    # waits immediately and name the corpse
+                    self._abort_barrier()
+                    w = dead[0]
+                    code = self._procs[w].exitcode
+                    self._terminate()
+                    raise ExecutionError(
+                        f"parallel worker {w} (owns PEs "
+                        f"{_owned_pes(w, self.nworkers, self.machine.npes)}) "
+                        f"died mid-run (exit code {code}); peer workers "
+                        f"were aborted") from None
+                continue
             data = pickle.loads(payload)
+            pending.discard(wid)
             if kind == "done":
                 shards[wid] = data
             else:
                 errors[wid] = data
-        if errors:
+        if errors or pending:
+            self._abort_barrier()
             self._terminate()
-            wid = min(errors)
+            if pending:
+                # a worker neither replied nor died: stalled/deadlocked.
+                # Its peers' barrier-timeout errors confirm it; name the
+                # non-responsive worker, not the peers that noticed.
+                w = min(pending)
+                raise ExecutionError(
+                    f"parallel worker {w} (owns PEs "
+                    f"{_owned_pes(w, self.nworkers, self.machine.npes)}) "
+                    f"stopped responding — stalled or deadlocked; "
+                    f"{len(errors)} peer worker(s) hit the barrier "
+                    f"timeout and aborted") from None
+            # a worker with a specific diagnosis (payload divergence,
+            # desynchronization, a simulated fault) beats peers that
+            # only saw the barrier break when it aborted: abort() can
+            # race a peer out of an already-tripped barrier wait, so
+            # which workers report "barrier broken" is timing-dependent
+            specific = [w for w in sorted(errors)
+                        if "barrier broken" not in errors[w]["tb"]]
+            wid = specific[0] if specific else min(errors)
             exc_payload = errors[wid]["exc"]
             if exc_payload is not None:
                 raise pickle.loads(exc_payload)
@@ -594,26 +934,74 @@ class ParallelExec(_Exec):
             self.darrays.pop(name).close()
 
     def _install_profiles(self, shards: list[dict]) -> None:
-        """Worker 0's samples become the parent collector's (modelled
-        deltas are identical replicas; wall-clock is worker 0's real
-        measurement, barrier waits included), and every worker gets a
-        wall-clock track for the Chrome trace."""
+        """Ownership merge of the workers' per-op samples.
+
+        Every worker dispatches the same op sequence, so sample streams
+        align index-for-index; each sample's per-PE modelled-time
+        columns come from that PE's owning worker and its message/byte
+        counts sum across workers (each counted only what it charged).
+        Wall-clock numbers are worker 0's real measurement, barrier
+        waits included.  Every worker keeps one wall-clock track keyed
+        by *worker id* carrying all of its samples — a worker owning
+        several round-robin PEs contributes every sample exactly once,
+        never one-per-PE (which used to drop samples when two PEs
+        mapped onto one worker).
+        """
+        from repro.obs.profile import OpSample
         collector = self.profiler
-        prof0 = shards[0]["prof"]
-        collector.samples = prof0["samples"]
+        npes = self.machine.npes
+        profs = [s["prof"] for s in shards]
+        base = profs[0]["samples"]
+        for wid, prof in enumerate(profs[1:], start=1):
+            if len(prof["samples"]) != len(base):
+                raise ExecutionError(
+                    f"worker {wid} profiled {len(prof['samples'])} ops "
+                    f"vs worker 0's {len(base)} — op dispatch "
+                    f"desynchronized")
+
+        def col(samples, attr, pe):
+            row = getattr(samples, attr)
+            return row[pe] if pe < len(row) else 0.0
+
+        merged = []
+        for i, smp in enumerate(base):
+            shard_smps = [p["samples"][i] for p in profs]
+            for wid, other in enumerate(shard_smps[1:], start=1):
+                if (other.name, other.parent, other.depth) != \
+                        (smp.name, smp.parent, smp.depth):
+                    raise ExecutionError(
+                        f"worker {wid} profiled op #{i} as "
+                        f"{other.name!r} vs worker 0's {smp.name!r} — "
+                        f"op dispatch desynchronized")
+            owner_smp = [shard_smps[self.owner_of[pe]]
+                         for pe in range(npes)]
+            merged.append(OpSample(
+                index=smp.index, parent=smp.parent, depth=smp.depth,
+                name=smp.name, detail=smp.detail,
+                wall_incl=smp.wall_incl, wall_self=smp.wall_self,
+                t_start=smp.t_start,
+                pe_time=[col(owner_smp[pe], "pe_time", pe)
+                         for pe in range(npes)],
+                pe_comm=[col(owner_smp[pe], "pe_comm", pe)
+                         for pe in range(npes)],
+                pe_copy=[col(owner_smp[pe], "pe_copy", pe)
+                         for pe in range(npes)],
+                messages=sum(s.messages for s in shard_smps),
+                msg_bytes=sum(s.msg_bytes for s in shard_smps),
+                finish_order=smp.finish_order))
+        collector.samples = merged
         collector.wall_start = 0.0
-        collector.wall_end = prof0["wall_total"]
+        collector.wall_end = profs[0]["wall_total"]
         tracks = []
-        for wid, s in enumerate(shards):
-            prof = s["prof"]
+        for wid, prof in enumerate(profs):
             events = [{"op": smp.index, "name": smp.name,
                        "depth": smp.depth, "t0": smp.t_start,
                        "t1": smp.t_start + smp.wall_incl}
                       for smp in prof["samples"]]
             tracks.append({
                 "worker": wid,
-                "pes": sorted(pe for pe in range(self.machine.npes)
-                              if self.owner_of[pe] == wid),
+                "pes": _owned_pes(wid, self.nworkers,
+                                  self.machine.npes),
                 "wall_s": prof["wall_total"],
                 "events": events,
             })
@@ -652,6 +1040,19 @@ class ParallelExec(_Exec):
             try:
                 da.free(self.machine)
             except Exception:
+                pass
+        channel = getattr(self, "_channel", None)
+        if channel is not None:
+            self._channel = None
+            channel.close()
+            channel.unlink()
+        # belt-and-braces: a worker killed mid-allocation can leave
+        # segments only it knew about (scratch buffers, mid-plan
+        # arrays); sweep everything carrying this run's id
+        for path in _glob.glob(f"/dev/shm/{self.run_id}-*"):
+            try:
+                _unlink_segment(os.path.basename(path))
+            except (FileNotFoundError, OSError):
                 pass
 
 

@@ -215,12 +215,31 @@ def plan_roundtrip_check(compiled, inputs: dict[str, np.ndarray],
 
 #: Backends every equivalence sweep covers, with the extra run kwargs
 #: each needs (the parallel backend runs 2 worker processes so the
-#: round-robin PE mapping and barrier schedule are actually exercised).
+#: round-robin PE ownership split, the collective channel, and the
+#: barrier schedule are actually exercised).
 EQUIVALENCE_BACKENDS: tuple[tuple[str, dict], ...] = (
     ("perpe", {}),
     ("vectorized", {}),
     ("parallel", {"workers": 2}),
 )
+
+
+def equivalence_backends(
+        workers: tuple[int | None, ...] = (2,),
+) -> tuple[tuple[str, dict], ...]:
+    """The standard backend sweep with extra parallel worker counts.
+
+    ``workers`` entries become additional ``parallel`` runs: ``1``
+    exercises the degenerate one-worker schedule (all PEs owned by
+    worker 0), ``3`` puts uneven PE counts on workers of a 2x2 grid,
+    ``None`` lets the backend pick ``min(cpu_count, npes)``.  Used by
+    the differential fuzzer to sweep ownership splits without repeating
+    the serial backends.
+    """
+    sweep: list[tuple[str, dict]] = [("perpe", {}), ("vectorized", {})]
+    for w in workers:
+        sweep.append(("parallel", {"workers": w}))
+    return tuple(sweep)
 
 
 def backend_equivalence_check(program: GeneratedProgram,

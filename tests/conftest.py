@@ -23,6 +23,28 @@ except ImportError:  # pragma: no cover - hypothesis is a test dep
     pass
 
 
+@pytest.fixture(autouse=True)
+def no_shm_leaks(request):
+    """Fail any ``parallel``-marked test that leaks shared memory.
+
+    The parallel backend names every segment ``repro-{run}-...``; a
+    test that ends with more such segments than it started with left a
+    run's shared memory behind (a missed ``close()`` on some error
+    path).  Snapshotting before/after every marked test replaces the
+    ad-hoc per-test glob checks and covers the failure-injection paths
+    where cleanup bugs actually hide.
+    """
+    if request.node.get_closest_marker("parallel") is None:
+        yield
+        return
+    import glob
+    before = set(glob.glob("/dev/shm/repro-*"))
+    yield
+    leaked = set(glob.glob("/dev/shm/repro-*")) - before
+    assert not leaked, (
+        f"test leaked shared-memory segments: {sorted(leaked)}")
+
+
 @pytest.fixture
 def machine2x2() -> Machine:
     return Machine(grid=(2, 2))

@@ -74,6 +74,31 @@ class TestMatrix:
         assert sum(map(sum, profile.pair_matrix(key="bytes"))) == \
             result.report.message_bytes
 
+    def test_reduction_logs_allreduce_butterfly(self):
+        """Reduction collectives appear in the matrix: ceil(log2 4) = 2
+        rounds x 4 PEs x 8 bytes per SUM, and the matrix total still
+        equals the report's message counter."""
+        import numpy as np
+
+        from repro.compiler import compile_hpf
+
+        source = ("      REAL, DIMENSION(N,N) :: A\n"
+                  "!HPF$ DISTRIBUTE A(BLOCK,BLOCK)\n"
+                  "      S = SUM(A)\n"
+                  "      A = A + S * 0.001\n")
+        compiled = compile_hpf(source, bindings={"N": 16}, level="O4",
+                               outputs={"A"})
+        machine = Machine(grid=(2, 2), keep_message_log=True)
+        result = compiled.run(machine, inputs={"A": np.ones((16, 16))},
+                              profile=True)
+        by_class = result.profile.totals["messages_by_class"]
+        assert by_class["allreduce"] == 8  # 2 rounds x 4 PEs
+        assert result.profile.totals["bytes_by_class"]["allreduce"] \
+            == 64
+        total = sum(map(sum, result.profile.pair_matrix(
+            key="messages")))
+        assert total == result.report.messages
+
     def test_matrix_diagonal_is_empty(self):
         # self-sends are priced as copies, never logged as messages
         profile = profiled(grid=(2, 1)).profile
