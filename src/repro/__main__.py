@@ -67,6 +67,44 @@ def _parse_bindings(pairs: list[str]) -> dict[str, int]:
     return out
 
 
+def _workers_arg(text: str) -> int:
+    """``--workers`` parser: fail at the CLI boundary, not in the
+    backend's ownership math."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {value}")
+    return value
+
+
+def _codegen_context(args: argparse.Namespace):
+    """Scoped codegen options for ``--backend compiled`` runs.
+
+    Maps ``--tile``/``--unroll``/``--jit`` onto a
+    :func:`repro.codegen.codegen_options` override, and points the
+    kernel disk cache at ``<--cache-dir>/kernels`` so generated sources
+    persist next to the plan cache.
+    """
+    import os
+    from contextlib import nullcontext
+
+    overrides = {}
+    for field in ("tile", "unroll", "jit"):
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if getattr(args, "cache_dir", None):
+        overrides["cache_dir"] = os.path.join(args.cache_dir, "kernels")
+    if not overrides:
+        return nullcontext()
+    from repro.codegen import codegen_options
+    return codegen_options(**overrides)
+
+
 def _parse_grid(text: str) -> tuple[int, ...]:
     try:
         grid = tuple(int(p) for p in text.lower().split("x"))
@@ -119,6 +157,22 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
                    help="run the post-codegen plan optimizations: op "
                         "scheduling, redundant-shift coalescing, dead "
                         "alloc elimination")
+
+
+def _add_codegen_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tile", type=int, default=None, metavar="T",
+                   help="loop-tiling factor for --backend compiled "
+                        "(0 disables; default from REPRO_COMPILED_TILE)")
+    p.add_argument("--unroll", type=int, default=None, metavar="U",
+                   help="unroll-and-jam factor for --backend compiled "
+                        "(0 uses each nest's modelled factor; default "
+                        "from REPRO_COMPILED_UNROLL)")
+    p.add_argument("--jit", default=None,
+                   choices=("auto", "numba", "python", "off"),
+                   help="JIT mode for --backend compiled: auto "
+                        "(numba when importable, else slab fallback "
+                        "with a warning), numba (required), python "
+                        "(generated source un-jitted), off")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -194,9 +248,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         if name in compiled.plan.entry_arrays:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
-    result = compiled.run(machine, inputs=inputs,
-                          iterations=args.iters, backend=args.backend,
-                          workers=args.workers)
+    with _codegen_context(args):
+        result = compiled.run(machine, inputs=inputs,
+                              iterations=args.iters,
+                              backend=args.backend,
+                              workers=args.workers)
     if args.json:
         out = result.summary()
         out["checksums"] = {
@@ -236,9 +292,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
         if name in compiled.plan.entry_arrays:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
-    compiled.run(machine, inputs=inputs, iterations=args.iters,
-                 tracer=tracer, backend=args.backend,
-                 workers=args.workers)
+    with _codegen_context(args):
+        compiled.run(machine, inputs=inputs, iterations=args.iters,
+                     tracer=tracer, backend=args.backend,
+                     workers=args.workers)
     if args.out:
         tracer.write_jsonl(args.out)
         print(f"wrote {sum(1 for _ in tracer.spans())} spans to "
@@ -278,9 +335,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
         if name in compiled.plan.entry_arrays:
             inputs[name] = rng.standard_normal(decl.shape).astype(
                 decl.dtype)
-    result = compiled.run(machine, inputs=inputs, iterations=args.iters,
-                          backend=args.backend, profile=True,
-                          workers=args.workers)
+    with _codegen_context(args):
+        result = compiled.run(machine, inputs=inputs,
+                              iterations=args.iters,
+                              backend=args.backend, profile=True,
+                              workers=args.workers)
     profile = result.profile
     assert profile is not None
     profile.kernel = kernel_name
@@ -368,12 +427,14 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p)
     p.add_argument("--backend", default="perpe", choices=backends,
                    help="execution backend: per-PE interpretation "
-                        "(default), whole-array vectorized slabs, or "
-                        "parallel worker processes over shared memory "
+                        "(default), whole-array vectorized slabs, "
+                        "parallel worker processes over shared memory, "
+                        "or compiled native loop nests "
                         "(all identical results and cost reports)")
-    p.add_argument("--workers", type=int, default=None,
+    p.add_argument("--workers", type=_workers_arg, default=None,
                    help="worker-process count for --backend parallel "
                         "(default: cpu count, capped at the PE count)")
+    _add_codegen_flags(p)
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
     p.add_argument("--iters", type=int, default=1,
@@ -403,11 +464,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="array live out of the routine (repeatable)")
     p.add_argument("--backend", default="perpe", choices=backends,
                    help="execution backend: per-PE interpretation "
-                        "(default), whole-array vectorized slabs, or "
-                        "parallel worker processes")
-    p.add_argument("--workers", type=int, default=None,
+                        "(default), whole-array vectorized slabs, "
+                        "parallel worker processes, or compiled "
+                        "native loop nests")
+    p.add_argument("--workers", type=_workers_arg, default=None,
                    help="worker-process count for --backend parallel "
                         "(default: cpu count, capped at the PE count)")
+    _add_codegen_flags(p)
     _add_cache_flags(p)
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")
@@ -445,9 +508,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="execution backend; all produce identical "
                         "communication profiles (parallel adds "
                         "measured per-worker wall-clock tracks)")
-    p.add_argument("--workers", type=int, default=None,
+    p.add_argument("--workers", type=_workers_arg, default=None,
                    help="worker-process count for --backend parallel "
                         "(default: cpu count, capped at the PE count)")
+    _add_codegen_flags(p)
     _add_cache_flags(p)
     p.add_argument("--grid", default="2x2",
                    help="processor grid, e.g. 2x2 (default)")

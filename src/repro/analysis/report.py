@@ -103,10 +103,16 @@ def describe_profile(profile) -> str:
         lines.append(f"  {row['op']:>4}  {row['name']:<16} "
                      f"{row['modelled_s']:>12.3e} {row['wall_s']:>12.3e}  "
                      f"{row['messages']:>6}")
-    lines.append(f"  scale (wall per modelled second): "
-                 f"{val['scale_wall_per_modelled']:.3g}")
-    lines.append(f"  weighted abs error after scaling: "
-                 f"{val['mape_pct']:.1f}%")
+    scale = val["scale_wall_per_modelled"]
+    if scale is None:
+        # Comm-free plan: nothing was modelled, so no scale exists and
+        # the error statistic is skipped rather than rendered as 0.
+        lines.append("  scale (wall per modelled second): n/a "
+                     "(no modelled time)")
+    else:
+        lines.append(f"  scale (wall per modelled second): {scale:.3g}")
+        lines.append(f"  weighted abs error after scaling: "
+                     f"{val['mape_pct']:.1f}%")
     return "\n".join(lines)
 
 

@@ -1,0 +1,119 @@
+"""Kernel caches: compiled artifacts keyed by plan + machine + factors.
+
+The key is ``sha256(plan serialization, Machine.fingerprint(),
+tile/unroll factors, codegen version)`` — everything that can change the
+generated source or the data layout it indexes.  Two layers:
+
+* an in-process LRU of materialized :class:`~repro.codegen.jit.
+  KernelModule` objects (keyed additionally by jit mode, since the same
+  source materializes differently under numba vs python), so repeated
+  runs of one plan skip both lowering and JIT compilation;
+* an optional on-disk *source* cache (one ``<key>.py`` per module,
+  atomic tempfile + ``os.replace`` writes like the
+  :class:`~repro.compiler.cache.PersistentPlanCache` it lives next to),
+  so lowering survives the interpreter.  Sources are mode-independent;
+  a disk hit still JITs in-process.
+
+Both layers share the :class:`~repro.compiler.cache.CacheStats`
+counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.codegen.jit import KernelModule
+from repro.codegen.lower import CODEGEN_VERSION
+from repro.compiler.cache import CacheStats
+
+#: in-process cap: modules are small (a few functions), but numba
+#: dispatchers hold compiled machine code worth bounding
+_MAX_MODULES = 64
+
+_LOCK = threading.Lock()
+_MODULES: "OrderedDict[tuple[str, str], KernelModule]" = OrderedDict()
+
+#: process-wide counters of the in-process kernel-module cache
+MEMORY_STATS = CacheStats()
+
+
+def kernel_key(plan, machine, options) -> str:
+    """Content hash identifying one plan's generated kernels."""
+    from repro.plan import plan_to_json
+    h = hashlib.sha256()
+    for part in (plan_to_json(plan), "\x00", machine.fingerprint(),
+                 "\x00", options.factor_fingerprint(), "\x00",
+                 f"codegen-v{CODEGEN_VERSION}"):
+        h.update(part.encode())
+    return h.hexdigest()
+
+
+def get_module(key: str, mode: str) -> KernelModule | None:
+    with _LOCK:
+        module = _MODULES.get((key, mode))
+        if module is None:
+            MEMORY_STATS.misses += 1
+            return None
+        _MODULES.move_to_end((key, mode))
+        MEMORY_STATS.hits += 1
+        return module
+
+
+def put_module(key: str, mode: str, module: KernelModule) -> None:
+    with _LOCK:
+        _MODULES[(key, mode)] = module
+        _MODULES.move_to_end((key, mode))
+        while len(_MODULES) > _MAX_MODULES:
+            _MODULES.popitem(last=False)
+            MEMORY_STATS.evictions += 1
+
+
+def clear_modules() -> int:
+    """Drop every in-process module (tests); returns the count."""
+    with _LOCK:
+        n = len(_MODULES)
+        _MODULES.clear()
+        MEMORY_STATS.invalidations += n
+        return n
+
+
+class KernelDiskCache:
+    """On-disk generated-source store, one ``<key>.py`` per module."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _file(self, key: str) -> Path:
+        return self.path / f"{key}.py"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.py"))
+
+    def get_source(self, key: str) -> str | None:
+        try:
+            text = self._file(key).read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return text
+
+    def put_source(self, key: str, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(text)
+            os.replace(tmp, self._file(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

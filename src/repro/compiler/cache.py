@@ -39,6 +39,8 @@ class CacheStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    pruned: int = 0
+    tmp_swept: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -49,7 +51,47 @@ class CacheStats:
         return {"hits": float(self.hits), "misses": float(self.misses),
                 "invalidations": float(self.invalidations),
                 "evictions": float(self.evictions),
+                "pruned": float(self.pruned),
+                "tmp_swept": float(self.tmp_swept),
                 "hit_rate": self.hit_rate}
+
+
+def canonical_bindings(bindings: "dict[str, int] | None") -> dict[str, int]:
+    """Normalize size bindings to plain ``int`` values.
+
+    ``np.int64(512)`` and ``512`` denote the same compilation, but their
+    ``repr`` differs, so hashing raw values makes equal requests miss.
+    Bools and non-integral values are rejected outright rather than
+    silently coerced: a float ``512.5`` or ``True`` binding is a caller
+    bug, not an alternate spelling of an extent.
+    """
+    out: dict[str, int] = {}
+    for name, value in (bindings or {}).items():
+        if isinstance(value, bool):
+            raise TypeError(
+                f"binding {name}={value!r} is a bool; size bindings must "
+                f"be integers")
+        if isinstance(value, float) or (
+                hasattr(value, "is_integer") and not isinstance(value, int)):
+            # Covers python floats and numpy floating scalars alike.
+            if not float(value).is_integer():
+                raise TypeError(
+                    f"binding {name}={value!r} is not an integral value; "
+                    f"size bindings must be integers")
+            out[name] = int(value)
+            continue
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"binding {name}={value!r} ({type(value).__name__}) is "
+                f"not an integer; size bindings must be integers") from None
+        if as_int != value:
+            raise TypeError(
+                f"binding {name}={value!r} is not an integral value; "
+                f"size bindings must be integers")
+        out[name] = as_int
+    return out
 
 
 def cache_key(source: str, name: str,
@@ -58,13 +100,16 @@ def cache_key(source: str, name: str,
               machine_fingerprint: str = "") -> str:
     """Content hash identifying one compilation.
 
-    Bindings are order-insensitive; every :class:`CompilerOptions` field
+    Bindings are order-insensitive and canonicalized through
+    :func:`canonical_bindings`, so ``np.int64(512)`` and ``512`` hash
+    identically and non-integral values raise instead of silently
+    producing a unique key.  Every :class:`CompilerOptions` field
     participates via :meth:`CompilerOptions.fingerprint`, so toggling any
     knob (level, outputs, cse, ...) misses rather than aliasing.
     """
     h = hashlib.sha256()
     for part in (source, "\x00", name, "\x00",
-                 repr(sorted((bindings or {}).items())), "\x00",
+                 repr(sorted(canonical_bindings(bindings).items())), "\x00",
                  options.fingerprint(), "\x00", machine_fingerprint):
         h.update(part.encode())
     return h.hexdigest()
@@ -157,16 +202,76 @@ class PersistentPlanCache:
     another must miss, not silently reuse.  Pass the :class:`Machine`
     the plan will run on (or its fingerprint string); compile-only
     callers may leave it empty.
+
+    The store is bounded: ``max_entries`` caps the number of on-disk
+    entries, with least-recently-used pruning (by file mtime — ``get``
+    refreshes it) applied on ``put``.  Initialisation also sweeps
+    ``*.tmp`` litter left behind by writers that died between
+    ``mkstemp`` and ``os.replace``; only stale files (older than
+    :data:`TMP_SWEEP_AGE` seconds) are removed so a concurrent live
+    writer is never raced.  Prune and sweep counts surface in
+    :attr:`stats`.
     """
 
+    #: Seconds a ``*.tmp`` file must be untouched before the init sweep
+    #: treats it as orphaned rather than a concurrent writer's scratch.
+    TMP_SWEEP_AGE = 60.0
+
     def __init__(self, path: "str | os.PathLike[str]",
-                 machine=None, machine_fingerprint: str = "") -> None:
+                 machine=None, machine_fingerprint: str = "",
+                 max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"cache max_entries must be >= 1, got {max_entries}")
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         if machine is not None:
             machine_fingerprint = machine.fingerprint()
         self.machine_fingerprint = machine_fingerprint
+        self.max_entries = max_entries
         self.stats = CacheStats()
+        self._sweep_tmp()
+
+    def _sweep_tmp(self) -> int:
+        """Delete orphaned ``*.tmp`` files; returns the number removed."""
+        import time
+        cutoff = time.time() - self.TMP_SWEEP_AGE
+        swept = 0
+        for tmp in self.path.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                pass  # raced with the owner or another sweeper
+        self.stats.tmp_swept += swept
+        return swept
+
+    def _prune(self) -> int:
+        """Evict oldest-mtime entries beyond ``max_entries``.
+
+        Tolerates concurrent writers and sweepers: a file vanishing
+        between the listing and the unlink is someone else's prune, not
+        an error.
+        """
+        entries = []
+        for f in self.path.glob("*.json"):
+            try:
+                entries.append((f.stat().st_mtime, f))
+            except OSError:
+                pass
+        excess = len(entries) - self.max_entries
+        pruned = 0
+        if excess > 0:
+            entries.sort(key=lambda pair: pair[0])
+            for _, f in entries[:excess]:
+                try:
+                    f.unlink()
+                    pruned += 1
+                except OSError:
+                    pass
+        self.stats.pruned += pruned
+        return pruned
 
     def key_for(self, source: str, name: str,
                 bindings: "dict[str, int] | None",
@@ -199,6 +304,12 @@ class PersistentPlanCache:
                 if attempt == 0:
                     continue
                 break  # still corrupt: degrade to recompilation
+            try:
+                # Refresh mtime so LRU pruning sees recency of *use*,
+                # not just of writing.
+                os.utime(path)
+            except OSError:
+                pass
             self.stats.hits += 1
             return program
         self.stats.misses += 1
@@ -218,6 +329,7 @@ class PersistentPlanCache:
             except OSError:
                 pass
             raise
+        self._prune()
 
     def invalidate(self, key: str | None = None) -> int:
         """Remove one entry file (or every entry when ``key`` is

@@ -100,3 +100,16 @@ class SimulatedOutOfMemoryError(MachineError):
 
 class ExecutionError(MachineError):
     """A compiled plan referenced state missing from the machine."""
+
+
+class UsageError(ExecutionError):
+    """Invalid caller-supplied runtime configuration.
+
+    Raised when an API or CLI argument (worker count, codegen factor,
+    jit mode, ...) is out of range or inconsistent *before* any machine
+    state is touched, so misconfiguration fails fast with a named error
+    instead of surfacing later as modular-arithmetic garbage or a hang.
+
+    Subclasses :class:`ExecutionError` so existing callers that guard
+    backend entry points with the broader class keep working.
+    """

@@ -281,14 +281,21 @@ class CommProfile:
                          "bytes": sample.msg_bytes})
         sum_modelled = sum(r["modelled_s"] for r in rows)
         sum_wall = sum(r["wall_s"] for r in rows)
-        scale = sum_wall / sum_modelled if sum_modelled > 0 else 0.0
-        abs_err = sum(abs(r["modelled_s"] * scale - r["wall_s"])
-                      for r in rows)
+        if sum_modelled > 0:
+            scale = sum_wall / sum_modelled
+            abs_err = sum(abs(r["modelled_s"] * scale - r["wall_s"])
+                          for r in rows)
+            mape = (abs_err / sum_wall * 100.0) if sum_wall > 0 else 0.0
+        else:
+            # A comm-free plan models zero seconds: no scale exists, and
+            # any scaled-error statistic would be meaningless.  Report
+            # both as absent rather than a silently bogus 0.0.
+            scale = None
+            mape = None
         validation = {
             "rows": rows,
             "scale_wall_per_modelled": scale,
-            "mape_pct": (abs_err / sum_wall * 100.0) if sum_wall > 0
-            else 0.0,
+            "mape_pct": mape,
         }
 
         report = machine.report

@@ -24,6 +24,7 @@ _BUILTIN: dict[str, tuple[str, str]] = {
     "perpe": ("repro.runtime.executor", "_Exec"),
     "vectorized": ("repro.runtime.vectorized", "VectorizedExec"),
     "parallel": ("repro.runtime.parallel", "ParallelExec"),
+    "compiled": ("repro.runtime.compiled", "CompiledExec"),
 }
 
 _REGISTRY: dict[str, type] = {}

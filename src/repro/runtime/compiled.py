@@ -1,0 +1,148 @@
+"""Compiled execution backend: generated native loop nests over slabs.
+
+``backend="compiled"`` extends the vectorized backend by replacing its
+NumPy-slab evaluation of each compute nest with a generated fused,
+tiled, unroll-and-jammed scalar loop nest (:mod:`repro.codegen`),
+JIT-compiled with Numba when available.  Everything else — array
+storage (one globally padded ndarray per distributed array), halo
+exchange, per-PE rank-order cost charging, message logging, reductions,
+overlapped-communication credit — is inherited unchanged, so every
+observable (arrays, scalars, cost report, tagged message log, comm
+profile) is bitwise-identical to the perpe/vectorized/parallel backends
+by construction: this class overrides exactly one method, the per-box
+nest evaluator.
+
+Degradation ladder (per :mod:`repro.codegen.options`):
+
+* Numba importable -> native kernels (the fast path; this is where the
+  integer-factor speedup over the vectorized backend comes from).
+* Numba missing under ``jit="auto"`` -> one warning, then pure slab
+  execution (identical results, vectorized speed).
+* ``jit="python"`` -> generated source runs un-jitted (slow; test mode).
+* Individual nests the lowerer cannot prove bitwise-safe (mixed dtypes,
+  ``EXP``/``LOG``/``**``, exotic expressions) fall back to slabs
+  *per nest* while the rest of the plan stays native.
+
+Kernels are keyed by ``(plan serialization sha256,
+Machine.fingerprint(), tile/unroll factors)`` and cached in-process;
+with a configured cache directory (CLI ``--cache-dir``) the generated
+sources also persist on disk next to the plan cache.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.codegen import cache as kcache
+from repro.codegen import jit as _jit
+from repro.codegen.jit import KernelEntry, KernelModule
+from repro.codegen.lower import lower_plan, plan_nests
+from repro.codegen.options import current_options
+from repro.errors import ExecutionError, UsageError
+from repro.plan import LoopNestOp
+from repro.runtime.vectorized import VectorizedExec
+
+#: process flag so the missing-numba degradation warns once, not per run
+_warned_no_numba = False
+
+
+def _warn_no_numba() -> None:
+    global _warned_no_numba
+    if _warned_no_numba:
+        return
+    _warned_no_numba = True
+    warnings.warn(
+        "backend='compiled': numba is not installed; falling back to "
+        "vectorized slab execution (results and cost reports are "
+        "identical, but no native speedup). Install numba, or set "
+        "jit='python' to run generated kernels un-jitted.",
+        RuntimeWarning, stacklevel=3)
+
+
+def _obtain_module(plan, machine, opts, mode: str) -> KernelModule:
+    key = kcache.kernel_key(plan, machine, opts)
+    module = kcache.get_module(key, mode)
+    if module is not None:
+        return module
+    disk = kcache.KernelDiskCache(opts.cache_dir) \
+        if opts.cache_dir else None
+    source = disk.get_source(key) if disk is not None else None
+    if source is None:
+        source = lower_plan(plan, opts).source
+        if disk is not None:
+            disk.put_source(key, source)
+    module = _jit.materialize(source, mode)
+    kcache.put_module(key, mode, module)
+    return module
+
+
+class CompiledExec(VectorizedExec):
+    """Vectorized executor with generated kernels for compute nests."""
+
+    def __init__(self, plan, machine, scalars, hpf_overhead,
+                 tracer=None, workers=None) -> None:
+        super().__init__(plan, machine, scalars, hpf_overhead,
+                         tracer=tracer, workers=workers)
+        opts = current_options()
+        mode = opts.jit
+        if mode == "auto":
+            if _jit.numba_available():
+                mode = "numba"
+            else:
+                _warn_no_numba()
+                mode = "off"
+        elif mode == "numba" and not _jit.numba_available():
+            raise UsageError(
+                "jit='numba' requested but numba is not importable; "
+                "use jit='auto' (slab fallback) or jit='python'")
+        self.jit_mode = mode
+        self._kernels: dict[int, KernelEntry] = {}
+        if mode == "off":
+            return
+        module = _obtain_module(plan, machine, opts, mode)
+        nest_ops = plan_nests(plan)
+        if len(module.entries) != len(nest_ops):
+            raise ExecutionError(
+                f"kernel module has {len(module.entries)} nests but the "
+                f"plan has {len(nest_ops)}; kernel cache corrupted?")
+        for op, entry in zip(nest_ops, module.entries):
+            if entry.fn is not None:
+                self._kernels[id(op)] = entry
+
+    def kernel_for(self, op: LoopNestOp) -> KernelEntry | None:
+        """The generated kernel executing ``op``, if one was lowered."""
+        return self._kernels.get(id(op))
+
+    def _scalar_value(self, name: str) -> float:
+        # mirror of _Exec.scalar's ScalarRef resolution
+        if name in self.scalars:
+            return self.scalars[name]
+        if name in self.plan.params:
+            return float(self.plan.params[name])
+        raise ExecutionError(f"unbound scalar {name}")
+
+    def _exec_nest_box(self, op: LoopNestOp, box, pe: int) -> int:
+        entry = self._kernels.get(id(op))
+        if entry is None:
+            return super()._exec_nest_box(op, box, pe)
+        args: list = []
+        for name in entry.arrays:
+            va = self.darray(name)
+            args.append(va.data)
+            for d in range(va.rank):
+                args.append(va.halo[d][0] - 1)
+        for sname in entry.scalars:
+            args.append(self._scalar_value(sname))
+        points = 1
+        for lo, hi in box:
+            args.append(int(lo))
+            args.append(int(hi))
+            points *= hi - lo + 1
+        entry.fn(*args)
+        return points
+
+
+# registers under its public name; see repro.runtime.backends
+from repro.runtime.backends import register_backend  # noqa: E402
+
+register_backend("compiled", CompiledExec)

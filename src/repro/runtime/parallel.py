@@ -91,7 +91,7 @@ from typing import Mapping
 import numpy as np
 from multiprocessing import resource_tracker, shared_memory
 
-from repro.errors import ExecutionError, MachineError
+from repro.errors import ExecutionError, MachineError, UsageError
 from repro.machine.cost_model import CostReport
 from repro.machine.machine import Machine
 from repro.plan import FullShiftOp, OverlapShiftOp, Plan
@@ -721,11 +721,20 @@ class ParallelExec(_Exec):
                  scalars: Mapping[str, float] | None,
                  hpf_overhead: bool, tracer=None,
                  workers: int | None = None) -> None:
+        # Validate before any machine or shared-memory state is touched:
+        # workers <= 0 would otherwise reach the round-robin ownership
+        # math (``range(wid, npes, nworkers)``, ``pe % W``) and fail as
+        # an opaque ValueError / ZeroDivisionError or hang at a barrier.
+        if workers is not None:
+            if not isinstance(workers, int) or isinstance(workers, bool):
+                raise UsageError(
+                    f"parallel backend worker count must be an int, got "
+                    f"{workers!r}")
+            if workers < 1:
+                raise UsageError(
+                    f"parallel backend needs >= 1 worker, got {workers}")
         super().__init__(plan, machine, scalars, hpf_overhead,
                          tracer=tracer, workers=workers)
-        if workers is not None and workers < 1:
-            raise ExecutionError(
-                f"parallel backend needs >= 1 worker, got {workers}")
         requested = workers or (os.cpu_count() or 1)
         self.nworkers = max(1, min(requested, machine.npes))
         self.owner_of = [pe % self.nworkers

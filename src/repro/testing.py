@@ -216,12 +216,36 @@ def plan_roundtrip_check(compiled, inputs: dict[str, np.ndarray],
 #: Backends every equivalence sweep covers, with the extra run kwargs
 #: each needs (the parallel backend runs 2 worker processes so the
 #: round-robin PE ownership split, the collective channel, and the
-#: barrier schedule are actually exercised).
+#: barrier schedule are actually exercised; the compiled backend runs
+#: its generated kernels — see :func:`preferred_test_jit`).
 EQUIVALENCE_BACKENDS: tuple[tuple[str, dict], ...] = (
     ("perpe", {}),
     ("vectorized", {}),
     ("parallel", {"workers": 2}),
+    ("compiled", {}),
 )
+
+
+def preferred_test_jit() -> str:
+    """The jit mode equivalence sweeps run the compiled backend under.
+
+    ``numba`` when it is importable (the production path), otherwise
+    ``python`` — which still executes the *generated* fused/tiled loop
+    nests, just un-jitted, so codegen correctness is exercised even in
+    environments without numba instead of silently degrading to the
+    vectorized slabs that ``jit="auto"`` would pick.
+    """
+    from repro.codegen import numba_available
+    return "numba" if numba_available() else "python"
+
+
+def _backend_run_context(backend: str):
+    """Context under which an equivalence sweep runs ``backend``."""
+    from contextlib import nullcontext
+    if backend != "compiled":
+        return nullcontext()
+    from repro.codegen import codegen_options
+    return codegen_options(jit=preferred_test_jit())
 
 
 def equivalence_backends(
@@ -239,6 +263,7 @@ def equivalence_backends(
     sweep: list[tuple[str, dict]] = [("perpe", {}), ("vectorized", {})]
     for w in workers:
         sweep.append(("parallel", {"workers": w}))
+    sweep.append(("compiled", {}))
     return tuple(sweep)
 
 
@@ -254,9 +279,10 @@ def backend_equivalence_check(program: GeneratedProgram,
     (message/byte/copy counts, per-PE times, peak memory) AND an
     identical tagged message log / communication profile.
 
-    This is the three-backend contract: ``vectorized`` and ``parallel``
-    are execution strategies, not semantics or cost changes, so nothing
-    observable may differ from the per-PE executor — down to the
+    This is the backend contract: ``vectorized``, ``parallel``, and
+    ``compiled`` are execution strategies, not semantics or cost
+    changes, so nothing observable may differ from the per-PE
+    executor — down to the
     ``(src, dst, nbytes, tag)`` tuple of every logged message, which is
     what makes the communication profiler backend-agnostic.  The
     ``perpe`` baseline is always compared first.
@@ -269,10 +295,11 @@ def backend_equivalence_check(program: GeneratedProgram,
             logs = {}
             for backend, extra in backends:
                 machine = Machine(grid=grid, keep_message_log=True)
-                results[backend] = compiled.run(
-                    machine, inputs=inputs, scalars=program.scalars,
-                    iterations=iterations, backend=backend,
-                    profile=True, **extra)
+                with _backend_run_context(backend):
+                    results[backend] = compiled.run(
+                        machine, inputs=inputs, scalars=program.scalars,
+                        iterations=iterations, backend=backend,
+                        profile=True, **extra)
                 logs[backend] = [(m.src, m.dst, m.nbytes, m.tag)
                                  for m in machine.network.log]
             base = backends[0][0]

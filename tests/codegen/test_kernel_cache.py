@@ -1,0 +1,140 @@
+"""Kernel caches: key sensitivity, the in-process module LRU, and the
+on-disk source store (atomic writes, cross-object persistence)."""
+
+import threading
+
+import pytest
+
+from repro.codegen import (
+    CodegenOptions, KernelDiskCache, kernel_key, lower_plan, materialize,
+)
+from repro.codegen import cache as kcache
+from repro.compiler import compile_hpf
+from repro.kernels import KERNELS
+from repro.machine import Machine
+from repro.machine.cost_model import CostModel
+
+
+def _plan(name="five_point", level="O2", n=12):
+    spec = KERNELS[name]
+    return compile_hpf(spec.source, bindings={"N": n}, level=level,
+                       outputs=set(spec.outputs)).plan
+
+
+@pytest.fixture(autouse=True)
+def _fresh_module_cache():
+    kcache.clear_modules()
+    yield
+    kcache.clear_modules()
+
+
+class TestKernelKey:
+    def test_deterministic(self):
+        plan, machine = _plan(), Machine(grid=(2, 2))
+        opts = CodegenOptions(tile=8, unroll=2)
+        assert kernel_key(plan, machine, opts) == \
+            kernel_key(plan, machine, opts)
+
+    def test_factors_change_the_key(self):
+        plan, machine = _plan(), Machine(grid=(2, 2))
+        keys = {kernel_key(plan, machine, CodegenOptions(tile=t,
+                                                         unroll=u))
+                for t in (0, 8) for u in (0, 2)}
+        assert len(keys) == 4
+
+    def test_plan_changes_the_key(self):
+        machine = Machine(grid=(2, 2))
+        opts = CodegenOptions()
+        assert kernel_key(_plan(n=12), machine, opts) != \
+            kernel_key(_plan(n=16), machine, opts)
+
+    def test_machine_changes_the_key(self):
+        plan, opts = _plan(), CodegenOptions()
+        a = Machine(grid=(2, 2))
+        b = Machine(grid=(4, 1))
+        c = Machine(grid=(2, 2), cost_model=CostModel(flop=1e-6))
+        keys = {kernel_key(plan, m, opts) for m in (a, b, c)}
+        assert len(keys) == 3
+
+
+class TestModuleLRU:
+    def _module(self):
+        lp = lower_plan(_plan(), CodegenOptions())
+        return materialize(lp.source, "python")
+
+    def test_hit_and_miss_accounting(self):
+        module = self._module()
+        h0, m0 = kcache.MEMORY_STATS.hits, kcache.MEMORY_STATS.misses
+        assert kcache.get_module("k1", "python") is None
+        kcache.put_module("k1", "python", module)
+        assert kcache.get_module("k1", "python") is module
+        assert kcache.MEMORY_STATS.hits == h0 + 1
+        assert kcache.MEMORY_STATS.misses == m0 + 1
+
+    def test_mode_is_part_of_the_key(self):
+        module = self._module()
+        kcache.put_module("k1", "python", module)
+        assert kcache.get_module("k1", "numba") is None
+
+    def test_lru_evicts_oldest(self, monkeypatch):
+        monkeypatch.setattr(kcache, "_MAX_MODULES", 2)
+        module = self._module()
+        for key in ("a", "b", "c"):
+            kcache.put_module(key, "python", module)
+        assert kcache.get_module("a", "python") is None
+        assert kcache.get_module("c", "python") is module
+
+    def test_concurrent_access_is_safe(self):
+        module = self._module()
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(50):
+                    kcache.put_module(f"{tag}-{i}", "python", module)
+                    kcache.get_module(f"{tag}-{i}", "python")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestDiskCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = KernelDiskCache(tmp_path)
+        cache.put_source("deadbeef", "# kernel source\n")
+        assert cache.get_source("deadbeef") == "# kernel source\n"
+        assert cache.stats.hits == 1
+        assert len(cache) == 1
+
+    def test_miss_counts(self, tmp_path):
+        cache = KernelDiskCache(tmp_path)
+        assert cache.get_source("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_survives_cache_object(self, tmp_path):
+        KernelDiskCache(tmp_path).put_source("k", "src\n")
+        assert KernelDiskCache(tmp_path).get_source("k") == "src\n"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = KernelDiskCache(tmp_path)
+        for i in range(5):
+            cache.put_source(f"k{i}", f"# {i}\n")
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(cache) == 5
+
+    def test_materialized_from_disk_matches(self, tmp_path):
+        plan = _plan()
+        lp = lower_plan(plan, CodegenOptions(tile=4))
+        cache = KernelDiskCache(tmp_path)
+        key = kernel_key(plan, Machine(grid=(2, 2)),
+                         CodegenOptions(tile=4))
+        cache.put_source(key, lp.source)
+        revived = materialize(cache.get_source(key), "python")
+        assert tuple(e.nest for e in revived.entries) == lp.nests

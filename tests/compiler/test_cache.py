@@ -150,3 +150,53 @@ class TestWarmHitLatency:
             _compile(cache)
             best = min(best, time.perf_counter() - t0)
         assert best < 2e-3, f"warm hit took {best * 1e3:.3f} ms"
+
+
+class TestBindingCanonicalization:
+    """Regression: ``np.int64(512)`` and ``512`` used to hash to
+    *different* keys (their ``repr`` differs), so sweeps driven by
+    ``np.arange`` never hit the cache; and a float or bool binding
+    silently produced a unique key instead of failing."""
+
+    OPTS = CompilerOptions()
+
+    def _key(self, bindings):
+        return cache_key(SPEC.source, "MAIN", bindings, self.OPTS)
+
+    def test_numpy_int_hashes_like_python_int(self):
+        import numpy as np
+        assert self._key({"N": np.int64(512)}) == self._key({"N": 512})
+        assert self._key({"N": np.int32(512)}) == self._key({"N": 512})
+
+    def test_integral_float_hashes_like_int(self):
+        import numpy as np
+        assert self._key({"N": 512.0}) == self._key({"N": 512})
+        assert self._key({"N": np.float64(512.0)}) == \
+            self._key({"N": 512})
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(TypeError, match="not an integral value"):
+            self._key({"N": 512.5})
+
+    def test_numpy_non_integral_rejected(self):
+        import numpy as np
+        with pytest.raises(TypeError, match="not an integral value"):
+            self._key({"N": np.float32(12.25)})
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="bool"):
+            self._key({"N": True})
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError, match="must be integers"):
+            self._key({"N": "512"})
+        with pytest.raises(TypeError, match="must be integers"):
+            self._key({"N": [16]})
+
+    def test_numpy_bindings_share_cache_entries(self):
+        import numpy as np
+        cache = PlanCache()
+        a = _compile(cache, bindings={"N": np.int64(16)})
+        b = _compile(cache, bindings={"N": 16})
+        assert a is b
+        assert cache.stats.hits == 1

@@ -140,3 +140,100 @@ class TestMachineFingerprintKeying:
                             CompilerOptions())
         assert key == cache_key(SPEC.source, "MAIN", {"N": 16},
                                 CompilerOptions())
+
+
+class TestBoundedStore:
+    """The on-disk store is capped: ``max_entries`` + LRU-by-mtime
+    pruning on ``put``, plus the init-time ``*.tmp`` orphan sweep.
+    Regression for the unbounded-growth bug: every distinct binding
+    used to add a file forever, so long-lived experiment sweeps filled
+    the disk."""
+
+    def _fill(self, cache, count, start=0):
+        for i in range(start, start + count):
+            _compile(cache, bindings={"N": 16 + 4 * i})
+
+    def test_put_prunes_beyond_max_entries(self, tmp_path):
+        cache = PersistentPlanCache(tmp_path, max_entries=3)
+        self._fill(cache, 5)
+        assert len(cache) == 3
+        assert cache.stats.pruned == 2
+
+    def test_prune_is_lru_by_recency_of_use(self, tmp_path):
+        import os
+        import time
+        cache = PersistentPlanCache(tmp_path, max_entries=2)
+        _compile(cache, bindings={"N": 16})
+        _compile(cache, bindings={"N": 20})
+        # age both entries, then *use* N=16 so it becomes the newer one
+        for f in tmp_path.glob("*.json"):
+            old = time.time() - 100
+            os.utime(f, (old, old))
+        _compile(cache, bindings={"N": 16})   # hit refreshes mtime
+        _compile(cache, bindings={"N": 24})   # prunes exactly one
+        assert len(cache) == 2
+        # N=16 survived (it was just used); N=20 was pruned
+        fresh = PersistentPlanCache(tmp_path, max_entries=2)
+        _compile(fresh, bindings={"N": 16})
+        _compile(fresh, bindings={"N": 20})
+        assert fresh.stats.hits == 1
+        assert fresh.stats.misses == 1
+
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            PersistentPlanCache(tmp_path, max_entries=0)
+
+    def test_init_sweeps_stale_tmp_litter(self, tmp_path):
+        import os
+        import time
+        stale = tmp_path / "deadwriter123.tmp"
+        stale.write_text("partial")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "livewriter456.tmp"
+        fresh.write_text("in flight")
+        cache = PersistentPlanCache(tmp_path)
+        assert not stale.exists(), "orphaned tmp file not swept"
+        assert fresh.exists(), "live writer's tmp file must survive"
+        assert cache.stats.tmp_swept == 1
+
+    def test_stats_surface_prune_and_sweep_counts(self, tmp_path):
+        import os
+        import time
+        stale = tmp_path / "x.tmp"
+        stale.write_text("junk")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        cache = PersistentPlanCache(tmp_path, max_entries=1)
+        self._fill(cache, 3)
+        stats = cache.stats.as_dict()
+        assert stats["pruned"] == 2.0
+        assert stats["tmp_swept"] == 1.0
+
+    def test_concurrent_writers_respect_the_cap(self, tmp_path):
+        """Multi-process stress: several writers filling one capped
+        store concurrently must converge to <= max_entries files and
+        zero tmp litter, with every surviving entry readable."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        procs = [ctx.Process(target=_stress_writer,
+                             args=(str(tmp_path), rank))
+                 for rank in range(3)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(120)
+            assert p.exitcode == 0
+        assert len(list(tmp_path.glob("*.json"))) <= 4
+        assert not list(tmp_path.glob("*.tmp"))
+        reader = PersistentPlanCache(tmp_path, max_entries=4)
+        for f in tmp_path.glob("*.json"):
+            from repro.plan.serialize import program_from_json
+            program_from_json(f.read_text())  # must parse cleanly
+
+
+def _stress_writer(path: str, rank: int) -> None:
+    cache = PersistentPlanCache(path, max_entries=4)
+    for i in range(6):
+        _compile(cache, bindings={"N": 16 + 4 * ((rank + i) % 6)})

@@ -330,3 +330,46 @@ class TestCollectorErrors:
     def test_profile_off_by_default(self):
         result = run_kernel("nine_point", bindings={"N": 16})
         assert result.profile is None
+
+
+class TestCommFreeValidation:
+    """Regression: a plan that models zero seconds (nothing to
+    communicate or charge) used to divide by ``sum_modelled == 0`` in
+    the validation summary.  The scale and error statistics must be
+    reported as absent — ``None`` in the document, ``n/a`` in the text
+    report — never as a crash or a bogus 0.0."""
+
+    def _comm_free(self):
+        from repro.machine.cost_model import CostModel
+        machine = Machine(
+            grid=(1, 1), keep_message_log=True,
+            cost_model=CostModel(flop=0.0, copy_elem=0.0, mem_load=0.0,
+                                 cached_load=0.0, store=0.0,
+                                 loop_overhead=0.0))
+        return run_kernel("five_point", bindings={"N": 12}, level="O4",
+                          machine=machine, profile=True)
+
+    def test_scale_and_mape_absent(self):
+        val = self._comm_free().profile.validation
+        assert val["scale_wall_per_modelled"] is None
+        assert val["mape_pct"] is None
+        assert val["rows"], "wall-clock rows should still be recorded"
+
+    def test_text_report_prints_na(self):
+        from repro.analysis.report import describe_profile
+        text = describe_profile(self._comm_free().profile)
+        assert "n/a (no modelled time)" in text
+        assert "weighted abs error" not in text
+
+    def test_json_round_trip_preserves_none(self):
+        profile = self._comm_free().profile
+        revived = profile_from_json(profile_to_json(profile))
+        assert revived.validation["scale_wall_per_modelled"] is None
+        assert revived.validation["mape_pct"] is None
+
+    def test_modelled_time_keeps_statistics(self):
+        # the normal path still produces a positive scale (guards the
+        # fix from over-reaching)
+        val = profiled().profile.validation
+        assert val["scale_wall_per_modelled"] > 0.0
+        assert val["mape_pct"] >= 0.0

@@ -135,6 +135,30 @@ class TestWorkerMapping:
         with pytest.raises(ExecutionError, match="worker"):
             _run("five_point", workers=0)
 
+    @pytest.mark.parametrize("bad", [0, -1, -64])
+    def test_invalid_worker_counts_raise_usage_error(self, bad):
+        """Regression: ``workers=0`` (and negatives) used to slip past
+        validation and die deep in the pool machinery; now the backend
+        rejects them at entry with a named error, before any worker
+        process or shared-memory segment is created."""
+        from repro.errors import UsageError
+        with pytest.raises(UsageError, match=">= 1 worker"):
+            _run("five_point", workers=bad)
+
+    @pytest.mark.parametrize("bad", [2.0, "2", True])
+    def test_non_int_worker_counts_raise_usage_error(self, bad):
+        from repro.errors import UsageError
+        with pytest.raises(UsageError, match="must be an int"):
+            _run("five_point", workers=bad)
+
+    def test_huge_worker_count_is_capped_not_fatal(self):
+        res, _ = _run("five_point", workers=10_000)
+        ref = run_kernel("five_point", bindings={"N": 12}, level="O2",
+                         machine=Machine(grid=(2, 2)))
+        np.testing.assert_array_equal(ref.arrays["DST"],
+                                      res.arrays["DST"])
+        assert ref.report.summary() == res.report.summary()
+
 
 class TestMeasuredProfile:
     def test_worker_tracks_attached(self):
