@@ -3,8 +3,11 @@
 Measures (1) real execution wall-clock of the 9-point 512x512 kernel
 under both backends, (2) cold/warm compile latency through the plan
 cache, and (3) the communication-profile matrix totals of ``nine_point``
-at every optimization level; writes ``BENCH_exec.json``,
-``BENCH_compile.json``, and ``PROFILE_smoke.json``, and fails if a
+at every optimization level, plus (4) an instrumented compiled-backend
+run capturing cache hit rates, JIT materialization time, and per-nest
+native/fallback counts; writes ``BENCH_exec.json``,
+``BENCH_compile.json``, ``PROFILE_smoke.json``, and
+``BENCH_metrics.json``, and fails if a
 gated metric regresses >20% against the recorded baseline
 (``benchmarks/baselines/bench_smoke_baseline.json``) or if the
 message-count monotonicity invariant (O0 >= O1 >= ... >= O4 — each
@@ -178,6 +181,65 @@ def bench_persistent(kernel: str = "box27_3d", n: int = 64,
             "persistent_warm_speedup": cold_ms / warm_ms}
 
 
+def bench_metrics(kernel: str = "nine_point", n: int = 256,
+                  grid: tuple[int, ...] = (4, 4)) -> dict:
+    """One instrumented compiled-backend run: cache hit rates, JIT
+    materialization time, per-nest native/fallback counts.
+
+    Published as ``BENCH_metrics.json`` so CI archives the observability
+    surface itself — a run where the kernel cache stops hitting or
+    nests silently fall back to slabs shows up in the artifact diff
+    even while the wall-clock gates still pass.
+    """
+    from repro.codegen import cache as kcache
+    from repro.codegen import codegen_options, numba_available
+    from repro.compiler import PlanCache, compile_hpf
+    from repro.kernels import KERNELS
+    from repro.machine import Machine
+    from repro.obs import metrics as obs_metrics
+
+    spec = KERNELS[kernel]
+    plan_cache = PlanCache()
+    kcache.clear_modules()
+    # numba-or-python (not "auto"): always run generated kernels so the
+    # JIT and kernel-cache series exist even on numba-less runners
+    jit = "numba" if numba_available() else "python"
+    with obs_metrics.use_registry() as registry, \
+            codegen_options(jit=jit):
+        for _ in range(3):  # repeat compiles: exercises the plan cache
+            compiled = compile_hpf(spec.source, bindings={"N": n},
+                                   level="O4",
+                                   outputs=set(spec.outputs),
+                                   cache=plan_cache)
+        for _ in range(2):  # repeat runs: exercises the kernel cache
+            compiled.run(Machine(grid=grid, keep_message_log=False),
+                         iterations=1, backend="compiled")
+
+    def series(name: str) -> dict[str, float]:
+        metric = registry.get(name)
+        if metric is None:
+            return {}
+        from repro.obs.metrics import format_labels
+        return {format_labels(k) or "(total)": v
+                for k, v in metric.samples()}
+
+    jit = registry.get("repro_jit_materialize_seconds")
+    jit_seconds = sum(v["sum"] for _, v in jit.samples()) if jit else 0.0
+    nests = series("repro_codegen_nests_total")
+    return {
+        "kernel": kernel, "n": n, "grid": list(grid),
+        "plan_cache": plan_cache.stats.snapshot(),
+        "kernel_memory_cache": kcache.MEMORY_STATS.snapshot(),
+        "cache_events": series("repro_cache_events_total"),
+        "jit_materialize_seconds": jit_seconds,
+        "nests_native": sum(v for k, v in nests.items()
+                            if 'status="native"' in k),
+        "nests_fallback": sum(v for k, v in nests.items()
+                              if 'status="fallback"' in k),
+        "nest_counts": nests,
+    }
+
+
 #: optimization ladder for the profile monotonicity gate
 LEVELS = ("O0", "O1", "O2", "O3", "O4")
 
@@ -244,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
     compile_res = bench_compile()
     persistent_res = bench_persistent()
     profile_res = bench_profile()
+    metrics_res = bench_metrics()
     out_dir = Path(args.out_dir)
     (out_dir / "BENCH_exec.json").write_text(
         json.dumps(exec_res, indent=2) + "\n")
@@ -252,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
         json.dumps(compile_res, indent=2) + "\n")
     (out_dir / "PROFILE_smoke.json").write_text(
         json.dumps(profile_res, indent=2) + "\n")
+    (out_dir / "BENCH_metrics.json").write_text(
+        json.dumps(metrics_res, indent=2) + "\n")
     metrics = gated_metrics(exec_res, compile_res, persistent_res)
     print(f"exec: perpe {exec_res['perpe_ms']:.1f} ms, "
           f"vectorized {exec_res['vectorized_ms']:.1f} ms "
@@ -273,6 +338,13 @@ def main(argv: list[str] | None = None) -> int:
     ladder = " >= ".join(
         f"{lv}:{profile_res['levels'][lv]['messages']}" for lv in LEVELS)
     print(f"profile: {profile_res['kernel']} messages {ladder}")
+    print(f"metrics: plan-cache hit rate "
+          f"{metrics_res['plan_cache']['hit_rate']:.2f}, kernel-cache "
+          f"hit rate "
+          f"{metrics_res['kernel_memory_cache']['hit_rate']:.2f}, jit "
+          f"{metrics_res['jit_materialize_seconds'] * 1e3:.1f} ms, "
+          f"nests {metrics_res['nests_native']:.0f} native / "
+          f"{metrics_res['nests_fallback']:.0f} fallback")
     mono_errors = check_monotonic(profile_res)
     for err in mono_errors:
         print(f"gate profile.monotonic: {err} VIOLATION",

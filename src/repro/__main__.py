@@ -19,7 +19,16 @@ Commands
 ``plan``      compile a named kernel (or file) and print its plan IR —
               the textual SPMD program by default, the versioned JSON
               document with ``--json``; ``-o`` writes to a file.
+``metrics``   compile and execute a named kernel (or file) with the
+              metrics registry live, printing a readable dump of every
+              series; ``--json`` emits the versioned JSON document,
+              ``--prom`` the Prometheus text exposition, ``-o`` writes
+              a file (``.prom`` suffix selects the exposition format),
+              and ``--ledger PATH`` appends the run to a JSONL ledger.
 ``experiments``  regenerate the paper's evaluation exhibits.
+
+``run`` and ``profile`` accept ``--metrics FILE`` to capture the same
+registry during a normal run, and ``run`` accepts ``--ledger PATH``.
 
 Every compiling command takes ``--cache-dir PATH`` to memoize plans in
 an on-disk :class:`~repro.compiler.cache.PersistentPlanCache` that
@@ -145,6 +154,61 @@ def _resolve_source(name_or_file: str, args: argparse.Namespace):
             outputs or set(spec.outputs))
 
 
+def _metrics_scope(args: argparse.Namespace):
+    """A live registry scope when any metrics output was requested,
+    else the null default (zero overhead)."""
+    from contextlib import nullcontext
+
+    from repro.obs import metrics as obs_metrics
+    if getattr(args, "metrics", None) or getattr(args, "ledger", None):
+        return obs_metrics.use_registry(obs_metrics.MetricsRegistry())
+    return nullcontext()
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Write ``registry`` to ``path``: Prometheus text exposition for a
+    ``.prom``/``.txt`` suffix, the versioned JSON document otherwise."""
+    from repro.obs import write_metrics, write_prometheus
+    if path.endswith((".prom", ".txt")):
+        write_prometheus(registry, path)
+    else:
+        write_metrics(registry, path)
+    print(f"wrote metrics to {path}", file=sys.stderr)
+
+
+def _plan_key(compiled) -> str:
+    """Machine-independent identity of the executed plan: the sha256 of
+    its canonical JSON serialization."""
+    import hashlib
+
+    from repro.plan import plan_to_json
+    return hashlib.sha256(
+        plan_to_json(compiled.plan).encode()).hexdigest()
+
+
+def _ledger_append(args: argparse.Namespace, registry, compiled,
+                   machine: Machine, backend: str) -> None:
+    from repro.codegen.options import current_options
+    from repro.obs import RunLedger
+    metrics_doc = registry.to_dict() if registry is not None else None
+    # re-enter the codegen override scope so recorded factors match
+    # what the run actually executed under (--tile/--unroll/--jit)
+    with _codegen_context(args):
+        opts = current_options()
+    ledger = RunLedger(args.ledger)
+    ledger.append(
+        machine=machine,
+        plan_key=_plan_key(compiled),
+        backend=backend,
+        factors={"level": args.level, "tile": opts.tile,
+                 "unroll": opts.unroll, "jit": opts.jit,
+                 "codegen": opts.factor_fingerprint()},
+        metrics=metrics_doc,
+        extra={"grid": "x".join(map(str, machine.grid)),
+               "iterations": getattr(args, "iters", 1)})
+    print(f"appended run to ledger {args.ledger}", file=sys.stderr)
+
+
 def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache", action="store_true",
                    help="memoize compilation in the process-wide plan "
@@ -232,27 +296,34 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     source = open(args.file).read()
-    compiled = compile_hpf(source, bindings=_parse_bindings(args.bind),
-                           level=args.level,
-                           outputs=set(args.output) or None,
-                           cse=args.cse, plan_passes=args.plan_passes,
-                           cache=_resolve_cache(args))
-    from repro.machine.presets import by_name
-    machine = Machine(grid=_parse_grid(args.grid),
-                      cost_model=by_name(args.machine),
-                      memory_per_pe=args.memory_mb * 1024 * 1024
-                      if args.memory_mb else None)
-    rng = np.random.default_rng(args.seed)
-    inputs = {}
-    for name, decl in compiled.plan.arrays.items():
-        if name in compiled.plan.entry_arrays:
-            inputs[name] = rng.standard_normal(decl.shape).astype(
-                decl.dtype)
-    with _codegen_context(args):
-        result = compiled.run(machine, inputs=inputs,
-                              iterations=args.iters,
-                              backend=args.backend,
-                              workers=args.workers)
+    with _metrics_scope(args) as registry:
+        compiled = compile_hpf(source,
+                               bindings=_parse_bindings(args.bind),
+                               level=args.level,
+                               outputs=set(args.output) or None,
+                               cse=args.cse,
+                               plan_passes=args.plan_passes,
+                               cache=_resolve_cache(args))
+        from repro.machine.presets import by_name
+        machine = Machine(grid=_parse_grid(args.grid),
+                          cost_model=by_name(args.machine),
+                          memory_per_pe=args.memory_mb * 1024 * 1024
+                          if args.memory_mb else None)
+        rng = np.random.default_rng(args.seed)
+        inputs = {}
+        for name, decl in compiled.plan.arrays.items():
+            if name in compiled.plan.entry_arrays:
+                inputs[name] = rng.standard_normal(decl.shape).astype(
+                    decl.dtype)
+        with _codegen_context(args):
+            result = compiled.run(machine, inputs=inputs,
+                                  iterations=args.iters,
+                                  backend=args.backend,
+                                  workers=args.workers)
+    if args.metrics:
+        _write_metrics(registry, args.metrics)
+    if args.ledger:
+        _ledger_append(args, registry, compiled, machine, args.backend)
     if args.json:
         out = result.summary()
         out["checksums"] = {
@@ -321,25 +392,28 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     # tracer feeds the Chrome trace's compile-passes track
     tracer = Tracer() if args.chrome else None
-    compiled = compile_hpf(source, bindings=bindings, level=level,
-                           outputs=outputs, tracer=tracer,
-                           plan_passes=args.plan_passes,
-                           cache=_resolve_cache(args))
-    from repro.machine.presets import by_name
-    machine = Machine(grid=_parse_grid(args.grid),
-                      cost_model=by_name(args.machine),
-                      keep_message_log=True)
-    rng = np.random.default_rng(args.seed)
-    inputs = {}
-    for name, decl in compiled.plan.arrays.items():
-        if name in compiled.plan.entry_arrays:
-            inputs[name] = rng.standard_normal(decl.shape).astype(
-                decl.dtype)
-    with _codegen_context(args):
-        result = compiled.run(machine, inputs=inputs,
-                              iterations=args.iters,
-                              backend=args.backend, profile=True,
-                              workers=args.workers)
+    with _metrics_scope(args) as registry:
+        compiled = compile_hpf(source, bindings=bindings, level=level,
+                               outputs=outputs, tracer=tracer,
+                               plan_passes=args.plan_passes,
+                               cache=_resolve_cache(args))
+        from repro.machine.presets import by_name
+        machine = Machine(grid=_parse_grid(args.grid),
+                          cost_model=by_name(args.machine),
+                          keep_message_log=True)
+        rng = np.random.default_rng(args.seed)
+        inputs = {}
+        for name, decl in compiled.plan.arrays.items():
+            if name in compiled.plan.entry_arrays:
+                inputs[name] = rng.standard_normal(decl.shape).astype(
+                    decl.dtype)
+        with _codegen_context(args):
+            result = compiled.run(machine, inputs=inputs,
+                                  iterations=args.iters,
+                                  backend=args.backend, profile=True,
+                                  workers=args.workers)
+    if args.metrics:
+        _write_metrics(registry, args.metrics)
     profile = result.profile
     assert profile is not None
     profile.kernel = kernel_name
@@ -355,6 +429,47 @@ def cmd_profile(args: argparse.Namespace) -> int:
         sys.stdout.write(profile_to_json(profile))
     else:
         print(describe_profile(profile))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.analysis.report import describe_metrics
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import metrics_to_json, prometheus_text
+
+    try:
+        source, bindings, outputs = _resolve_source(args.kernel, args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    with obs_metrics.use_registry() as registry:
+        compiled = compile_hpf(source, bindings=bindings,
+                               level=args.level, outputs=outputs,
+                               plan_passes=args.plan_passes,
+                               cache=_resolve_cache(args))
+        from repro.machine.presets import by_name
+        machine = Machine(grid=_parse_grid(args.grid),
+                          cost_model=by_name(args.machine))
+        rng = np.random.default_rng(args.seed)
+        inputs = {}
+        for name, decl in compiled.plan.arrays.items():
+            if name in compiled.plan.entry_arrays:
+                inputs[name] = rng.standard_normal(decl.shape).astype(
+                    decl.dtype)
+        with _codegen_context(args):
+            compiled.run(machine, inputs=inputs,
+                         iterations=args.iters, backend=args.backend,
+                         workers=args.workers)
+    if args.out:
+        _write_metrics(registry, args.out)
+    if args.ledger:
+        _ledger_append(args, registry, compiled, machine, args.backend)
+    if args.json:
+        sys.stdout.write(metrics_to_json(registry))
+    elif args.prom:
+        sys.stdout.write(prometheus_text(registry))
+    elif not args.out:
+        print(describe_metrics(registry))
     return 0
 
 
@@ -446,6 +561,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--machine", default="sp2",
                    help="cost-model preset: sp2 (default), ethernet, "
                         "t3e, modern-node, modern-cluster")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="run with the metrics registry live and write "
+                        "it to FILE (.prom/.txt: Prometheus text "
+                        "exposition; otherwise versioned JSON)")
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="append this run (machine fingerprint, plan "
+                        "key, backend, factors, metrics) to the JSONL "
+                        "run ledger at PATH")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -530,7 +653,54 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="print profile.json to stdout instead of the "
                         "text report")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="run with the metrics registry live and write "
+                        "it to FILE (.prom/.txt: Prometheus text "
+                        "exposition; otherwise versioned JSON)")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "metrics",
+        help="compile+run a kernel with the metrics registry live")
+    p.add_argument("kernel",
+                   help="kernel name (e.g. purdue9, five_point, "
+                        "box27_3d) or an HPF source file")
+    p.add_argument("--bind", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="bind a size parameter (default N=64 for named "
+                        "kernels)")
+    p.add_argument("--level", default="O4",
+                   help="optimization level O0..O4 (default O4)")
+    p.add_argument("--output", action="append", default=[],
+                   help="array live out of the routine (repeatable)")
+    p.add_argument("--backend", default="perpe", choices=backends,
+                   help="execution backend to instrument")
+    p.add_argument("--workers", type=_workers_arg, default=None,
+                   help="worker-process count for --backend parallel "
+                        "(default: cpu count, capped at the PE count)")
+    _add_codegen_flags(p)
+    _add_cache_flags(p)
+    p.add_argument("--grid", default="2x2",
+                   help="processor grid, e.g. 2x2 (default)")
+    p.add_argument("--iters", type=int, default=1,
+                   help="repeat the program this many times")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random seed for input arrays")
+    p.add_argument("--machine", default="sp2",
+                   help="cost-model preset: sp2 (default), ethernet, "
+                        "t3e, modern-node, modern-cluster")
+    p.add_argument("--json", action="store_true",
+                   help="print the versioned metrics JSON document")
+    p.add_argument("--prom", action="store_true",
+                   help="print the Prometheus text exposition")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="write metrics to FILE (.prom/.txt: Prometheus "
+                        "text; otherwise JSON)")
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="append this run (machine fingerprint, plan "
+                        "key, backend, factors, metrics) to the JSONL "
+                        "run ledger at PATH")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser(
         "plan",

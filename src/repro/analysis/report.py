@@ -116,6 +116,38 @@ def describe_profile(profile) -> str:
     return "\n".join(lines)
 
 
+def describe_metrics(registry) -> str:
+    """Human-readable dump of a
+    :class:`repro.obs.metrics.MetricsRegistry`: every metric with its
+    kind, determinism tags, help text, and per-label samples."""
+    from repro.obs.metrics import Histogram, format_labels
+    metrics = registry.metrics()
+    if not metrics:
+        return "no metrics recorded"
+    lines = []
+    for metric in metrics:
+        tags = [metric.kind]
+        tags.append("deterministic" if metric.deterministic
+                    else "wall-clock")
+        if metric.invariant:
+            tags.append("backend-invariant")
+        lines.append(f"{metric.name} [{', '.join(tags)}]")
+        if metric.help:
+            lines.append(f"  {metric.help}")
+        for key, value in metric.samples():
+            label = format_labels(key) or "(no labels)"
+            if isinstance(metric, Histogram):
+                mean = (value["sum"] / value["count"]
+                        if value["count"] else 0.0)
+                lines.append(
+                    f"  {label}: count={value['count']} "
+                    f"sum={value['sum']:.6g} mean={mean:.3g}")
+            else:
+                lines.append(f"  {label}: {value:g}")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
 def describe_result(result: ExecutionResult) -> str:
     """Cost summary of one execution."""
     r = result.report

@@ -14,8 +14,10 @@ generated source or the data layout it indexes.  Two layers:
   so lowering survives the interpreter.  Sources are mode-independent;
   a disk hit still JITs in-process.
 
-Both layers share the :class:`~repro.compiler.cache.CacheStats`
-counters.
+Both layers share the :class:`~repro.obs.metrics.CacheStats`
+counters (the unified snapshot schema every cache in the system
+exposes), publishing hit/miss/eviction events to the metrics registry
+when one is installed.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from pathlib import Path
 
 from repro.codegen.jit import KernelModule
 from repro.codegen.lower import CODEGEN_VERSION
-from repro.compiler.cache import CacheStats
+from repro.obs.metrics import CacheStats
 
 #: in-process cap: modules are small (a few functions), but numba
 #: dispatchers hold compiled machine code worth bounding
@@ -39,7 +41,7 @@ _LOCK = threading.Lock()
 _MODULES: "OrderedDict[tuple[str, str], KernelModule]" = OrderedDict()
 
 #: process-wide counters of the in-process kernel-module cache
-MEMORY_STATS = CacheStats()
+MEMORY_STATS = CacheStats(label="kernel-memory")
 
 
 def kernel_key(plan, machine, options) -> str:
@@ -57,10 +59,10 @@ def get_module(key: str, mode: str) -> KernelModule | None:
     with _LOCK:
         module = _MODULES.get((key, mode))
         if module is None:
-            MEMORY_STATS.misses += 1
+            MEMORY_STATS.record("miss")
             return None
         _MODULES.move_to_end((key, mode))
-        MEMORY_STATS.hits += 1
+        MEMORY_STATS.record("hit")
         return module
 
 
@@ -70,7 +72,7 @@ def put_module(key: str, mode: str, module: KernelModule) -> None:
         _MODULES.move_to_end((key, mode))
         while len(_MODULES) > _MAX_MODULES:
             _MODULES.popitem(last=False)
-            MEMORY_STATS.evictions += 1
+            MEMORY_STATS.record("eviction")
 
 
 def clear_modules() -> int:
@@ -78,7 +80,7 @@ def clear_modules() -> int:
     with _LOCK:
         n = len(_MODULES)
         _MODULES.clear()
-        MEMORY_STATS.invalidations += n
+        MEMORY_STATS.record("invalidation", n)
         return n
 
 
@@ -88,7 +90,7 @@ class KernelDiskCache:
     def __init__(self, path: "str | os.PathLike[str]") -> None:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
-        self.stats = CacheStats()
+        self.stats = CacheStats(label="kernel-disk")
 
     def _file(self, key: str) -> Path:
         return self.path / f"{key}.py"
@@ -100,9 +102,9 @@ class KernelDiskCache:
         try:
             text = self._file(key).read_text()
         except OSError:
-            self.stats.misses += 1
+            self.stats.record("miss")
             return None
-        self.stats.hits += 1
+        self.stats.record("hit")
         return text
 
     def put_source(self, key: str, text: str) -> None:

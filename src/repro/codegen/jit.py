@@ -70,7 +70,18 @@ def materialize(source: str, mode: str) -> KernelModule:
 
     ``mode`` is ``"numba"`` or ``"python"``; the caller resolves
     ``"auto"``/``"off"`` before getting here.
+
+    When a live metrics registry is installed, records the
+    materialization wall time (``repro_jit_materialize_seconds``, by
+    mode) and the per-nest native-vs-fallback counts
+    (``repro_codegen_nests_total``, fallbacks labeled by reason).
     """
+    from time import perf_counter
+
+    from repro.obs import metrics as _metrics
+
+    registry = _metrics.get_registry()
+    t0 = perf_counter() if registry.enabled else 0.0
     namespace: dict = {"np": np}
     exec(compile(source, "<repro-codegen>", "exec"), namespace)
     nests = manifest_nests(namespace["MANIFEST"])
@@ -86,4 +97,22 @@ def materialize(source: str, mode: str) -> KernelModule:
             if decorate is not None:
                 fn = decorate(fn)
         entries.append(KernelEntry(nest=nest, fn=fn))
+    if registry.enabled:
+        registry.histogram(
+            "repro_jit_materialize_seconds",
+            help="Wall-clock seconds materializing one generated "
+                 "kernel module (exec + decoration; numba compiles "
+                 "lazily per call signature).",
+            deterministic=False,
+        ).observe(perf_counter() - t0, mode=mode)
+        counts = registry.counter(
+            "repro_codegen_nests_total",
+            help="Lowered loop nests by status: native kernel vs "
+                 "per-nest slab fallback (labeled by reason).")
+        for nest in nests:
+            if nest.fn_name is not None:
+                counts.inc(status="native")
+            else:
+                counts.inc(status="fallback",
+                           reason=nest.fallback_reason or "unknown")
     return KernelModule(entries=tuple(entries), source=source, jit=mode)

@@ -24,36 +24,15 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro.compiler.options import CompilerOptions
+# CacheStats moved to the obs layer (PR 8) so every cache — plan
+# memory/disk, kernel memory/disk — shares one snapshot schema and
+# publishes events to the metrics registry; re-exported here for the
+# historic import path.
+from repro.obs.metrics import CacheStats  # noqa: F401
 from repro.plan.ops import CompiledProgram
-
-
-@dataclass
-class CacheStats:
-    """Counters of one :class:`PlanCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
-    evictions: int = 0
-    pruned: int = 0
-    tmp_swept: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        return {"hits": float(self.hits), "misses": float(self.misses),
-                "invalidations": float(self.invalidations),
-                "evictions": float(self.evictions),
-                "pruned": float(self.pruned),
-                "tmp_swept": float(self.tmp_swept),
-                "hit_rate": self.hit_rate}
 
 
 def canonical_bindings(bindings: "dict[str, int] | None") -> dict[str, int]:
@@ -131,7 +110,7 @@ class PlanCache:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self.stats = CacheStats()
+        self.stats = CacheStats(label="plan-memory")
         self._entries: "OrderedDict[str, CompiledProgram]" = OrderedDict()
         self._lock = threading.RLock()
 
@@ -153,10 +132,10 @@ class PlanCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.stats.misses += 1
+                self.stats.record("miss")
                 return None
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.record("hit")
             return entry
 
     def put(self, key: str, program: CompiledProgram) -> None:
@@ -165,7 +144,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.record("eviction")
 
     def invalidate(self, key: str | None = None) -> int:
         """Drop one entry (or all, when ``key`` is ``None``).
@@ -180,7 +159,7 @@ class PlanCache:
             else:
                 dropped = 1 if self._entries.pop(key, None) is not None \
                     else 0
-            self.stats.invalidations += dropped
+            self.stats.record("invalidation", dropped)
             return dropped
 
 
@@ -229,7 +208,7 @@ class PersistentPlanCache:
             machine_fingerprint = machine.fingerprint()
         self.machine_fingerprint = machine_fingerprint
         self.max_entries = max_entries
-        self.stats = CacheStats()
+        self.stats = CacheStats(label="plan-disk")
         self._sweep_tmp()
 
     def _sweep_tmp(self) -> int:
@@ -244,7 +223,7 @@ class PersistentPlanCache:
                     swept += 1
             except OSError:
                 pass  # raced with the owner or another sweeper
-        self.stats.tmp_swept += swept
+        self.stats.record("tmp_swept", swept)
         return swept
 
     def _prune(self) -> int:
@@ -270,7 +249,7 @@ class PersistentPlanCache:
                     pruned += 1
                 except OSError:
                     pass
-        self.stats.pruned += pruned
+        self.stats.record("pruned", pruned)
         return pruned
 
     def key_for(self, source: str, name: str,
@@ -310,9 +289,9 @@ class PersistentPlanCache:
                 os.utime(path)
             except OSError:
                 pass
-            self.stats.hits += 1
+            self.stats.record("hit")
             return program
-        self.stats.misses += 1
+        self.stats.record("miss")
         return None
 
     def put(self, key: str, program: CompiledProgram) -> None:
@@ -343,7 +322,7 @@ class PersistentPlanCache:
                 dropped += 1
             except OSError:
                 pass
-        self.stats.invalidations += dropped
+        self.stats.record("invalidation", dropped)
         return dropped
 
 

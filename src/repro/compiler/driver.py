@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import copy
+from contextlib import contextmanager
+from time import perf_counter
 
 from repro.compiler.codegen import CodeGenerator
 from repro.compiler.options import CompilerOptions, OptLevel
@@ -107,11 +109,21 @@ class HpfCompiler:
     def _compile_uncached(self, source: "str | Program",
                           bindings: dict[str, int] | None,
                           name: str, tracer) -> CompiledProgram:
+        from repro.obs import metrics as _metrics
         from repro.obs.tracer import coalesce
         tracer = coalesce(tracer)
+        registry = _metrics.get_registry()
+        phase_hist = None
+        if registry.enabled:
+            phase_hist = registry.histogram(
+                "repro_compile_phase_seconds",
+                help="Wall-clock seconds per compiler driver phase.",
+                deterministic=False)
+        t_total = perf_counter() if phase_hist is not None else 0.0
         with tracer.span("compile", kind="compile",
                          level=self.options.level.name) as span:
-            with tracer.span("parse", kind="frontend"):
+            with tracer.span("parse", kind="frontend"), \
+                    _timed(phase_hist, "parse"):
                 if isinstance(source, Program):
                     program = copy.deepcopy(source)
                 else:
@@ -119,23 +131,28 @@ class HpfCompiler:
                                             name=name)
             trace = PassTrace() if self.options.keep_trace else None
             passes = self.build_passes()
-            PassManager(passes, trace, tracer=tracer).run(program)
-            with tracer.span("verify-coverage", kind="analysis"):
+            with _timed(phase_hist, "passes"):
+                PassManager(passes, trace, tracer=tracer).run(program)
+            with tracer.span("verify-coverage", kind="analysis"), \
+                    _timed(phase_hist, "verify-coverage"):
                 self._verify_coverage(program)
-            with tracer.span("codegen", kind="codegen") as cg_span:
+            with tracer.span("codegen", kind="codegen") as cg_span, \
+                    _timed(phase_hist, "codegen"):
                 gen = CodeGenerator(program, self.options)
                 plan = gen.generate()
                 cg_span.gauge("statements_fused", gen.fused_statements)
             if self.options.verify_plan:
                 from repro.plan import assert_plan_valid
-                with tracer.span("verify-plan", kind="analysis"):
+                with tracer.span("verify-plan", kind="analysis"), \
+                        _timed(phase_hist, "verify-plan"):
                     assert_plan_valid(plan, phase="codegen")
             plan_pass_stats = None
             if self.options.plan_passes:
                 from repro.plan import PlanPassManager
                 manager = PlanPassManager(
                     verify=self.options.verify_plan, tracer=tracer)
-                plan, plan_pass_stats = manager.run(plan)
+                with _timed(phase_hist, "plan-passes"):
+                    plan, plan_pass_stats = manager.run(plan)
             report = self._build_report(program, plan, passes, gen)
             if plan_pass_stats is not None:
                 report.pass_stats["plan-passes"] = plan_pass_stats
@@ -146,6 +163,18 @@ class HpfCompiler:
                 span.gauge("loop_nests", report.loop_nests)
                 span.gauge("temporaries", report.temporaries)
                 span.gauge("copies_inserted", report.copies_inserted)
+        if registry.enabled:
+            phase_hist.observe(perf_counter() - t_total, phase="total")
+            registry.counter(
+                "repro_compiles_total",
+                help="Completed (uncached) compilations by level.",
+            ).inc(level=self.options.level.name)
+            ops = registry.counter(
+                "repro_compile_plan_ops_total",
+                help="Plan ops emitted by completed compilations.")
+            ops.inc(report.overlap_shifts, kind="overlap_shift")
+            ops.inc(report.full_shifts, kind="full_shift")
+            ops.inc(report.loop_nests, kind="loop_nest")
         return CompiledProgram(plan=plan, report=report,
                                source_name=program.name, trace=trace)
 
@@ -182,6 +211,19 @@ class HpfCompiler:
             if isinstance(p, OffsetArrayPass):
                 report.copies_inserted = p.stats.copies_inserted
         return report
+
+
+@contextmanager
+def _timed(hist, phase: str):
+    """Observe a phase's wall time on ``hist`` (no-op when ``None``)."""
+    if hist is None:
+        yield
+        return
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        hist.observe(perf_counter() - t0, phase=phase)
 
 
 def _prod(shape: tuple[int, ...]) -> int:

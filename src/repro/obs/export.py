@@ -1,6 +1,6 @@
-"""Exporters for communication profiles and traces.
+"""Exporters for communication profiles, traces, and metrics.
 
-Two machine-readable formats leave the repo from here:
+Three machine-readable formats leave the repo from here:
 
 * **Chrome Trace Event JSON** (:func:`chrome_trace`), loadable in
   Perfetto / ``chrome://tracing``: one track (thread) per PE carrying the
@@ -8,19 +8,32 @@ Two machine-readable formats leave the repo from here:
   with the compiler's wall-clock pass spans when a
   :class:`~repro.obs.tracer.Tracer` is supplied.  Modelled time and wall
   time run on different clocks, so they live in different ``pid``
-  tracks rather than sharing a timeline.
+  tracks rather than sharing a timeline.  Export degrades gracefully:
+  an op-less profile (zero iterations, comm-free plans) yields valid
+  metadata-only tracks, missing timeline rows or worker-event fields
+  are tolerated, and durations are clamped non-negative.
 * **profile.json** (:func:`profile_to_json` / :func:`profile_from_json`),
   the versioned serialization of a :class:`~repro.obs.profile.CommProfile`
   (header :data:`PROFILE_SCHEMA`).  ``from(to(p))`` is an exact
   round-trip: profiles contain only ints, floats, strings, lists, and
   dicts, and ``json`` preserves all of them losslessly.
+* **metrics** (:func:`metrics_to_json` / :func:`metrics_from_json` and
+  :func:`prometheus_text`), the versioned JSON document of a
+  :class:`~repro.obs.metrics.MetricsRegistry` and its Prometheus text
+  exposition (``# HELP`` / ``# TYPE`` / sample lines, histogram
+  ``_bucket``/``_sum``/``_count`` expansion with cumulative ``le``
+  buckets).
 """
 
 from __future__ import annotations
 
 import json
+import math
 
 from repro.machine.topology import ProcessorGrid
+from repro.obs.metrics import (
+    Histogram, MetricsRegistry, format_labels, registry_from_dict,
+)
 from repro.obs.profile import CommProfile
 from repro.obs.tracer import Tracer
 
@@ -59,17 +72,23 @@ def chrome_trace(profile: CommProfile,
                    "tid": 0,
                    "args": {"name": f"execution (modelled time, "
                                     f"{profile.backend} backend)"}})
+    timeline = profile.timeline or []
     for pe in range(profile.npes):
         coords = "x".join(str(c) for c in grid.coords(pe))
         events.append({"name": "thread_name", "ph": "M", "pid": EXEC_PID,
                        "tid": pe, "args": {"name": f"PE {pe} ({coords})"}})
-        for seg in profile.timeline[pe]:
+        # a deserialized or op-less profile may carry fewer timeline
+        # rows than PEs; missing rows are empty tracks, not errors
+        for seg in (timeline[pe] if pe < len(timeline) else []):
             events.append({
-                "name": seg["name"], "cat": seg["phase"], "ph": "X",
+                "name": seg.get("name", "?"),
+                "cat": seg.get("phase", "?"), "ph": "X",
                 "pid": EXEC_PID, "tid": pe,
-                "ts": _sec_to_us(seg["t0"]),
-                "dur": _sec_to_us(seg["t1"] - seg["t0"]),
-                "args": {"phase": seg["phase"], "op": seg["op"]},
+                "ts": _sec_to_us(seg.get("t0", 0.0)),
+                "dur": _sec_to_us(max(0.0, seg.get("t1", 0.0)
+                                      - seg.get("t0", 0.0))),
+                "args": {"phase": seg.get("phase", "?"),
+                         "op": seg.get("op", -1)},
             })
 
     if profile.worker_tracks:
@@ -77,19 +96,21 @@ def chrome_trace(profile: CommProfile,
                        "pid": WORKERS_PID, "tid": 0,
                        "args": {"name": "workers (measured wall time)"}})
         for track in profile.worker_tracks:
-            wid = track["worker"]
-            pes = ",".join(str(p) for p in track["pes"])
+            wid = track.get("worker", 0)
+            pes = ",".join(str(p) for p in track.get("pes", []))
             events.append({"name": "thread_name", "ph": "M",
                            "pid": WORKERS_PID, "tid": wid,
                            "args": {"name": f"worker {wid} "
                                             f"(PEs {pes})"}})
-            for ev in track["events"]:
+            for ev in track.get("events", []):
                 events.append({
-                    "name": ev["name"], "cat": "worker-wall", "ph": "X",
-                    "pid": WORKERS_PID, "tid": wid,
-                    "ts": _sec_to_us(ev["t0"]),
-                    "dur": _sec_to_us(max(0.0, ev["t1"] - ev["t0"])),
-                    "args": {"op": ev["op"], "depth": ev["depth"]},
+                    "name": ev.get("name", "?"), "cat": "worker-wall",
+                    "ph": "X", "pid": WORKERS_PID, "tid": wid,
+                    "ts": _sec_to_us(ev.get("t0", 0.0)),
+                    "dur": _sec_to_us(max(0.0, ev.get("t1", 0.0)
+                                          - ev.get("t0", 0.0))),
+                    "args": {"op": ev.get("op", -1),
+                             "depth": ev.get("depth", 0)},
                 })
 
     if tracer is not None and tracer.roots:
@@ -108,7 +129,7 @@ def chrome_trace(profile: CommProfile,
                 "name": span.name, "cat": span.kind or "span", "ph": "X",
                 "pid": COMPILE_PID, "tid": 0,
                 "ts": _sec_to_us(span.t_start - t0),
-                "dur": _sec_to_us(span.duration),
+                "dur": _sec_to_us(max(0.0, span.duration)),
                 "args": args,
             })
 
@@ -160,3 +181,100 @@ def write_profile(profile: CommProfile, path: str) -> None:
 def read_profile(path: str) -> CommProfile:
     with open(path) as fh:
         return profile_from_json(fh.read())
+
+
+# ---------------------------------------------------------------------------
+# metrics: versioned JSON + Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def metrics_to_json(registry) -> str:
+    """Serialize a :class:`~repro.obs.metrics.MetricsRegistry` to its
+    versioned JSON document."""
+    return json.dumps(registry.to_dict(), sort_keys=True) + "\n"
+
+
+def metrics_from_json(text: str) -> MetricsRegistry:
+    """Rebuild a registry from a metrics JSON document (exact inverse
+    of :func:`metrics_to_json`)."""
+    return registry_from_dict(json.loads(text))
+
+
+def write_metrics(registry, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(metrics_to_json(registry))
+
+
+def read_metrics(path: str) -> MetricsRegistry:
+    with open(path) as fh:
+        return metrics_from_json(fh.read())
+
+
+def _prom_value(value: float) -> str:
+    """Prometheus sample-value rendering: full float precision,
+    ``+Inf``/``-Inf``/``NaN`` spelled the Prometheus way."""
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _prom_escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_labels(key, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    return format_labels(tuple(key) + tuple(extra))
+
+
+def prometheus_text(registry) -> str:
+    """Prometheus text exposition (format version 0.0.4) of every
+    registered metric.
+
+    Counters and gauges emit one sample line per label set; histograms
+    expand to cumulative ``_bucket{le=...}`` lines plus ``_sum`` and
+    ``_count``.  Non-deterministic (wall-clock) series are annotated
+    with a ``# repro-nondeterministic`` comment line so scrapers and
+    humans can tell the two series classes apart without parsing the
+    JSON export.
+    """
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} "
+                         f"{_prom_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if not metric.deterministic:
+            lines.append(f"# repro-nondeterministic {metric.name}")
+        if isinstance(metric, Histogram):
+            for key, state in metric.samples():
+                cumulative = 0
+                for bound, count in zip(metric.buckets,
+                                        state["counts"]):
+                    cumulative += count
+                    labels = _prom_labels(
+                        key, (("le", _prom_value(bound)),))
+                    lines.append(f"{metric.name}_bucket{labels} "
+                                 f"{cumulative}")
+                cumulative += state["counts"][-1]
+                labels = _prom_labels(key, (("le", "+Inf"),))
+                lines.append(f"{metric.name}_bucket{labels} "
+                             f"{cumulative}")
+                base = format_labels(key)
+                lines.append(f"{metric.name}_sum{base} "
+                             f"{_prom_value(state['sum'])}")
+                lines.append(f"{metric.name}_count{base} "
+                             f"{state['count']}")
+        else:
+            for key, value in metric.samples():
+                lines.append(f"{metric.name}{format_labels(key)} "
+                             f"{_prom_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(registry))

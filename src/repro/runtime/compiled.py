@@ -79,6 +79,8 @@ def _obtain_module(plan, machine, opts, mode: str) -> KernelModule:
 class CompiledExec(VectorizedExec):
     """Vectorized executor with generated kernels for compute nests."""
 
+    backend_label = "compiled"
+
     def __init__(self, plan, machine, scalars, hpf_overhead,
                  tracer=None, workers=None) -> None:
         super().__init__(plan, machine, scalars, hpf_overhead,
@@ -124,7 +126,12 @@ class CompiledExec(VectorizedExec):
     def _exec_nest_box(self, op: LoopNestOp, box, pe: int) -> int:
         entry = self._kernels.get(id(op))
         if entry is None:
+            # slab fallback: the inherited evaluator times itself with
+            # kernel="slab" under this backend's label
             return super()._exec_nest_box(op, box, pe)
+        if self._nest_wall is not None:
+            from time import perf_counter
+            t0 = perf_counter()
         args: list = []
         for name in entry.arrays:
             va = self.darray(name)
@@ -139,6 +146,10 @@ class CompiledExec(VectorizedExec):
             args.append(int(hi))
             points *= hi - lo + 1
         entry.fn(*args)
+        if self._nest_wall is not None:
+            self._nest_wall.observe(perf_counter() - t0,
+                                    backend=self.backend_label,
+                                    kernel="native")
         return points
 
 

@@ -60,12 +60,26 @@ _op_label = op_label
 
 
 class _Exec:
+    #: labels the wall-clock nest histogram carries; overridden by
+    #: every registered backend class
+    backend_label = "perpe"
+    nest_kind = "interp"
+
     def __init__(self, plan: Plan, machine: Machine,
                  scalars: Mapping[str, float] | None,
                  hpf_overhead: bool, tracer=None,
                  workers: int | None = None) -> None:
+        from repro.obs import metrics as _metrics
         from repro.obs.tracer import coalesce
         self.tracer = coalesce(tracer)
+        #: wall-clock per-nest histogram handle, or ``None`` when
+        #: metrics are off — the hot path checks one attribute
+        registry = _metrics.get_registry()
+        self._nest_wall = registry.histogram(
+            "repro_nest_wall_seconds",
+            help="Measured wall-clock seconds per compute-nest "
+                 "evaluation, by backend.",
+            deterministic=False) if registry.enabled else None
         #: Requested worker-process count; only the ``parallel`` backend
         #: acts on it, but it is part of the shared constructor contract
         #: so ``execute`` can pass it to any registered backend.
@@ -444,6 +458,9 @@ class _Exec:
 
     def _exec_nest_box(self, op: LoopNestOp,
                        box: list[tuple[int, int]], pe: int) -> int:
+        if self._nest_wall is not None:
+            from time import perf_counter
+            t0 = perf_counter()
         points = 1
         for lo, hi in box:
             points *= hi - lo + 1
@@ -459,6 +476,11 @@ class _Exec:
                 target = dst.padded(pe)[dst_slices]
                 dst.padded(pe)[dst_slices] = np.where(
                     np.asarray(mask, dtype=bool), value, target)
+        if self._nest_wall is not None:
+            from time import perf_counter
+            self._nest_wall.observe(perf_counter() - t0,
+                                    backend=self.backend_label,
+                                    kernel=self.nest_kind)
         return points
 
     def _local_slices(self, da: DArray, pe: int,
@@ -552,8 +574,12 @@ def execute(plan: Plan, machine: Machine,
     ``workers`` caps the worker-process count of the ``parallel``
     backend (default: ``os.cpu_count()``); other backends ignore it.
     """
+    from repro.obs import metrics as _metrics
     from repro.obs.tracer import coalesce
+    from time import perf_counter
     tracer = coalesce(tracer)
+    registry = _metrics.get_registry()
+    t_wall = perf_counter() if registry.enabled else 0.0
     if reset_machine:
         machine.reset()
     if plan.processors is not None and \
@@ -604,6 +630,42 @@ def execute(plan: Plan, machine: Machine,
                     span.gauge(f"pe{pe}_time_s", t)
     finally:
         ex.close()
+    if registry.enabled:
+        # Wall-clock series: measured, tagged non-deterministic,
+        # excluded from backend equivalence.
+        registry.histogram(
+            "repro_exec_wall_seconds",
+            help="End-to-end wall-clock seconds of execute() "
+                 "(materialize + iterations + gather + shutdown), "
+                 "by backend.",
+            deterministic=False,
+        ).observe(perf_counter() - t_wall, backend=backend)
+        registry.counter(
+            "repro_exec_runs_total",
+            help="Completed execute() calls by backend.",
+        ).inc(backend=backend)
+        # Modelled/count series: pure functions of the program, carried
+        # unlabeled so all four backends must produce bitwise-identical
+        # values (enforced by testing.backend_equivalence_check).
+        r = machine.report
+        events = registry.counter(
+            "repro_exec_events_total",
+            help="Modelled execution events (backend-invariant).",
+            invariant=True)
+        events.inc(r.messages, event="messages")
+        events.inc(r.message_bytes, event="message_bytes")
+        events.inc(r.copies, event="copies")
+        events.inc(r.copy_elements, event="copy_elements")
+        events.inc(r.loop_points, event="loop_points")
+        registry.counter(
+            "repro_exec_modelled_seconds_total",
+            help="Modelled execution seconds (backend-invariant).",
+            invariant=True).inc(r.modelled_time)
+        registry.gauge(
+            "repro_exec_peak_memory_per_pe_bytes",
+            help="Peak per-PE memory of the last run "
+                 "(backend-invariant).",
+            invariant=True).set(machine.memory.peak_per_pe)
     comm_profile = None
     if collector is not None:
         comm_profile = CommProfile.from_run(machine, collector,

@@ -358,6 +358,13 @@ class CollectiveChannel:
         self._timeout = BARRIER_TIMEOUT_S
         self._cid = 0
         self._corrupt_next = False
+        # plain-int observability counters: always on (cheap), shipped
+        # to the coordinator in each shard and published as metrics
+        # there — worker processes run with the Null registry
+        self.wait_count = 0
+        self.wait_seconds = 0.0
+        self.allreduce_rounds = 0
+        self.bcast_checks = 0
 
     @staticmethod
     def seg_name(run_id: str) -> str:
@@ -374,8 +381,11 @@ class CollectiveChannel:
 
     # -- protocol ----------------------------------------------------------
     def _wait(self, what: str) -> None:
+        self.wait_count += 1
+        t0 = time.perf_counter()
         try:
             self._barrier.wait(self._timeout)
+            self.wait_seconds += time.perf_counter() - t0
         except BrokenBarrierError:
             raise ExecutionError(
                 f"parallel worker {self.wid}: barrier broken during "
@@ -414,6 +424,7 @@ class CollectiveChannel:
                   what: str) -> float:
         """Combine per-PE partials across workers, folding in PE-rank
         order so the result is bitwise identical to the serial fold."""
+        self.allreduce_rounds += 1
         cid = self._cid
         self._cid += 1
         for pe, v in partials.items():
@@ -443,6 +454,7 @@ class CollectiveChannel:
         broadcast, with the broadcast replaced by an equality check
         that catches corruption and divergence instead of masking it.
         """
+        self.bcast_checks += 1
         cid = self._cid
         self._cid += 1
         self.out[self.wid] = value
@@ -508,6 +520,8 @@ class _WorkerExec(_Exec):
             channel.inject_corruption()
             self._inject = None
         self._gen: dict[str, int] = {}
+        self.bwaits = 0
+        self.bwait_seconds = 0.0
 
     def _next_gen(self, name: str) -> int:
         gen = self._gen.get(name, 0) + 1
@@ -523,8 +537,11 @@ class _WorkerExec(_Exec):
                 # sleep through the barrier so peers hit the timeout;
                 # terminated by the coordinator long before this expires
                 time.sleep(max(60.0, self._timeout * 10.0))
+        self.bwaits += 1
+        t0 = time.perf_counter()
         try:
             self.barrier.wait(self._timeout)
+            self.bwait_seconds += time.perf_counter() - t0
         except BrokenBarrierError:
             raise ExecutionError(
                 f"parallel worker {self.wid}: barrier broken — a peer "
@@ -630,6 +647,14 @@ class _WorkerExec(_Exec):
             "live": sorted((n, da.gen)
                            for n, da in self.darrays.items()),
             "prof": prof,
+            "metrics": {
+                "barrier_waits":
+                    self.bwaits + self.channel.wait_count,
+                "barrier_wait_seconds":
+                    self.bwait_seconds + self.channel.wait_seconds,
+                "allreduce_rounds": self.channel.allreduce_rounds,
+                "bcast_checks": self.channel.bcast_checks,
+            },
         }
 
     def close_attachments(self) -> None:
@@ -717,6 +742,8 @@ class ParallelExec(_Exec):
     worker and the PEs it owned.
     """
 
+    backend_label = "parallel"
+
     def __init__(self, plan: Plan, machine: Machine,
                  scalars: Mapping[str, float] | None,
                  hpf_overhead: bool, tracer=None,
@@ -746,6 +773,7 @@ class ParallelExec(_Exec):
         self._procs: list = []
         self._cmd_qs: list = []
         self._result_q = None
+        self._liveness_polls = 0
         # created up front so workers can attach immediately on spawn;
         # the parent never participates in collectives, only unlinks
         self._channel = CollectiveChannel(self.run_id, machine.npes,
@@ -839,6 +867,7 @@ class ParallelExec(_Exec):
                 kind, wid, payload = self._result_q.get(
                     timeout=POLL_INTERVAL_S)
             except queue.Empty:
+                self._liveness_polls += 1
                 dead = [w for w in sorted(pending)
                         if not self._procs[w].is_alive()]
                 if dead:
@@ -916,8 +945,53 @@ class ParallelExec(_Exec):
         self.machine.memory.adopt_peaks(peaks0)
         self.scalars = dict(scalars0)
         self._sync_darrays(live0)
+        self._publish_metrics(shards)
         if self.profiler is not None:
             self._install_profiles(shards)
+
+    def _publish_metrics(self, shards: list[dict]) -> None:
+        """Publish the workers' shard counters as coordinator metrics.
+
+        Shard counters are cumulative across the run (workers persist
+        between ``run_ops`` calls), so they become gauges, not
+        counters.  Counts of collective rounds are deterministic — the
+        op sequence fixes them — but per-worker, not backend-invariant;
+        wait seconds and liveness polls are wall-clock/timing-sensitive
+        and tagged non-deterministic.
+        """
+        from repro.obs import metrics as _metrics
+        registry = _metrics.get_registry()
+        if not registry.enabled:
+            return
+        waits = registry.gauge(
+            "repro_parallel_barrier_waits",
+            help="Cumulative barrier waits per worker process.")
+        wait_s = registry.gauge(
+            "repro_parallel_barrier_wait_seconds",
+            help="Cumulative seconds each worker spent in barrier "
+                 "waits.", deterministic=False)
+        rounds = registry.gauge(
+            "repro_parallel_allreduce_rounds",
+            help="Cumulative allreduce collectives per worker.")
+        checks = registry.gauge(
+            "repro_parallel_bcast_checks",
+            help="Cumulative broadcast-agreement checks per worker.")
+        for wid, s in enumerate(shards):
+            m = s.get("metrics") or {}
+            w = str(wid)
+            waits.set(m.get("barrier_waits", 0), worker=w)
+            wait_s.set(m.get("barrier_wait_seconds", 0.0), worker=w)
+            rounds.set(m.get("allreduce_rounds", 0), worker=w)
+            checks.set(m.get("bcast_checks", 0), worker=w)
+        registry.gauge(
+            "repro_parallel_workers",
+            help="Worker processes in the parallel pool.",
+        ).set(self.nworkers)
+        registry.gauge(
+            "repro_parallel_liveness_polls",
+            help="Coordinator reply-queue poll timeouts spent checking "
+                 "worker liveness.", deterministic=False,
+        ).set(self._liveness_polls)
 
     def _sync_darrays(self, live: list[tuple[str, int]]) -> None:
         """Mirror the workers' live-array set: attach plan-allocated

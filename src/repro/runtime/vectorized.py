@@ -284,6 +284,9 @@ class VectorizedExec(_Exec):
     execution are overridden.
     """
 
+    backend_label = "vectorized"
+    nest_kind = "slab"
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._checked_nests: set[int] = set()

@@ -286,22 +286,35 @@ def backend_equivalence_check(program: GeneratedProgram,
     ``(src, dst, nbytes, tag)`` tuple of every logged message, which is
     what makes the communication profiler backend-agnostic.  The
     ``perpe`` baseline is always compared first.
+
+    Each backend run also executes under a fresh live
+    :class:`~repro.obs.metrics.MetricsRegistry`, and the
+    backend-invariant metric series (``invariant=True``: modelled
+    seconds, event counts, peak memory — everything not derived from a
+    wall clock or a backend-specific mechanism) must be *bitwise*
+    identical across backends; wall-clock and backend-local series are
+    excluded by construction via the invariant tag.
     """
+    from repro.obs import metrics as _metrics
     for level in levels:
         compiled = compile_hpf(program.source, bindings=program.bindings,
                                level=level, outputs=set(program.arrays))
         for grid in grids:
             results = {}
             logs = {}
+            inv_snaps = {}
             for backend, extra in backends:
                 machine = Machine(grid=grid, keep_message_log=True)
-                with _backend_run_context(backend):
+                registry = _metrics.MetricsRegistry()
+                with _backend_run_context(backend), \
+                        _metrics.use_registry(registry):
                     results[backend] = compiled.run(
                         machine, inputs=inputs, scalars=program.scalars,
                         iterations=iterations, backend=backend,
                         profile=True, **extra)
                 logs[backend] = [(m.src, m.dst, m.nbytes, m.tag)
                                  for m in machine.network.log]
+                inv_snaps[backend] = registry.invariant_snapshot()
             base = backends[0][0]
             a = results[base]
             for backend, _ in backends[1:]:
@@ -331,3 +344,7 @@ def backend_equivalence_check(program: GeneratedProgram,
                     f"communication matrices diverged: {ctx}")
                 assert a.profile.totals["messages_by_class"] == \
                     b.profile.totals["messages_by_class"], ctx
+                assert inv_snaps[base] == inv_snaps[backend], (
+                    f"backend-invariant metric series diverged: {ctx}\n"
+                    f"{base}: {inv_snaps[base]}\n"
+                    f"{backend}: {inv_snaps[backend]}")

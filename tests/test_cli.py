@@ -375,3 +375,84 @@ class TestBackendChoices:
         with pytest.raises(SystemExit):
             main(["run", "x.f90", "--backend", "no_such_backend"])
         assert "vectorized" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_describe_default(self, capsys):
+        assert main(["metrics", "five_point", "--grid", "2x2",
+                     "--bind", "N=8"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_compile_phase_seconds" in out
+        assert "repro_exec_events_total" in out
+        assert "backend-invariant" in out
+
+    def test_json_round_trips(self, capsys):
+        from repro.obs import metrics_from_json, metrics_to_json
+        assert main(["metrics", "five_point", "--bind", "N=8",
+                     "--json"]) == 0
+        text = capsys.readouterr().out
+        assert metrics_to_json(metrics_from_json(text)) == text
+
+    def test_prom_exposition(self, capsys):
+        assert main(["metrics", "five_point", "--bind", "N=8",
+                     "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_exec_runs_total counter" in out
+        assert 'repro_exec_runs_total{backend="perpe"} 1\n' in out
+        assert "# repro-nondeterministic repro_exec_wall_seconds" in out
+
+    def test_out_suffix_dispatch(self, tmp_path, capsys):
+        import json
+        prom = tmp_path / "m.prom"
+        js = tmp_path / "m.json"
+        for path in (prom, js):
+            assert main(["metrics", "five_point", "--bind", "N=8",
+                         "-o", str(path)]) == 0
+        assert "wrote metrics to" in capsys.readouterr().err
+        assert prom.read_text().startswith("# HELP")
+        doc = json.loads(js.read_text())
+        assert doc["type"] == "metrics" and doc["version"] == 1
+
+    def test_ledger_append(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+        path = tmp_path / "ledger.jsonl"
+        for _ in range(2):
+            assert main(["metrics", "five_point", "--bind", "N=8",
+                         "--tile", "16", "--ledger", str(path)]) == 0
+        capsys.readouterr()
+        ledger = RunLedger(path)
+        records = ledger.records()
+        assert len(records) == 2 and ledger.corrupt_lines == 0
+        rec = records[0]
+        assert rec["backend"] == "perpe"
+        assert len(rec["plan_key"]) == 64  # sha256 of the plan JSON
+        assert rec["plan_key"] == records[1]["plan_key"]
+        assert rec["factors"]["level"] == "O4"
+        assert rec["factors"]["tile"] == 16
+        assert rec["metrics"]["type"] == "metrics"
+        assert len(ledger.fingerprints()) == 1
+
+    def test_unknown_kernel_errors(self, capsys):
+        assert main(["metrics", "no_such_kernel"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_metrics_and_ledger_flags(self, p9_file, tmp_path,
+                                          capsys):
+        import json
+        from repro.obs.ledger import RunLedger
+        mpath = tmp_path / "m.json"
+        lpath = tmp_path / "l.jsonl"
+        assert main(["run", p9_file, "--bind", "N=16", "--output", "T",
+                     "--metrics", str(mpath),
+                     "--ledger", str(lpath)]) == 0
+        capsys.readouterr()
+        assert json.loads(mpath.read_text())["type"] == "metrics"
+        (rec,) = RunLedger(lpath).records()
+        assert rec["metrics"]["type"] == "metrics"
+
+    def test_profile_metrics_flag(self, p9_file, tmp_path, capsys):
+        mpath = tmp_path / "m.prom"
+        assert main(["profile", p9_file, "--bind", "N=16",
+                     "--output", "T", "--metrics", str(mpath)]) == 0
+        capsys.readouterr()
+        assert "repro_exec_wall_seconds" in mpath.read_text()
