@@ -240,6 +240,78 @@ def bench_metrics(kernel: str = "nine_point", n: int = 256,
     }
 
 
+#: solver kernels swept by :func:`bench_solvers`; ``jacobi`` is the
+#: gated one (its coefficient exchanges hoist and its double-buffer
+#: copy swaps away), the other two are invariance witnesses — the loop
+#: passes must not change their per-iteration cost at all
+SOLVER_KERNELS = ("jacobi", "red_black", "cg")
+
+
+def bench_solvers(n: int = 512, grid: tuple[int, ...] = (2, 2)) -> dict:
+    """Per-iteration modelled message/byte counts of the whole-solver
+    kernels at O4, with and without the loop-aware plan passes.
+
+    The steady-state per-iteration cost is measured differentially —
+    run the solver for 2 and for 4 iterations and divide the delta by
+    2 — so one-time preheader exchanges (the hoisted invariant shifts)
+    are charged to setup, not to the loop body.  Published as
+    ``BENCH_solvers.json``; :func:`check_solvers` gates on it.
+    """
+    from repro.kernels import KERNELS, run_kernel
+
+    out: dict = {"n": n, "grid": list(grid), "kernels": {}}
+    for name in SOLVER_KERNELS:
+        spec = KERNELS[name]
+        trip_key = next(k for k in spec.default_bindings if k != "N")
+        entry: dict = {}
+        for mode, passes in (("plain", False), ("loop_aware", True)):
+            totals = {}
+            for trips in (2, 4):
+                result = run_kernel(
+                    name, grid=grid,
+                    bindings={"N": n, trip_key: trips},
+                    level="O4", plan_passes=passes)
+                totals[trips] = (result.report.messages,
+                                 result.report.message_bytes)
+            entry[mode] = {
+                "messages_per_iter":
+                    (totals[4][0] - totals[2][0]) / 2,
+                "bytes_per_iter":
+                    (totals[4][1] - totals[2][1]) / 2,
+                "messages_total_4iter": totals[4][0],
+                "bytes_total_4iter": totals[4][1],
+            }
+        out["kernels"][name] = entry
+    return out
+
+
+def check_solvers(solver_res: dict) -> list[str]:
+    """Loop-aware gate: Jacobi's steady-state per-iteration messages
+    and modelled bytes must be *strictly* below the pre-pass plan's,
+    and the passes must leave the invariant solvers' per-iteration
+    cost untouched."""
+    errors = []
+    jac = solver_res["kernels"]["jacobi"]
+    for metric in ("messages_per_iter", "bytes_per_iter"):
+        plain, aware = jac["plain"][metric], jac["loop_aware"][metric]
+        if not aware < plain:
+            errors.append(
+                f"jacobi: loop-aware {metric} {aware:g} not strictly "
+                f"below plain {plain:g}")
+    for name in SOLVER_KERNELS:
+        if name == "jacobi":
+            continue
+        entry = solver_res["kernels"][name]
+        for metric in ("messages_per_iter", "bytes_per_iter"):
+            plain = entry["plain"][metric]
+            aware = entry["loop_aware"][metric]
+            if aware > plain:
+                errors.append(
+                    f"{name}: loop passes increased {metric} "
+                    f"({plain:g} -> {aware:g})")
+    return errors
+
+
 #: optimization ladder for the profile monotonicity gate
 LEVELS = ("O0", "O1", "O2", "O3", "O4")
 
@@ -307,7 +379,10 @@ def main(argv: list[str] | None = None) -> int:
     persistent_res = bench_persistent()
     profile_res = bench_profile()
     metrics_res = bench_metrics()
+    solver_res = bench_solvers()
     out_dir = Path(args.out_dir)
+    (out_dir / "BENCH_solvers.json").write_text(
+        json.dumps(solver_res, indent=2) + "\n")
     (out_dir / "BENCH_exec.json").write_text(
         json.dumps(exec_res, indent=2) + "\n")
     compile_res["persistent"] = persistent_res
@@ -345,10 +420,22 @@ def main(argv: list[str] | None = None) -> int:
           f"{metrics_res['jit_materialize_seconds'] * 1e3:.1f} ms, "
           f"nests {metrics_res['nests_native']:.0f} native / "
           f"{metrics_res['nests_fallback']:.0f} fallback")
+    jac = solver_res["kernels"]["jacobi"]
+    print(f"solvers: jacobi per-iter messages "
+          f"{jac['plain']['messages_per_iter']:g} -> "
+          f"{jac['loop_aware']['messages_per_iter']:g}, bytes "
+          f"{jac['plain']['bytes_per_iter']:g} -> "
+          f"{jac['loop_aware']['bytes_per_iter']:g} with loop-aware "
+          f"passes")
     mono_errors = check_monotonic(profile_res)
     for err in mono_errors:
         print(f"gate profile.monotonic: {err} VIOLATION",
               file=sys.stderr)
+    solver_errors = check_solvers(solver_res)
+    for err in solver_errors:
+        print(f"gate solvers.loop_aware: {err} VIOLATION",
+              file=sys.stderr)
+    mono_errors += solver_errors
     import os
     if (os.cpu_count() or 1) < 2:
         # one core cannot run two workers concurrently; the measured

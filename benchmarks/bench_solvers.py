@@ -102,3 +102,55 @@ def test_jacobi_optimization_payoff():
         times[level] = compiled.run(
             machine, scalars={"H2": 1e-4}).modelled_time
     assert times["O0"] / times["O4"] > 2.0
+
+
+def _per_iteration_traffic(name: str, trip_key: str,
+                           plan_passes: bool) -> tuple[float, float]:
+    """Steady-state (messages, bytes) per solver iteration, measured
+    differentially (4-trip minus 2-trip, halved) so one-time preheader
+    exchanges are charged to setup rather than to the loop body."""
+    from repro.kernels import run_kernel
+
+    totals = {}
+    for trips in (2, 4):
+        result = run_kernel(name, grid=GRID,
+                            bindings={"N": N, trip_key: trips},
+                            level="O4", plan_passes=plan_passes)
+        totals[trips] = (result.report.messages,
+                         result.report.message_bytes)
+    return ((totals[4][0] - totals[2][0]) / 2,
+            (totals[4][1] - totals[2][1]) / 2)
+
+
+def test_loop_aware_passes_cut_jacobi_traffic():
+    """The loop-aware plan passes (invariant-shift hoisting + ping-pong
+    swap) must strictly cut the variable-coefficient Jacobi solver's
+    per-iteration message count AND modelled bytes at O4."""
+    plain = _per_iteration_traffic("jacobi", "NITER", False)
+    aware = _per_iteration_traffic("jacobi", "NITER", True)
+    assert aware[0] < plain[0], (plain, aware)
+    assert aware[1] < plain[1], (plain, aware)
+
+
+@pytest.mark.parametrize("name,trip_key", [("red_black", "NSWEEPS"),
+                                           ("cg", "NITER")])
+def test_loop_passes_leave_variant_solvers_alone(name, trip_key):
+    """Solvers whose every shifted array is written per iteration have
+    nothing to hoist or swap: per-iteration traffic must be unchanged."""
+    plain = _per_iteration_traffic(name, trip_key, False)
+    aware = _per_iteration_traffic(name, trip_key, True)
+    assert aware == plain
+
+
+def test_loop_passes_preserve_observables():
+    """DESIGN invariant: the loop passes never change an observable
+    array — the optimized Jacobi solver's U is bitwise-identical."""
+    from repro.kernels import run_kernel
+
+    results = {}
+    for passes in (False, True):
+        r = run_kernel("jacobi", grid=GRID,
+                       bindings={"N": 64, "NITER": 7}, level="O4",
+                       plan_passes=passes, seed=3)
+        results[passes] = r.arrays["U"]
+    np.testing.assert_array_equal(results[False], results[True])

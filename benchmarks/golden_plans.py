@@ -30,6 +30,12 @@ MANIFEST = GOLDEN_DIR / "MANIFEST.json"
 LEVEL = "O4"
 N = 8
 
+#: Loop-carrying solver kernels additionally frozen with
+#: ``plan_passes=True`` (as ``<name>+passes`` documents), pinning the
+#: loop-aware optimizer's output — hoisted preheader exchanges and
+#: ping-pong buffer swaps — alongside the plain plans.
+LOOP_KERNELS = ("cg", "jacobi", "red_black")
+
 
 def golden_path(kernel: str) -> Path:
     return GOLDEN_DIR / f"{kernel}.{LEVEL}.json"
@@ -43,6 +49,10 @@ def current_documents() -> dict[str, str]:
     for name in sorted(KERNELS):
         compiled = compile_kernel(name, bindings={"N": N}, level=LEVEL)
         docs[name] = plan_to_json(compiled.plan)
+        if name in LOOP_KERNELS:
+            compiled = compile_kernel(name, bindings={"N": N},
+                                      level=LEVEL, plan_passes=True)
+            docs[f"{name}+passes"] = plan_to_json(compiled.plan)
     return docs
 
 

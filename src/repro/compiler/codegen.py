@@ -119,9 +119,13 @@ class CodeGenerator:
             )
         entry = tuple(name for name in arrays if name not in allocated_later)
         scalar_names = tuple(self.program.symbols.scalars)
+        outputs = None
+        if self.options.outputs is not None:
+            outputs = tuple(sorted(n for n in self.options.outputs
+                                   if n in arrays))
         return Plan(arrays=arrays, params=dict(self.program.symbols.params),
                     scalar_names=scalar_names, ops=ops, entry_arrays=entry,
-                    processors=self.program.processors)
+                    processors=self.program.processors, outputs=outputs)
 
     def _referenced_names(self, ops: list[PlanOp]) -> set[str]:
         names: set[str] = set()

@@ -184,6 +184,74 @@ TWENTYSEVEN_POINT_3D_CSHIFT = make_cshift_stencil(box_offsets(1, 3), ndim=3)
 
 
 # ---------------------------------------------------------------------------
+# Loop-carrying solver kernels (whole solvers, DO loop included)
+# ---------------------------------------------------------------------------
+
+#: Variable-coefficient Jacobi relaxation, full-array form.  The DO loop
+#: is part of the compiled program, so this is the registry's showcase
+#: for the loop-aware plan passes: the coefficient array ``A`` is never
+#: written inside the loop (its four halo exchanges hoist to the loop
+#: preheader) and the trailing ``U = UNEW`` double-buffer copy is
+#: recognised as a ping-pong and replaced by a buffer swap.
+JACOBI_SOLVER = _decls("U", "UNEW", "A") + """
+      DO K = 1, NITER
+        UNEW = 0.25 * ( CSHIFT(A,+1,1)*CSHIFT(U,+1,1)
+     &                + CSHIFT(A,-1,1)*CSHIFT(U,-1,1)
+     &                + CSHIFT(A,+1,2)*CSHIFT(U,+1,2)
+     &                + CSHIFT(A,-1,2)*CSHIFT(U,-1,2) )
+        U = UNEW
+      ENDDO
+"""
+
+#: Red-black Gauss-Seidel smoothing with WHERE masks (the checkerboard
+#: colouring lives in the precomputed ``RED`` parity array).  Only the
+#: in-place-updated ``U`` is ever shifted, so every exchange is
+#: loop-variant and the loop passes must leave the body alone — the
+#: masked-solver counterpart of ``cg``'s hands-off coverage.
+RED_BLACK_SOLVER = _decls("U", "F", "RED") + """
+      DO K = 1, NSWEEPS
+        WHERE (RED > 0.5)
+          U = 0.25 * ( CSHIFT(U,1,1) + CSHIFT(U,-1,1)
+     &               + CSHIFT(U,1,2) + CSHIFT(U,-1,2) - H2 * F )
+        END WHERE
+        WHERE (RED < 0.5)
+          U = 0.25 * ( CSHIFT(U,1,1) + CSHIFT(U,-1,1)
+     &               + CSHIFT(U,1,2) + CSHIFT(U,-1,2) - H2 * F )
+        END WHERE
+      ENDDO
+"""
+
+#: One conjugate-gradient solver, DO loop, reductions and scalar
+#: recurrences included.  Every array is written every iteration, so
+#: this is the loop passes' hands-off case: nothing hoists, nothing
+#: swaps, and the plan must come out semantically untouched.
+CG_SOLVER = """
+      REAL, DIMENSION(N,N) :: X, R, P, Q, B
+!HPF$ DISTRIBUTE X(BLOCK,BLOCK)
+!HPF$ ALIGN R WITH X
+!HPF$ ALIGN P WITH X
+!HPF$ ALIGN Q WITH X
+!HPF$ ALIGN B WITH X
+      X = 0.0
+      R = B
+      P = R
+      RZ = SUM(R * R)
+      DO K = 1, NITER
+        Q = (4.0 + SIGMA) * P - CSHIFT(P,1,1) - CSHIFT(P,-1,1)
+     &    - CSHIFT(P,1,2) - CSHIFT(P,-1,2)
+        PAP = SUM(P * Q)
+        ALPHA = RZ / PAP
+        X = X + ALPHA * P
+        R = R - ALPHA * Q
+        RZNEW = SUM(R * R)
+        BETA = RZNEW / RZ
+        RZ = RZNEW
+        P = R + BETA * P
+      ENDDO
+"""
+
+
+# ---------------------------------------------------------------------------
 # Named-kernel registry (CLI convenience: ``python -m repro trace purdue9``)
 # ---------------------------------------------------------------------------
 
@@ -193,21 +261,35 @@ from dataclasses import field as _field
 
 @_dataclass(frozen=True)
 class KernelSpec:
-    """A named kernel with enough metadata to compile+run it directly."""
+    """A named kernel with enough metadata to compile+run it directly.
+
+    ``default_scalars`` seeds runtime scalars the kernel needs to be
+    numerically meaningful (unset scalars execute as 0.0, which is
+    valid but degenerate for e.g. the CG operator shift).
+    """
 
     name: str
     source: str
     outputs: frozenset[str]
     default_bindings: dict[str, int] = _field(
         default_factory=lambda: {"N": 64})
+    default_scalars: dict[str, float] = _field(default_factory=dict)
 
 
-def _spec(name: str, source: str, *outputs: str) -> KernelSpec:
+def _spec(name: str, source: str, *outputs: str,
+          bindings: dict[str, int] | None = None,
+          scalars: dict[str, float] | None = None) -> KernelSpec:
+    extra = {} if bindings is None else {
+        "default_bindings": dict(bindings)}
     return KernelSpec(name=name, source=source,
-                      outputs=frozenset(outputs))
+                      outputs=frozenset(outputs),
+                      default_scalars=dict(scalars or {}), **extra)
 
 
-#: Kernels addressable by name from the CLI.
+#: Kernels addressable by name from the CLI.  The ``jacobi``,
+#: ``red_black`` and ``cg`` entries are whole solvers whose DO loop is
+#: part of the compiled plan — the coverage targets of the loop-aware
+#: plan passes (``plan_passes=True``).
 KERNELS: dict[str, KernelSpec] = {
     spec.name: spec for spec in [
         _spec("five_point", FIVE_POINT_ARRAY_SYNTAX, "DST"),
@@ -217,6 +299,14 @@ KERNELS: dict[str, KernelSpec] = {
         _spec("twentyfive_point", TWENTYFIVE_POINT_ARRAY_SYNTAX, "DST"),
         _spec("seven_point_3d", SEVEN_POINT_3D_CSHIFT, "DST"),
         _spec("box27_3d", TWENTYSEVEN_POINT_3D_CSHIFT, "DST"),
+        _spec("jacobi", JACOBI_SOLVER, "U",
+              bindings={"N": 64, "NITER": 10}),
+        _spec("red_black", RED_BLACK_SOLVER, "U",
+              bindings={"N": 64, "NSWEEPS": 10},
+              scalars={"H2": 1.0 / (63 * 63)}),
+        _spec("cg", CG_SOLVER, "X", "R",
+              bindings={"N": 64, "NITER": 10},
+              scalars={"SIGMA": 0.5}),
     ]
 }
 
@@ -254,7 +344,8 @@ def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
                level: str = "O4", backend: str = "perpe",
                iterations: int = 1, seed: int = 0, machine=None,
                cache=None, tracer=None, profile: bool = False,
-               workers: int | None = None, **options):
+               workers: int | None = None,
+               scalars: dict[str, float] | None = None, **options):
     """Compile and execute a registry kernel with seeded random inputs.
 
     ``backend`` selects the execution strategy (``"perpe"``,
@@ -269,6 +360,7 @@ def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
 
     from repro.machine.machine import Machine
 
+    spec = resolve_kernel(name)
     compiled = compile_kernel(name, bindings=bindings, level=level,
                               cache=cache, tracer=tracer, **options)
     if machine is None:
@@ -278,8 +370,10 @@ def run_kernel(name: str, grid: tuple[int, ...] = (2, 2),
         arr: rng.standard_normal(decl.shape).astype(decl.dtype)
         for arr, decl in compiled.plan.arrays.items()
         if arr in compiled.plan.entry_arrays}
+    run_scalars = {**spec.default_scalars, **(scalars or {})}
     result = compiled.run(machine, inputs=inputs, iterations=iterations,
-                          tracer=tracer, backend=backend, profile=profile,
+                          scalars=run_scalars, tracer=tracer,
+                          backend=backend, profile=profile,
                           workers=workers)
     if result.profile is not None:
         result.profile.kernel = name

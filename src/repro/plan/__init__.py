@@ -20,13 +20,14 @@ compatibility.
 from repro.plan.ops import (
     AllocOp, ArrayDecl, Blocks, Box, CompiledProgram, CompileReport,
     CondOp, FreeOp, FullShiftOp, LoopNestOp, NestStmt, OverlappedOp,
-    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
-    map_blocks, op_label, walk,
+    OverlapShiftOp, Plan, PlanOp, Region, ScalarAssignOp, SeqLoopOp,
+    SwapOp, WhileOp, map_blocks, map_regions, op_label, walk,
 )
 from repro.plan.printer import format_op, plan_to_text
 from repro.plan.passes import (
-    CoalesceShiftsPass, DeadAllocElimPass, PlanPass, PlanPassManager,
-    SchedulePass, default_plan_passes,
+    CoalesceShiftsPass, DeadAllocElimPass, HoistInvariantShiftsPass,
+    PingPongElimPass, PlanPass, PlanPassManager, SchedulePass,
+    default_plan_passes,
 )
 from repro.plan.serialize import (
     PLAN_SCHEMA_VERSION, plan_from_dict, plan_from_json, plan_to_dict,
@@ -38,12 +39,14 @@ from repro.plan.verify import PlanProblem, assert_plan_valid, verify_plan
 __all__ = [
     "AllocOp", "ArrayDecl", "Blocks", "Box", "CoalesceShiftsPass",
     "CompileReport", "CompiledProgram", "CondOp", "DeadAllocElimPass",
-    "FreeOp", "FullShiftOp", "LoopNestOp", "NestStmt", "OverlappedOp",
-    "OverlapShiftOp", "PLAN_SCHEMA_VERSION", "Plan", "PlanOp",
-    "PlanPass", "PlanPassManager", "PlanProblem", "ScalarAssignOp",
-    "SchedulePass", "SeqLoopOp", "WhileOp", "assert_plan_valid",
-    "default_plan_passes", "format_op", "map_blocks", "op_label",
-    "plan_from_dict", "plan_from_json", "plan_to_dict", "plan_to_json",
-    "plan_to_text", "program_from_dict", "program_from_json",
-    "program_to_dict", "program_to_json", "verify_plan", "walk",
+    "FreeOp", "FullShiftOp", "HoistInvariantShiftsPass", "LoopNestOp",
+    "NestStmt", "OverlappedOp", "OverlapShiftOp",
+    "PLAN_SCHEMA_VERSION", "PingPongElimPass", "Plan", "PlanOp",
+    "PlanPass", "PlanPassManager", "PlanProblem", "Region",
+    "ScalarAssignOp", "SchedulePass", "SeqLoopOp", "SwapOp", "WhileOp",
+    "assert_plan_valid", "default_plan_passes", "format_op",
+    "map_blocks", "map_regions", "op_label", "plan_from_dict",
+    "plan_from_json", "plan_to_dict", "plan_to_json", "plan_to_text",
+    "program_from_dict", "program_from_json", "program_to_dict",
+    "program_to_json", "verify_plan", "walk",
 ]

@@ -106,6 +106,28 @@ class OverlapShiftOp(PlanOp):
 
 
 @dataclass
+class SwapOp(PlanOp):
+    """Exchange the buffers bound to two array names (pointer swap).
+
+    The plan-level residue of the double-buffer idiom: after
+    ``A(full) = expr(B); B(full) = A(full)`` is recognized by the
+    ping-pong elimination pass, the whole-array copy becomes this op.
+    Executors swap their name→storage bindings only — the underlying
+    buffers keep their birth identity (shared-memory segment names,
+    memory-accounting keys, and message tags all stay keyed by the
+    buffer's birth name, identically in every backend).  A swap moves
+    no data and is modelled as free.
+
+    Both names must be declared with identical shape, dtype,
+    distribution, and halo (the ping-pong pass max-merges the halos to
+    guarantee this).
+    """
+
+    a: str
+    b: str
+
+
+@dataclass
 class FullShiftOp(PlanOp):
     """Complete CSHIFT/EOSHIFT: slab exchange plus whole-subgrid copy.
 
@@ -266,6 +288,57 @@ def map_blocks(ops: list[PlanOp],
     return fn(out)
 
 
+@dataclass(frozen=True)
+class Region:
+    """Structural context of one nested block during a region rewrite.
+
+    ``kind`` is one of ``"top"``, ``"loop-body"`` (:class:`SeqLoopOp`),
+    ``"while-body"``, ``"cond-then"``, ``"cond-else"``, ``"comm"``
+    (:class:`OverlappedOp` communication block), or ``"nest"`` (the
+    single-nest block of an :class:`OverlappedOp`).  ``parent`` is the
+    container op (``None`` at top level) as it was *before* its blocks
+    were rewritten.
+    """
+
+    kind: str
+    parent: PlanOp | None = None
+
+
+def _region_kinds(op: PlanOp) -> tuple[str, ...]:
+    """Region kind of each child block of ``op``, in children() order."""
+    if isinstance(op, SeqLoopOp):
+        return ("loop-body",)
+    if isinstance(op, WhileOp):
+        return ("while-body",)
+    if isinstance(op, CondOp):
+        return ("cond-then", "cond-else")
+    if isinstance(op, OverlappedOp):
+        return ("comm", "nest")
+    return tuple("block" for _ in op.children())
+
+
+def map_regions(
+        ops: list[PlanOp],
+        fn: Callable[[list[PlanOp], Region], list[PlanOp]]) -> list[PlanOp]:
+    """Bottom-up region rewrite: like :func:`map_blocks`, but ``fn``
+    also receives each block's :class:`Region` context, so passes can
+    treat loop bodies, conditional arms, and communication blocks
+    differently (the loop-aware passes are built on this)."""
+
+    def rewrite(block: list[PlanOp], region: Region) -> list[PlanOp]:
+        out: list[PlanOp] = []
+        for op in block:
+            blocks = op.children()
+            if blocks:
+                kinds = _region_kinds(op)
+                op = op.rebuild(*(rewrite(list(b), Region(k, op))
+                                  for b, k in zip(blocks, kinds)))
+            out.append(op)
+        return fn(out, region)
+
+    return rewrite(ops, Region("top"))
+
+
 def op_label(op: PlanOp) -> tuple[str, dict[str, object]]:
     """Span name and attributes for one plan op (tracer/profiler key)."""
     if isinstance(op, OverlapShiftOp):
@@ -275,6 +348,8 @@ def op_label(op: PlanOp) -> tuple[str, dict[str, object]]:
         kind = "eoshift" if op.boundary is not None else "cshift"
         return f"full_{kind}", {"dst": op.dst, "src": op.src,
                                 "shift": op.shift, "dim": op.dim}
+    if isinstance(op, SwapOp):
+        return "swap", {"a": op.a, "b": op.b}
     if isinstance(op, LoopNestOp):
         return "loop_nest", {"statements": len(op.statements),
                              "fused": op.fused}
@@ -306,6 +381,11 @@ class Plan:
     entry_arrays: tuple[str, ...] = ()  # materialised before op 0
     #: declared !HPF$ PROCESSORS arrangement, if any
     processors: tuple[int, ...] | None = None
+    #: arrays observable after execution (sorted).  ``None`` means the
+    #: caller declared no output set, so every non-temporary array is
+    #: conservatively observable; loop passes that sacrifice a scratch
+    #: array (ping-pong elimination) only fire on named non-outputs.
+    outputs: tuple[str, ...] | None = None
 
     def walk_ops(self) -> Iterator[PlanOp]:
         yield from walk(self.ops)

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from repro.plan.ops import (
     AllocOp, CondOp, FreeOp, FullShiftOp, LoopNestOp, OverlappedOp,
-    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
+    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, SwapOp,
+    WhileOp,
 )
 
 
@@ -54,6 +55,9 @@ def format_op(op: PlanOp, indent: int) -> list[str]:
         return [f"{pad}deallocate {', '.join(op.names)}"]
     if isinstance(op, ScalarAssignOp):
         return [f"{pad}scalar {op.name} = {op.rhs}"]
+    if isinstance(op, SwapOp):
+        return [f"{pad}swap {op.a} <-> {op.b} (buffer exchange, no data "
+                f"movement)"]
     if isinstance(op, SeqLoopOp):
         lines = [f"{pad}do {op.var} = {op.lo}, {op.hi}"]
         for inner in op.body:
@@ -100,6 +104,8 @@ def plan_to_text(plan: Plan) -> str:
     if plan.params:
         lines.append("parameters: " + ", ".join(
             f"{k}={v}" for k, v in plan.params.items()))
+    if plan.outputs is not None:
+        lines.append("outputs: " + ", ".join(plan.outputs))
     lines.append("program:")
     for op in plan.ops:
         lines += format_op(op, 1)

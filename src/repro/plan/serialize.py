@@ -30,11 +30,13 @@ from repro.machine.cost_model import LoopStats
 from repro.plan.ops import (
     AllocOp, ArrayDecl, CompiledProgram, CompileReport, CondOp, FreeOp,
     FullShiftOp, LoopNestOp, NestStmt, OverlappedOp, OverlapShiftOp,
-    Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
+    Plan, PlanOp, ScalarAssignOp, SeqLoopOp, SwapOp, WhileOp,
 )
 
 #: Bump on ANY change to the serialized shape of a plan.
-PLAN_SCHEMA_VERSION = 1
+#: v2: ``SwapOp`` ("swap") joined the op set and plans carry an
+#: ``outputs`` field (loop-aware plan optimization).
+PLAN_SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +168,8 @@ def _op_to(op: PlanOp) -> dict:
     if isinstance(op, ScalarAssignOp):
         return {"op": "scalar_assign", "name": op.name,
                 "rhs": _expr_to(op.rhs)}
+    if isinstance(op, SwapOp):
+        return {"op": "swap", "a": op.a, "b": op.b}
     if isinstance(op, SeqLoopOp):
         return {"op": "seq_loop", "var": op.var, "lo": _lin_to(op.lo),
                 "hi": _lin_to(op.hi),
@@ -212,6 +216,8 @@ def _op_from(d: dict) -> PlanOp:
             unroll_jam=d["unroll_jam"], label=d["label"])
     if kind == "scalar_assign":
         return ScalarAssignOp(d["name"], _expr_from(d["rhs"]))
+    if kind == "swap":
+        return SwapOp(d["a"], d["b"])
     if kind == "seq_loop":
         return SeqLoopOp(d["var"], _lin_from(d["lo"]),
                          _lin_from(d["hi"]),
@@ -261,6 +267,8 @@ def plan_to_dict(plan: Plan) -> dict:
         "entry_arrays": list(plan.entry_arrays),
         "processors": (None if plan.processors is None
                        else list(plan.processors)),
+        "outputs": (None if plan.outputs is None
+                    else list(plan.outputs)),
         "ops": [_op_to(op) for op in plan.ops],
     }
 
@@ -284,6 +292,8 @@ def plan_from_dict(doc: dict) -> Plan:
         entry_arrays=tuple(doc["entry_arrays"]),
         processors=(None if doc["processors"] is None
                     else tuple(doc["processors"])),
+        outputs=(None if doc["outputs"] is None
+                 else tuple(doc["outputs"])),
     )
 
 

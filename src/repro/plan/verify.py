@@ -38,7 +38,7 @@ from repro.ir.nodes import Expr, OffsetRef, Reduction, ScalarRef
 from repro.plan.ops import (
     AllocOp, ArrayDecl, CondOp, FreeOp, FullShiftOp, LoopNestOp,
     OverlappedOp, OverlapShiftOp, Plan, PlanOp, ScalarAssignOp,
-    SeqLoopOp, WhileOp, walk,
+    SeqLoopOp, SwapOp, WhileOp, walk,
 )
 
 Fill = float | None
@@ -95,6 +95,8 @@ def _describe(op: PlanOp) -> str:
         return f"free {', '.join(op.names)}"
     if isinstance(op, ScalarAssignOp):
         return f"scalar {op.name} = ..."
+    if isinstance(op, SwapOp):
+        return f"swap {op.a} <-> {op.b}"
     return type(op).__name__.removesuffix("Op").lower()
 
 
@@ -120,6 +122,10 @@ class _PlanVerifier:
             if name not in self.plan.arrays:
                 self._add("structure", None,
                           f"entry array {name} has no ArrayDecl")
+        for name in self.plan.outputs or ():
+            if name not in self.plan.arrays:
+                self._add("structure", None,
+                          f"output array {name} has no ArrayDecl")
 
     # -- allocation state ----------------------------------------------------
     def _use(self, op: PlanOp, name: str, allocated: set[str],
@@ -330,6 +336,8 @@ class _PlanVerifier:
                 written.update(s.lhs for s in op.statements)
             elif isinstance(op, FullShiftOp):
                 written.add(op.dst)
+            elif isinstance(op, SwapOp):
+                written.update((op.a, op.b))
             elif isinstance(op, (AllocOp, FreeOp)):
                 written.update(op.names)
         return written
@@ -395,6 +403,36 @@ class _PlanVerifier:
                         self._check_expr(op, stmt.mask, state,
                                          allocated, ever, scalars)
                     self._kill(state, stmt.lhs)
+            elif isinstance(op, SwapOp):
+                da = self._decl(op, op.a)
+                db = self._decl(op, op.b)
+                self._use(op, op.a, allocated, ever)
+                self._use(op, op.b, allocated, ever)
+                if op.a == op.b:
+                    self._add("structure", op,
+                              "swap of an array with itself")
+                elif da is not None and db is not None:
+                    if da.shape != db.shape or da.dtype != db.dtype \
+                            or da.distribution != db.distribution \
+                            or da.halo != db.halo:
+                        self._add(
+                            "structure", op,
+                            f"swapped arrays must agree on shape/"
+                            f"dtype/distribution/halo: "
+                            f"{op.a}({da.shape},{da.dtype},{da.halo}) "
+                            f"vs {op.b}({db.shape},{db.dtype},"
+                            f"{db.halo})")
+                    # halo residency travels with the buffers
+                    sa = {k: v for k, v in state.items()
+                          if k[0] == op.a}
+                    sb = {k: v for k, v in state.items()
+                          if k[0] == op.b}
+                    self._kill(state, op.a)
+                    self._kill(state, op.b)
+                    for (_, d, s), c in sa.items():
+                        state[(op.b, d, s)] = c
+                    for (_, d, s), c in sb.items():
+                        state[(op.a, d, s)] = c
             elif isinstance(op, ScalarAssignOp):
                 self._check_expr(op, op.rhs, state, allocated, ever,
                                  scalars)

@@ -17,8 +17,8 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.plan import (
     AllocOp, CondOp, FreeOp, FullShiftOp, LoopNestOp, OverlappedOp,
-    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, WhileOp,
-    op_label,
+    OverlapShiftOp, Plan, PlanOp, ScalarAssignOp, SeqLoopOp, SwapOp,
+    WhileOp, op_label,
 )
 from repro.ir.nodes import (
     BinOp, Compare, Const, Expr, Intrinsic, OffsetRef, Reduction,
@@ -306,6 +306,20 @@ class _Exec:
             full_eoshift(self.machine, dst, src, op.shift, op.dim,
                          op.boundary)
 
+    def do_swap(self, op: SwapOp) -> None:
+        """Exchange the name→buffer bindings of two arrays.
+
+        A pointer swap: no data moves, nothing is charged to the cost
+        model, and the buffers keep their birth identity (memory
+        accounting, shared-memory segment names, and message tags stay
+        keyed by the name each buffer was created under — identically
+        in every backend, which is what keeps the equivalence contract
+        bitwise).
+        """
+        a = self.darray(op.a)
+        b = self.darray(op.b)
+        self.darrays[op.a], self.darrays[op.b] = b, a
+
     def _dispatch(self, op: PlanOp) -> None:
         if isinstance(op, LoopNestOp):
             self.run_nest(op)
@@ -313,6 +327,8 @@ class _Exec:
             self.do_overlap_shift(op)
         elif isinstance(op, FullShiftOp):
             self.do_full_shift(op)
+        elif isinstance(op, SwapOp):
+            self.do_swap(op)
         elif isinstance(op, AllocOp):
             for name in op.names:
                 self.materialize(name)

@@ -644,7 +644,7 @@ class _WorkerExec(_Exec):
             "peaks": [self.machine.memory.peak(pe)
                       for pe in range(self.machine.npes)],
             "scalars": dict(self.scalars),
-            "live": sorted((n, da.gen)
+            "live": sorted((n, da.name, da.gen)
                            for n, da in self.darrays.items()),
             "prof": prof,
             "metrics": {
@@ -993,26 +993,32 @@ class ParallelExec(_Exec):
                  "worker liveness.", deterministic=False,
         ).set(self._liveness_polls)
 
-    def _sync_darrays(self, live: list[tuple[str, int]]) -> None:
+    def _sync_darrays(self, live: list[tuple[str, str, int]]) -> None:
         """Mirror the workers' live-array set: attach plan-allocated
         arrays that appeared, drop arrays the plan freed (the workers
-        already unlinked their segments)."""
-        for name, gen in live:
+        already unlinked their segments).
+
+        Each entry is ``(logical, birth, gen)``: ``logical`` is the
+        plan-level binding, ``birth`` the buffer's allocation name.
+        They differ after a ``SwapOp`` exchanged two bindings — shared
+        segment names derive from the *birth* name, so the parent must
+        attach ``birth``'s segments under the ``logical`` key."""
+        for name, birth, gen in live:
             cur = self.darrays.get(name)
-            if cur is not None and cur.gen == gen:
+            if cur is not None and cur.name == birth and cur.gen == gen:
                 continue
             if cur is not None:
                 cur.close()
-            decl = self.plan.arrays[name]
+            decl = self.plan.arrays[birth]
             layout = cached_layout(decl.shape, decl.distribution,
                                    self.machine.topology)
             pes = list(layout.grid.ranks())
             self.darrays[name] = ShmDArray.build(
-                self.machine, name, layout, decl.dtype, decl.halo,
+                self.machine, birth, layout, decl.dtype, decl.halo,
                 run_id=self.run_id, gen=gen, create_pes=(),
                 owned_pes=pes, charge=False)
-            self._gen[name] = max(self._gen.get(name, 0), gen)
-        live_names = {name for name, _ in live}
+            self._gen[birth] = max(self._gen.get(birth, 0), gen)
+        live_names = {name for name, _, _ in live}
         for name in [n for n in self.darrays if n not in live_names]:
             self.darrays.pop(name).close()
 

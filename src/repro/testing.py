@@ -273,7 +273,8 @@ def backend_equivalence_check(program: GeneratedProgram,
                               grids: tuple[tuple[int, ...], ...] = ((2, 2),),
                               iterations: int = 1,
                               backends: tuple[tuple[str, dict], ...] =
-                              EQUIVALENCE_BACKENDS) -> None:
+                              EQUIVALENCE_BACKENDS,
+                              compile_options: dict | None = None) -> None:
     """Run under every execution backend at every level/grid; demand
     bitwise-identical arrays and scalars AND identical cost accounting
     (message/byte/copy counts, per-PE times, peak memory) AND an
@@ -294,11 +295,18 @@ def backend_equivalence_check(program: GeneratedProgram,
     wall clock or a backend-specific mechanism) must be *bitwise*
     identical across backends; wall-clock and backend-local series are
     excluded by construction via the invariant tag.
+
+    ``compile_options`` forwards extra keyword options (e.g.
+    ``plan_passes=True``) to every ``compile_hpf`` call; an ``outputs``
+    key overrides the default (every program array observable) so loop
+    passes that require a dead scratch array can fire.
     """
     from repro.obs import metrics as _metrics
+    opts = dict(compile_options or {})
+    outs = opts.pop("outputs", set(program.arrays))
     for level in levels:
         compiled = compile_hpf(program.source, bindings=program.bindings,
-                               level=level, outputs=set(program.arrays))
+                               level=level, outputs=outs, **opts)
         for grid in grids:
             results = {}
             logs = {}

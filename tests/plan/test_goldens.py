@@ -28,7 +28,9 @@ def test_checked_in_goldens_match_compiler():
 
 def test_manifest_covers_every_named_kernel():
     manifest = json.loads(golden_plans.MANIFEST.read_text())
-    assert manifest["kernels"] == sorted(KERNELS)
+    expected = sorted(set(KERNELS) | {
+        f"{name}+passes" for name in golden_plans.LOOP_KERNELS})
+    assert manifest["kernels"] == expected
     assert manifest["schema"] == PLAN_SCHEMA_VERSION
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ReproError
 from repro.kernels import KERNELS, compile_kernel
@@ -82,3 +84,45 @@ def test_program_document_carries_report_and_name():
 def test_garbage_rejected():
     with pytest.raises(ReproError):
         plan_from_json("{\"not\": \"a plan\"}")
+
+
+# ---------------------------------------------------------------------------
+# schema v2: loop containers, SwapOp, and the outputs field
+# ---------------------------------------------------------------------------
+
+def _swap_loop_plan(halo: int, trips: int, outputs):
+    """A hand-built double-buffer loop already in post-pass form."""
+    from dataclasses import replace
+
+    from repro.ir.linexpr import LinExpr
+    from repro.plan import AllocOp, FreeOp, SeqLoopOp, SwapOp
+
+    from tests.plan.helpers import OffsetRef, decl, nest, simple_plan
+
+    h = ((halo, halo), (halo, halo))
+    arrays = {"U": decl("U", halo=h),
+              "V": decl("V", halo=h, temporary=True)}
+    body = [nest("V", OffsetRef("U", (0, 0))), SwapOp("V", "U")]
+    plan = simple_plan(
+        [AllocOp(names=("V",)),
+         SeqLoopOp(var="K", lo=LinExpr(1), hi=LinExpr(trips),
+                   body=body),
+         FreeOp(names=("V",))], arrays=arrays)
+    return replace(plan, outputs=outputs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(halo=st.integers(0, 2), trips=st.integers(1, 4),
+       outputs=st.sampled_from([None, ("U",), ("U", "V")]))
+def test_swap_loop_plans_round_trip(halo, trips, outputs):
+    from repro.plan import SwapOp, verify_plan
+
+    plan = _swap_loop_plan(halo, trips, outputs)
+    assert verify_plan(plan) == []
+    doc = plan_to_json(plan)
+    revived = plan_from_json(doc)
+    assert plan_to_json(revived) == doc
+    assert revived.outputs == outputs
+    loop = revived.ops[1]
+    assert [(op.a, op.b) for op in loop.body
+            if isinstance(op, SwapOp)] == [("V", "U")]

@@ -185,3 +185,48 @@ def test_verifier_rejects_shrunk_halo_on_real_plan():
     broken = dataclasses.replace(
         plan, arrays={**plan.arrays, name: shrunk})
     assert any(p.check == "halo" for p in verify_plan(broken))
+
+
+# ---------------------------------------------------------------------------
+# buffer swaps (SwapOp): structural checks plus residency travel
+# ---------------------------------------------------------------------------
+
+def test_rejects_swap_with_itself():
+    from repro.plan import SwapOp
+
+    plan = simple_plan([SwapOp("U", "U")])
+    msgs = problems_of(plan)
+    assert any("[structure]" in m and "swap of an array with itself" in m
+               for m in msgs), msgs
+
+
+def test_rejects_swap_of_mismatched_declarations():
+    from repro.plan import SwapOp
+
+    arrays = {"U": decl("U"),
+              "V": decl("V", halo=((0, 0), (0, 0)), temporary=True)}
+    plan = simple_plan([AllocOp(names=("V",)), SwapOp("V", "U"),
+                        FreeOp(names=("V",))], arrays=arrays)
+    msgs = problems_of(plan)
+    assert any("[structure]" in m and "must agree" in m
+               for m in msgs), msgs
+
+
+def test_swap_moves_halo_residency_with_the_buffer():
+    from repro.plan import SwapOp
+
+    # the shifted halo of U travels into the V binding across the swap,
+    # so the deep read of V is covered...
+    good = simple_plan([AllocOp(names=("V",)), shift(s=1),
+                        SwapOp("U", "V"),
+                        copy_nest("U", "V", (1, 0)),
+                        FreeOp(names=("V",))])
+    assert verify_plan(good) == []
+    # ...while the same deep read of U is now stale: its residency left
+    # with the buffer
+    bad = simple_plan([AllocOp(names=("V",)), shift(s=1),
+                       SwapOp("U", "V"),
+                       copy_nest("V", "U", (1, 0)),
+                       FreeOp(names=("V",))])
+    msgs = problems_of(bad)
+    assert any("[coverage]" in m for m in msgs), msgs

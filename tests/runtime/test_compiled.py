@@ -23,7 +23,7 @@ from repro.testing import preferred_test_jit
 
 SMALL_N = {"five_point": 12, "nine_point_cshift": 12, "nine_point": 12,
            "purdue9": 12, "twentyfive_point": 16, "seven_point_3d": 8,
-           "box27_3d": 8}
+           "box27_3d": 8, "jacobi": 12, "red_black": 12, "cg": 12}
 
 JIT = preferred_test_jit()
 

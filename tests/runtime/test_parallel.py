@@ -32,7 +32,7 @@ pytestmark = pytest.mark.parallel
 
 SMALL_N = {"five_point": 12, "nine_point_cshift": 12, "nine_point": 12,
            "purdue9": 12, "twentyfive_point": 16, "seven_point_3d": 8,
-           "box27_3d": 8}
+           "box27_3d": 8, "jacobi": 12, "red_black": 12, "cg": 12}
 
 
 def _kernel_program(name: str) -> tuple[GeneratedProgram, dict]:
@@ -41,7 +41,9 @@ def _kernel_program(name: str) -> tuple[GeneratedProgram, dict]:
     spec = KERNELS[name]
     prog = GeneratedProgram(source=spec.source,
                             arrays=sorted(spec.outputs),
-                            bindings={"N": SMALL_N[name]})
+                            scalars=dict(spec.default_scalars),
+                            bindings={**spec.default_bindings,
+                                      "N": SMALL_N[name]})
     compiled = compile_hpf(spec.source, bindings=prog.bindings,
                            level="O0", outputs=set(spec.outputs))
     rng = np.random.default_rng(7)
