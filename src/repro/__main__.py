@@ -25,6 +25,10 @@ Commands
               ``--prom`` the Prometheus text exposition, ``-o`` writes
               a file (``.prom`` suffix selects the exposition format),
               and ``--ledger PATH`` appends the run to a JSONL ledger.
+``serve``     start the compile-and-run HTTP service: POST /compile
+              and /run job documents, GET /plan/<key>, /metrics
+              (Prometheus), /healthz, POST /cache/warm and
+              /cache/evict.  See README "Compile-and-run service".
 ``experiments``  regenerate the paper's evaluation exhibits.
 
 ``run`` and ``profile`` accept ``--metrics FILE`` to capture the same
@@ -500,6 +504,14 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+    return serve(host=args.host, port=args.port,
+                 cache_dir=args.cache_dir, ledger_path=args.ledger,
+                 pool_workers=args.pool_workers,
+                 max_pending=args.max_pending)
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import (ablations, fig11, fig17, fig18,
                                    messages, robustness, scaling,
@@ -726,6 +738,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("-o", "--out", default=None, metavar="FILE",
                    help="write the plan to FILE instead of stdout")
     p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the compile-and-run HTTP service")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="bind port; 0 picks an ephemeral port "
+                        "(default 8080)")
+    p.add_argument("--cache-dir", default=None, metavar="PATH",
+                   help="persist compiled plans under PATH/plans and "
+                        "generated kernels under PATH/kernels")
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="append every job to the JSONL run ledger at "
+                        "PATH")
+    p.add_argument("--pool-workers", type=_workers_arg, default=None,
+                   metavar="N",
+                   help="worker threads executing jobs (default: cpu "
+                        "count capped at 4)")
+    p.add_argument("--max-pending", type=int, default=None,
+                   metavar="N",
+                   help="jobs admitted before shedding load with 429 "
+                        "(default: 4x pool workers)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("experiments",
                        help="regenerate the paper's exhibits")

@@ -17,5 +17,6 @@ from repro.compiler.options import OptLevel, CompilerOptions  # noqa: F401
 from repro.compiler.driver import HpfCompiler, compile_hpf  # noqa: F401
 from repro.plan import Plan, CompiledProgram  # noqa: F401
 from repro.compiler.cache import (  # noqa: F401
-    DEFAULT_CACHE, CacheStats, PersistentPlanCache, PlanCache, cache_key,
+    DEFAULT_CACHE, CacheStats, PersistentPlanCache, PlanCache,
+    TieredPlanCache, cache_key,
 )

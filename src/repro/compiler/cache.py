@@ -229,6 +229,14 @@ class PersistentPlanCache:
     def _prune(self) -> int:
         """Evict oldest-mtime entries beyond ``max_entries``.
 
+        Eviction order is ``(st_mtime, name)``: on coarse-mtime
+        filesystems many entries share one timestamp, and ordering by
+        raw mtime alone left ties in directory-listing order — an
+        arbitrary, filesystem-dependent choice that could evict the
+        entry a concurrent ``get`` had just touched.  The name
+        tie-break makes the victim set a pure function of the directory
+        contents, so concurrent pruners also agree on it.
+
         Tolerates concurrent writers and sweepers: a file vanishing
         between the listing and the unlink is someone else's prune, not
         an error.
@@ -236,14 +244,14 @@ class PersistentPlanCache:
         entries = []
         for f in self.path.glob("*.json"):
             try:
-                entries.append((f.stat().st_mtime, f))
+                entries.append((f.stat().st_mtime, f.name, f))
             except OSError:
                 pass
         excess = len(entries) - self.max_entries
         pruned = 0
         if excess > 0:
-            entries.sort(key=lambda pair: pair[0])
-            for _, f in entries[:excess]:
+            entries.sort(key=lambda item: item[:2])
+            for _, _, f in entries[:excess]:
                 try:
                     f.unlink()
                     pruned += 1
@@ -323,6 +331,62 @@ class PersistentPlanCache:
             except OSError:
                 pass
         self.stats.record("invalidation", dropped)
+        return dropped
+
+
+class TieredPlanCache:
+    """Memory-over-disk plan cache: :class:`PlanCache` in front of a
+    :class:`PersistentPlanCache`, with promotion on disk hits.
+
+    Both tiers must derive the same key, so the disk tier is required
+    to be machine-agnostic (``machine_fingerprint=""`` — the service
+    caches symbolic plans, which are machine-independent; executors
+    bind the processor grid at run time).  ``get`` checks memory first,
+    falls back to disk, and promotes disk hits into memory so repeat
+    lookups stay in-process; ``put`` writes through to both tiers.
+
+    Duck-compatible with the ``cache=`` argument of
+    :func:`compile_hpf` (``key_for``/``get``/``put``/``invalidate``).
+    """
+
+    def __init__(self, memory: PlanCache,
+                 disk: "PersistentPlanCache | None" = None) -> None:
+        if disk is not None and disk.machine_fingerprint:
+            raise ValueError(
+                "TieredPlanCache needs a machine-agnostic disk tier "
+                "(machine_fingerprint=''), else the tiers derive "
+                "different keys for one compilation")
+        self.memory = memory
+        self.disk = disk
+        # driver tracer spans read ``cache.stats``; the memory tier's
+        # counters are the service-relevant ones (disk keeps its own)
+        self.stats = memory.stats
+
+    def key_for(self, source: str, name: str,
+                bindings: "dict[str, int] | None",
+                options: CompilerOptions) -> str:
+        return self.memory.key_for(source, name, bindings, options)
+
+    def get(self, key: str) -> CompiledProgram | None:
+        program = self.memory.get(key)
+        if program is not None:
+            return program
+        if self.disk is None:
+            return None
+        program = self.disk.get(key)
+        if program is not None:
+            self.memory.put(key, program)
+        return program
+
+    def put(self, key: str, program: CompiledProgram) -> None:
+        self.memory.put(key, program)
+        if self.disk is not None:
+            self.disk.put(key, program)
+
+    def invalidate(self, key: str | None = None) -> int:
+        dropped = self.memory.invalidate(key)
+        if self.disk is not None:
+            dropped += self.disk.invalidate(key)
         return dropped
 
 

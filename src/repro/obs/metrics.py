@@ -25,6 +25,14 @@ Design contract (mirrors :class:`~repro.obs.tracer.NullTracer`):
   its exact inverse.  The Prometheus text exposition lives in
   :mod:`repro.obs.export`.
 
+* **Context-scoped installs.**  :func:`use_registry` and
+  :func:`set_registry` scope the active registry through a
+  :class:`contextvars.ContextVar`, so concurrent asyncio tasks and
+  threads (the service's request handlers) each see their own
+  registry and can never cross-publish series.  Contexts without an
+  install fall back to the process default
+  (:func:`set_process_default`; :data:`NULL_REGISTRY` unless changed).
+
 Use :func:`use_registry` to install a live registry for a scope::
 
     from repro.obs import metrics
@@ -38,6 +46,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 
 #: Header object of every metrics JSON document.
@@ -388,33 +397,81 @@ class NullRegistry:
 #: The process-default registry: metrics are opt-in.
 NULL_REGISTRY = NullRegistry()
 
-_ACTIVE: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
+#: Process-wide fallback used when no context-local registry is
+#: installed: the zero-overhead null default, replaceable for CLI-style
+#: single-tenant processes via :func:`set_process_default`.
+_PROCESS_DEFAULT: "MetricsRegistry | NullRegistry" = NULL_REGISTRY
+
+#: Context-local registry scope.  A plain module global here was the
+#: concurrency bug the service flushed out: ``use_registry()`` in one
+#: asyncio task (or thread) swapped the registry for *every* other
+#: in-flight task, cross-publishing concurrent requests' series.  A
+#: ``ContextVar`` scopes the install to the current task/thread context
+#: — each request's registry is invisible to its neighbours — while
+#: ``None`` (the var's default) falls through to the process default,
+#: so single-context CLI paths behave exactly as before.
+_ACTIVE_VAR: "ContextVar[MetricsRegistry | NullRegistry | None]" = \
+    ContextVar("repro_metrics_registry", default=None)
 
 
 def get_registry() -> "MetricsRegistry | NullRegistry":
-    """The currently installed registry (never ``None``)."""
-    return _ACTIVE
+    """The currently installed registry (never ``None``): the
+    context-local one if a scope is active, else the process default."""
+    registry = _ACTIVE_VAR.get()
+    return registry if registry is not None else _PROCESS_DEFAULT
 
 
 def set_registry(registry) -> "MetricsRegistry | NullRegistry":
-    """Install ``registry`` (``None`` restores the null default);
-    returns the previously installed one."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = registry if registry is not None else NULL_REGISTRY
+    """Install ``registry`` in the *current context* (``None`` restores
+    the null default); returns the previously effective one.
+
+    The install is context-local: concurrent asyncio tasks and threads
+    keep their own registries.  Use :func:`set_process_default` to
+    change the fallback every context without an install sees.
+    Installing ``None`` (or :data:`NULL_REGISTRY`) clears the
+    context-local slot entirely, so the process default shows through
+    again rather than being shadowed by a sticky null.
+    """
+    previous = get_registry()
+    if registry is None or registry is NULL_REGISTRY:
+        _ACTIVE_VAR.set(None)
+    else:
+        _ACTIVE_VAR.set(registry)
+    return previous
+
+
+def set_process_default(registry) -> "MetricsRegistry | NullRegistry":
+    """Install ``registry`` as the process-wide fallback (``None``
+    restores :data:`NULL_REGISTRY`); returns the previous default.
+
+    The fallback is what :func:`get_registry` returns in contexts with
+    no :func:`use_registry`/:func:`set_registry` install — fresh
+    threads, new asyncio tasks.  Single-tenant CLI processes may point
+    it at a live registry so helper threads publish too; the service
+    never does (each request runs under its own context-local scope).
+    """
+    global _PROCESS_DEFAULT
+    previous = _PROCESS_DEFAULT
+    _PROCESS_DEFAULT = registry if registry is not None \
+        else NULL_REGISTRY
     return previous
 
 
 @contextmanager
 def use_registry(registry: "MetricsRegistry | None" = None):
     """Scoped install: a fresh :class:`MetricsRegistry` (or the given
-    one) for the block, the previous registry restored after."""
+    one) for the block, the previous registry restored after.
+
+    The scope is context-local (:mod:`contextvars`): other asyncio
+    tasks and threads never observe it, so concurrent scopes cannot
+    cross-publish each other's series.
+    """
     reg = registry if registry is not None else MetricsRegistry()
-    previous = set_registry(reg)
+    token = _ACTIVE_VAR.set(reg)
     try:
         yield reg
     finally:
-        set_registry(previous)
+        _ACTIVE_VAR.reset(token)
 
 
 # ---------------------------------------------------------------------------
@@ -465,7 +522,7 @@ class CacheStats:
             return
         field = CACHE_EVENT_FIELDS[event]
         setattr(self, field, getattr(self, field) + n)
-        registry = _ACTIVE
+        registry = get_registry()
         if registry.enabled:
             registry.counter(
                 "repro_cache_events_total",

@@ -54,7 +54,10 @@ peers within a fraction of a second, naming the dead worker and the
 PEs it owned.
 
 **Shared-memory lifecycle.**  Segment names are
-``{run_id}-{array}-g{gen}-p{pe}`` where ``gen`` is a per-array-name
+``{run_id}-{array}-g{gen}-p{pe}`` — where ``run_id`` is
+``repro-{pid}-{hex}``, embedding the coordinator's pid so a later
+process can tell an orphaned run from a live one — and ``gen`` is a
+per-array-name
 generation counter every process advances identically (entry arrays in
 ``plan.entry_arrays`` order, then plan allocations in execution order),
 so free-then-reallocate never aliases a stale segment.  The parent
@@ -162,6 +165,81 @@ def _untrack(seg: shared_memory.SharedMemory) -> None:
         resource_tracker.unregister(seg._name, "shared_memory")
     except Exception:
         pass
+
+
+#: Directory POSIX shared memory surfaces in on Linux; tests point this
+#: elsewhere to exercise the reclamation scan without real segments.
+SHM_DIR = "/dev/shm"
+
+#: Minimum seconds between throttled reclamation scans (see
+#: :func:`reclaim_stale_segments`).
+RECLAIM_INTERVAL_S = 30.0
+
+_last_reclaim = 0.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    except OSError:  # pragma: no cover
+        return True
+    return True
+
+
+def reclaim_stale_segments(shm_dir: str | None = None, *,
+                           throttle: bool = False) -> list[str]:
+    """Unlink shm segments left behind by dead coordinators.
+
+    A coordinator killed with SIGKILL never runs :meth:`ParallelExec.
+    close`, so its ``repro-{pid}-...`` segments leak in ``/dev/shm``
+    until reboot.  Every new :class:`ParallelExec` (and the service's
+    worker pool) calls this sweep: any segment whose embedded creator
+    pid no longer names a live process is unlinked.  Segments from live
+    pids — including our own — and names that don't parse (other
+    software, or pre-pid-format runs) are left strictly alone, so a
+    concurrently running coordinator is never raced.
+
+    With ``throttle=True`` the scan is skipped unless
+    :data:`RECLAIM_INTERVAL_S` seconds have passed since the last one,
+    bounding the directory-scan cost on hot paths.  Returns the
+    basenames of the segments reclaimed.
+    """
+    global _last_reclaim
+    if throttle:
+        now = time.monotonic()
+        if now - _last_reclaim < RECLAIM_INTERVAL_S:
+            return []
+        _last_reclaim = now
+    directory = shm_dir if shm_dir is not None else SHM_DIR
+    reclaimed: list[str] = []
+    own_pid = os.getpid()
+    dead: dict[int, bool] = {}
+    for path in _glob.glob(os.path.join(directory, "repro-*-*")):
+        name = os.path.basename(path)
+        try:
+            pid = int(name.split("-")[1])
+        except (IndexError, ValueError):
+            continue  # pre-pid name format or foreign file: hands off
+        if pid == own_pid:
+            continue
+        if pid not in dead:
+            dead[pid] = not _pid_alive(pid)
+        if not dead[pid]:
+            continue
+        try:
+            if directory == SHM_DIR:
+                _unlink_segment(name)
+            else:  # test harness: plain files standing in for segments
+                os.unlink(path)
+            reclaimed.append(name)
+        except (FileNotFoundError, OSError):
+            pass  # raced with another reclaimer
+    return reclaimed
 
 
 def _unlink_segment(name: str) -> None:
@@ -768,7 +846,10 @@ class ParallelExec(_Exec):
                          for pe in range(machine.npes)]
         self._init_scalars = dict(scalars or {})
         self._hpf_overhead = bool(hpf_overhead)
-        self.run_id = f"repro-{uuid.uuid4().hex[:12]}"
+        # Pid-stamped so reclaim_stale_segments can tell an orphaned
+        # run's segments from a live coordinator's.
+        self.run_id = f"repro-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        reclaim_stale_segments(throttle=True)
         self._gen: dict[str, int] = {}
         self._procs: list = []
         self._cmd_qs: list = []

@@ -1,0 +1,415 @@
+"""Request handlers and shared service state.
+
+One :class:`ServiceState` per server holds the pieces every request
+shares: the tiered plan cache (:class:`~repro.compiler.cache.
+TieredPlanCache` — in-memory LRU over an optional machine-agnostic
+disk tier), the :class:`~repro.service.coalescer.Coalescer` that folds
+identical in-flight compilations onto one future, the bounded
+:class:`~repro.service.pool.WorkerPool`, the service-wide
+:class:`~repro.obs.metrics.MetricsRegistry` that ``GET /metrics``
+exposes, and the optional :class:`~repro.obs.ledger.RunLedger`.
+
+Isolation contract: each job runs on a pool thread under its *own*
+context-local metrics registry (``use_registry``), so concurrent jobs
+never interleave series and the per-run metrics document a ``/run``
+response embeds describes exactly that run.  The service-wide registry
+receives only the ``repro_service_*`` series, published directly
+through handles — plus cache-counter gauges refreshed from each
+cache's own thread-safe :class:`~repro.obs.metrics.CacheStats` at
+scrape time.
+
+Handlers return :class:`Response` objects; the HTTP framing lives in
+:mod:`repro.service.app`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.coalescer import Coalescer
+from repro.service.pool import WorkerPool
+from repro.service.schemas import (
+    CompileJob, JobError, RunJob, SERVICE_SCHEMA, parse_compile_job,
+    parse_run_job,
+)
+
+#: Fingerprint ledger records carry for machine-less (compile-only)
+#: requests.
+COMPILE_FINGERPRINT = "service:compile"
+
+#: Plan documents kept addressable via ``GET /plan/<key>`` (each is
+#: stored under both its cache key and its content sha).
+MAX_PLAN_DOCS = 256
+
+
+@dataclass
+class Response:
+    """One HTTP response, ready for framing."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, doc: dict, status: int = 200,
+             **headers) -> "Response":
+        doc = {"schema": dict(SERVICE_SCHEMA), **doc}
+        return cls(status=status, headers=headers,
+                   body=(json.dumps(doc, sort_keys=True) + "\n")
+                   .encode())
+
+    @classmethod
+    def error(cls, status: int, message: str, **headers) -> "Response":
+        return cls.json({"kind": "error", "error": message},
+                        status=status, **headers)
+
+
+class ServiceState:
+    """Everything one server instance shares across requests."""
+
+    def __init__(self, cache_dir: "str | None" = None,
+                 ledger_path: "str | None" = None,
+                 pool: "WorkerPool | None" = None,
+                 plan_cache_size: int = 128) -> None:
+        from repro.compiler import (
+            PersistentPlanCache, PlanCache, TieredPlanCache,
+        )
+        from repro.obs import RunLedger
+        from repro.obs.metrics import MetricsRegistry
+
+        self.kernel_cache_dir: "Path | None" = None
+        disk = None
+        if cache_dir:
+            base = Path(cache_dir)
+            # machine-agnostic on purpose: the service caches symbolic
+            # plans, and both tiers must derive identical keys
+            disk = PersistentPlanCache(base / "plans",
+                                       machine_fingerprint="")
+            self.kernel_cache_dir = base / "kernels"
+        self.plan_cache = TieredPlanCache(PlanCache(plan_cache_size),
+                                          disk)
+        self.ledger = RunLedger(ledger_path) if ledger_path else None
+        self.coalescer = Coalescer()
+        self.pool = pool or WorkerPool()
+        self.plan_docs: "OrderedDict[str, str]" = OrderedDict()
+
+        self.registry = MetricsRegistry()
+        self.requests_total = self.registry.counter(
+            "repro_service_requests_total",
+            help="Requests served, by route, method, and status.",
+            deterministic=False)
+        self.coalesced_total = self.registry.counter(
+            "repro_service_coalesced_total",
+            help="Compilations by coalescing role: a leader ran the "
+                 "compiler, a follower reused an in-flight leader's "
+                 "future.",
+            deterministic=False)
+        self.rejected_total = self.registry.counter(
+            "repro_service_rejected_total",
+            help="Jobs shed by admission control (HTTP 429).",
+            deterministic=False)
+        self.inflight = self.registry.gauge(
+            "repro_service_inflight_requests",
+            help="Requests currently being handled.",
+            deterministic=False)
+        self.job_seconds = self.registry.histogram(
+            "repro_service_job_seconds",
+            help="Wall-clock seconds per job, by kind.",
+            deterministic=False)
+        self.cache_events = self.registry.gauge(
+            "repro_service_cache_events",
+            help="Cumulative cache counters (hits, misses, ...), by "
+                 "cache label; refreshed at scrape time.",
+            deterministic=False)
+
+    # -- cache stats --------------------------------------------------------
+    def cache_stats(self) -> dict[str, dict[str, float]]:
+        """Counter snapshots of every cache tier, by label."""
+        stats = [self.plan_cache.memory.stats]
+        if self.plan_cache.disk is not None:
+            stats.append(self.plan_cache.disk.stats)
+        return {s.label: s.as_dict() for s in stats}
+
+    def refresh_cache_gauges(self) -> None:
+        for label, snapshot in self.cache_stats().items():
+            for event, value in snapshot.items():
+                self.cache_events.set(value, cache=label, event=event)
+
+    def _remember_plan(self, key: str, plan_key: str,
+                       text: str) -> None:
+        for alias in (key, plan_key):
+            self.plan_docs[alias] = text
+            self.plan_docs.move_to_end(alias)
+        while len(self.plan_docs) > MAX_PLAN_DOCS:
+            self.plan_docs.popitem(last=False)
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+
+# -- shared compile path ----------------------------------------------------
+
+def _compile_key(state: ServiceState, job: CompileJob) -> str:
+    from repro.compiler import CompilerOptions
+    options = CompilerOptions.make(job.level, job.outputs, cse=job.cse,
+                                   plan_passes=job.plan_passes)
+    return state.plan_cache.key_for(job.source, "MAIN", job.bindings,
+                                    options)
+
+
+def _compile_sync(state: ServiceState, job: CompileJob):
+    """Pool-thread compilation under a private metrics context."""
+    from repro.compiler import compile_hpf
+    from repro.obs import metrics as obs_metrics
+    from repro.plan import plan_to_json
+
+    with obs_metrics.use_registry():
+        compiled = compile_hpf(job.source, cache=state.plan_cache,
+                               **job.compiler_kwargs())
+    text = plan_to_json(compiled.plan)
+    plan_key = hashlib.sha256(text.encode()).hexdigest()
+    return compiled, text, plan_key
+
+
+async def _compile_shared(state: ServiceState, job: CompileJob):
+    """Compile once per identical in-flight request.
+
+    The coalesce key is the plan-cache key, so the dedup horizon is
+    exactly the cache's: requests that would hit the same cache entry
+    share the same leader.  Returns
+    ``(key, compiled, plan_key, coalesced)``.
+    """
+    key = _compile_key(state, job)
+
+    async def factory():
+        return await state.pool.submit(
+            lambda: _compile_sync(state, job))
+
+    (compiled, text, plan_key), coalesced = \
+        await state.coalescer.run(key, factory)
+    state.coalesced_total.inc(
+        role="follower" if coalesced else "leader")
+    state._remember_plan(key, plan_key, text)
+    return key, compiled, plan_key, coalesced
+
+
+def _report_doc(compiled) -> dict:
+    r = compiled.report
+    return {
+        "level": r.level,
+        "overlap_shifts": r.overlap_shifts,
+        "full_shifts": r.full_shifts,
+        "loop_nests": r.loop_nests,
+        "fused_statements": r.fused_statements,
+        "temporaries": r.temporaries,
+        "temp_bytes_global": r.temp_bytes_global,
+        "copies_inserted": r.copies_inserted,
+    }
+
+
+# -- handlers ---------------------------------------------------------------
+
+async def handle_compile(state: ServiceState, doc: object) -> Response:
+    job = parse_compile_job(doc)
+    key, compiled, plan_key, coalesced = \
+        await _compile_shared(state, job)
+    out = {
+        "kind": "compile", "key": key, "plan_key": plan_key,
+        "coalesced": coalesced, "kernel": job.kernel,
+        "report": _report_doc(compiled), "plan_url": f"/plan/{key}",
+    }
+    if job.include_plan:
+        out["plan"] = json.loads(state.plan_docs[key])
+    if state.ledger is not None:
+        state.ledger.append(
+            fingerprint=COMPILE_FINGERPRINT, plan_key=plan_key,
+            backend="", factors={"level": job.level},
+            extra={"route": "/compile", "kernel": job.kernel or "",
+                   "coalesced": coalesced})
+    return Response.json(out)
+
+
+def _run_sync(state: ServiceState, job: RunJob, compiled,
+              plan_key: str):
+    """Pool-thread execution: seeded inputs, scoped codegen options,
+    a private metrics registry, and the ledger append.
+
+    Input generation replicates :func:`repro.kernels.run_kernel`
+    line-for-line (one ``default_rng(seed)`` drawing
+    ``standard_normal`` per entry array in plan order), so a service
+    run is bitwise-identical to the same run made directly.
+    """
+    import numpy as np
+
+    from repro.obs import metrics as obs_metrics
+
+    machine = job.machine.build()
+    with obs_metrics.use_registry() as registry:
+        rng = np.random.default_rng(job.seed)
+        inputs = {
+            arr: rng.standard_normal(decl.shape).astype(decl.dtype)
+            for arr, decl in compiled.plan.arrays.items()
+            if arr in compiled.plan.entry_arrays}
+        with _codegen_scope(state, job):
+            result = compiled.run(
+                machine, inputs=inputs, iterations=job.iterations,
+                scalars=job.scalars, backend=job.backend,
+                workers=job.workers, profile=job.profile)
+    if state.ledger is not None:
+        from repro.codegen.options import current_options
+        with _codegen_scope(state, job):
+            opts = current_options()
+        state.ledger.append(
+            machine=machine, plan_key=plan_key, backend=job.backend,
+            factors={"level": job.compile.level, "tile": opts.tile,
+                     "unroll": opts.unroll, "jit": opts.jit,
+                     "codegen": opts.factor_fingerprint()},
+            metrics=registry.to_dict(),
+            extra={"route": "/run",
+                   "grid": "x".join(map(str, machine.grid)),
+                   "iterations": job.iterations,
+                   "kernel": job.compile.kernel or ""})
+    return result, registry
+
+
+def _codegen_scope(state: ServiceState, job: RunJob):
+    from contextlib import nullcontext
+
+    overrides = {}
+    for name in ("tile", "unroll", "jit"):
+        value = getattr(job, name)
+        if value is not None:
+            overrides[name] = value
+    if state.kernel_cache_dir is not None:
+        overrides["cache_dir"] = str(state.kernel_cache_dir)
+    if not overrides:
+        return nullcontext()
+    from repro.codegen import codegen_options
+    return codegen_options(**overrides)
+
+
+def _array_doc(arr, mode: str) -> dict:
+    import numpy as np
+
+    entry = {"shape": list(arr.shape), "dtype": str(arr.dtype),
+             "checksum": float(np.abs(arr).sum())}
+    if mode in ("digest", "full"):
+        entry["sha256"] = hashlib.sha256(arr.tobytes()).hexdigest()
+    if mode == "full":
+        entry["data"] = base64.b64encode(arr.tobytes()).decode()
+    return entry
+
+
+async def handle_run(state: ServiceState, doc: object) -> Response:
+    job = parse_run_job(doc)
+    key, compiled, plan_key, coalesced = \
+        await _compile_shared(state, job.compile)
+    result, registry = await state.pool.submit(
+        lambda: _run_sync(state, job, compiled, plan_key))
+    out = {
+        "kind": "run", "key": key, "plan_key": plan_key,
+        "coalesced": coalesced, "kernel": job.compile.kernel,
+        "backend": job.backend, "iterations": job.iterations,
+        "seed": job.seed, "report": _report_doc(compiled),
+        "summary": result.summary(),
+        "scalars": {k: float(v)
+                    for k, v in sorted(result.scalars.items())},
+        "metrics": registry.to_dict(), "plan_url": f"/plan/{key}",
+    }
+    if job.arrays != "none":
+        out["arrays"] = {name: _array_doc(arr, job.arrays)
+                         for name, arr in sorted(result.arrays.items())}
+    if job.profile and result.profile is not None:
+        from repro.obs import profile_to_json
+        result.profile.kernel = job.compile.kernel or "source"
+        result.profile.level = job.compile.level
+        out["profile"] = json.loads(profile_to_json(result.profile))
+    return Response.json(out)
+
+
+async def handle_plan(state: ServiceState, key: str) -> Response:
+    text = state.plan_docs.get(key)
+    if text is None:
+        return Response.error(
+            404, f"no plan under key {key!r}; compile it first")
+    # the exact bytes of plan_to_json — the PLAN_SCHEMA_VERSION'd
+    # document, reused verbatim
+    return Response(body=text.encode())
+
+
+async def handle_metrics(state: ServiceState) -> Response:
+    from repro.obs import prometheus_text
+    state.refresh_cache_gauges()
+    return Response(
+        body=prometheus_text(state.registry).encode(),
+        content_type="text/plain; version=0.0.4; charset=utf-8")
+
+
+async def handle_healthz(state: ServiceState) -> Response:
+    return Response.json({
+        "kind": "healthz", "status": "ok",
+        "pending_jobs": state.pool.pending,
+        "max_pending": state.pool.max_pending,
+        "inflight_compiles": len(state.coalescer),
+        "coalesced": {"leaders": state.coalescer.leaders,
+                      "followers": state.coalescer.followers},
+        "caches": state.cache_stats(),
+        # explicit None test: an empty RunLedger is falsy (__len__)
+        "ledger": str(state.ledger.path)
+        if state.ledger is not None else None,
+    })
+
+
+async def handle_cache_warm(state: ServiceState, doc: object) -> Response:
+    if isinstance(doc, dict) and "jobs" in doc:
+        if set(doc) != {"jobs"} or not isinstance(doc["jobs"], list):
+            raise JobError("warm body must be a job object or "
+                           "{'jobs': [job, ...]}")
+        jobs = doc["jobs"]
+    else:
+        jobs = [doc]
+    warmed = []
+    for raw in jobs:
+        job = parse_compile_job(raw)
+        key, _, plan_key, coalesced = await _compile_shared(state, job)
+        warmed.append({"key": key, "plan_key": plan_key,
+                       "kernel": job.kernel, "coalesced": coalesced})
+    return Response.json({"kind": "cache-warm", "warmed": warmed})
+
+
+async def handle_cache_evict(state: ServiceState,
+                             doc: object) -> Response:
+    if not isinstance(doc, dict) or \
+            ("key" in doc) == (doc.get("all") is True) or \
+            not set(doc) <= {"key", "all"}:
+        raise JobError(
+            "evict body must be {'key': <cache key>} or {'all': true}")
+    key = doc.get("key")
+    dropped = {"plans": state.plan_cache.invalidate(key)}
+    if key is None:
+        state.plan_docs.clear()
+        dropped["kernels"] = _evict_kernels(state)
+    else:
+        state.plan_docs.pop(key, None)
+    return Response.json({"kind": "cache-evict", "dropped": dropped})
+
+
+def _evict_kernels(state: ServiceState) -> int:
+    """Drop every cached generated-kernel source file."""
+    if state.kernel_cache_dir is None \
+            or not state.kernel_cache_dir.is_dir():
+        return 0
+    dropped = 0
+    for f in state.kernel_cache_dir.glob("*.py"):
+        try:
+            f.unlink()
+            dropped += 1
+        except OSError:
+            pass
+    return dropped

@@ -142,6 +142,72 @@ class TestMachineFingerprintKeying:
                                 CompilerOptions())
 
 
+class TestTieredCache:
+    """The service's two-tier cache: in-memory LRU over the
+    machine-agnostic disk store, with promotion on disk hits."""
+
+    def _tiered(self, tmp_path):
+        from repro.compiler import TieredPlanCache
+        return TieredPlanCache(
+            PlanCache(8),
+            PersistentPlanCache(tmp_path, machine_fingerprint=""))
+
+    def test_put_writes_through_both_tiers(self, tmp_path):
+        cache = self._tiered(tmp_path)
+        _compile(cache)
+        assert len(cache.memory) == 1
+        assert len(cache.disk) == 1
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path):
+        warm = self._tiered(tmp_path)
+        compiled = _compile(warm)
+        # fresh process: memory is cold, disk still holds the entry
+        cache = self._tiered(tmp_path)
+        assert len(cache.memory) == 0
+        replay = _compile(cache)
+        assert cache.memory.stats.misses == 1
+        assert cache.disk.stats.hits == 1
+        assert len(cache.memory) == 1  # promoted
+        again = _compile(cache)
+        assert cache.memory.stats.hits == 1
+        assert again is replay
+
+    def test_memory_hit_skips_disk(self, tmp_path):
+        cache = self._tiered(tmp_path)
+        first = _compile(cache)
+        assert _compile(cache) is first
+        assert cache.disk.stats.hits == 0
+        assert cache.memory.stats.hits == 1
+
+    def test_both_tiers_derive_one_key(self, tmp_path):
+        cache = self._tiered(tmp_path)
+        opts = CompilerOptions.make("O2")
+        key = cache.key_for(SPEC.source, "MAIN", {"N": 16}, opts)
+        assert key == cache.memory.key_for(SPEC.source, "MAIN",
+                                           {"N": 16}, opts)
+        assert key == cache.disk.key_for(SPEC.source, "MAIN",
+                                         {"N": 16}, opts)
+
+    def test_machine_specific_disk_tier_rejected(self, tmp_path):
+        from repro.compiler import TieredPlanCache
+        disk = PersistentPlanCache(tmp_path, machine=Machine(grid=(2, 2)))
+        with pytest.raises(ValueError, match="machine-agnostic"):
+            TieredPlanCache(PlanCache(8), disk)
+
+    def test_invalidate_clears_both_tiers(self, tmp_path):
+        cache = self._tiered(tmp_path)
+        _compile(cache)
+        assert cache.invalidate() == 2
+        assert len(cache.memory) == 0
+        assert len(cache.disk) == 0
+
+    def test_memory_only_tier_is_optional_disk(self, tmp_path):
+        from repro.compiler import TieredPlanCache
+        cache = TieredPlanCache(PlanCache(8))
+        first = _compile(cache)
+        assert _compile(cache) is first
+
+
 class TestBoundedStore:
     """The on-disk store is capped: ``max_entries`` + LRU-by-mtime
     pruning on ``put``, plus the init-time ``*.tmp`` orphan sweep.
@@ -178,6 +244,36 @@ class TestBoundedStore:
         _compile(fresh, bindings={"N": 20})
         assert fresh.stats.hits == 1
         assert fresh.stats.misses == 1
+
+    def test_prune_breaks_mtime_ties_by_name(self, tmp_path):
+        """Equal-mtime entries are pruned in (mtime, name) order, not
+        directory-listing order.
+
+        On coarse-mtime filesystems a burst of puts lands many entries
+        on one timestamp; sorting by raw mtime alone left the victim
+        choice to readdir order, so two pruners (or two runs) could
+        evict different entries.  The name tie-break makes the survivor
+        set a pure function of the directory contents."""
+        import os
+        import random
+        import time
+        cache = PersistentPlanCache(tmp_path, max_entries=8)
+        names = [f"{i:02d}{'ab'[i % 2]}{'f' * 6}.json" for i in range(40)]
+        # Create in scattered order so directory order != name order.
+        rng = random.Random(7)
+        shuffled = names[:]
+        rng.shuffle(shuffled)
+        for name in shuffled:
+            (tmp_path / name).write_text("{}")
+        stamp = time.time() - 50
+        for name in names:
+            os.utime(tmp_path / name, (stamp, stamp))
+        pruned = cache._prune()
+        assert pruned == 32
+        survivors = sorted(f.name for f in tmp_path.glob("*.json"))
+        assert survivors == sorted(names)[-8:], (
+            "mtime ties must fall back to name order so the victim set "
+            "is deterministic")
 
     def test_max_entries_validated(self, tmp_path):
         with pytest.raises(ValueError, match="max_entries"):

@@ -129,6 +129,66 @@ class TestFingerprintKeying:
         assert sorted(counts.values()) == [1, 2]
 
 
+class TestReaderWriterRace:
+    """Readers racing a live O_APPEND writer observe whole lines only,
+    and a torn tail left by a dead writer is skipped exactly once —
+    one corrupt line, regardless of how many healed records follow or
+    how many times the file is re-read."""
+
+    def test_reader_racing_live_writer_sees_whole_records_only(
+            self, path):
+        total = 120
+        method = "fork" if "fork" in mp.get_all_start_methods() \
+            else "spawn"
+        ctx = mp.get_context(method)
+        writer = ctx.Process(target=_append_worker,
+                             args=(str(path), 0, total))
+        writer.start()
+        try:
+            import time
+            reader = RunLedger(path)
+            observed = 0
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                records = reader.records()
+                # every record a mid-write read returns is complete
+                # and well-formed; a partially flushed line may hide
+                # the newest record but can never corrupt the view
+                assert reader.corrupt_lines == 0
+                assert len(records) >= observed, \
+                    "records went backwards under a racing writer"
+                observed = len(records)
+                for record in records:
+                    assert record["fingerprint"] == "w0"
+                    assert record["metrics"]["pad"]
+                if observed >= total:
+                    break
+        finally:
+            writer.join(timeout=30)
+        assert writer.exitcode == 0
+        assert len(RunLedger(path).records()) == total
+
+    def test_torn_tail_skipped_exactly_once(self, path):
+        ledger = RunLedger(path)
+        ledger.append(fingerprint="fp", plan_key="before")
+        # a writer died mid-write: unterminated, unparseable tail
+        with open(path, "ab") as f:
+            f.write(b'{"type": "run", "version": 1, "fingerp')
+        reader = RunLedger(path)
+        assert [r["plan_key"] for r in reader.records()] == ["before"]
+        assert reader.corrupt_lines == 1
+
+        # healing appends start fresh lines; the torn fragment stays
+        # one corrupt line, not one per subsequent record or re-read
+        ledger.append(fingerprint="fp", plan_key="after-1")
+        ledger.append(fingerprint="fp", plan_key="after-2")
+        for _ in range(3):
+            records = reader.records()
+            assert [r["plan_key"] for r in records] == \
+                ["before", "after-1", "after-2"]
+            assert reader.corrupt_lines == 1
+
+
 def _append_worker(path_str: str, wid: int, n: int) -> None:
     ledger = RunLedger(path_str)
     for i in range(n):

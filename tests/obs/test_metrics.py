@@ -181,6 +181,118 @@ class TestUseRegistry:
             m.set_registry(prev)
 
 
+class TestContextScoping:
+    """Regression suite for the module-global ``_ACTIVE`` bug: one
+    task/thread's ``use_registry()`` used to swap the registry for every
+    other in-flight task, cross-publishing concurrent requests'
+    series."""
+
+    def test_two_task_divergence(self):
+        """Two interleaved asyncio tasks each keep their own registry.
+
+        Pre-fix this failed: task B's install leaked into task A across
+        the ``await``, so A's second increment landed in B's registry.
+        """
+        import asyncio
+
+        async def request(name: str, release: asyncio.Event,
+                          ready: asyncio.Event) -> MetricsRegistry:
+            with use_registry() as reg:
+                m.get_registry().counter("req_ops").inc(task=name)
+                ready.set()
+                await release.wait()  # the other task installs here
+                m.get_registry().counter("req_ops").inc(task=name)
+            return reg
+
+        async def scenario():
+            release_a = asyncio.Event()
+            ready_a = asyncio.Event()
+            release_b = asyncio.Event()
+            ready_b = asyncio.Event()
+            task_a = asyncio.ensure_future(
+                request("a", release_a, ready_a))
+            await ready_a.wait()
+            task_b = asyncio.ensure_future(
+                request("b", release_b, ready_b))
+            await ready_b.wait()
+            release_a.set()
+            release_b.set()
+            return await asyncio.gather(task_a, task_b)
+
+        reg_a, reg_b = asyncio.run(scenario())
+        assert reg_a is not reg_b
+        ops_a = reg_a.get("req_ops")
+        ops_b = reg_b.get("req_ops")
+        assert ops_a.value(task="a") == 2.0
+        assert ops_a.value(task="b") is None, \
+            "task b's series leaked into task a's registry"
+        assert ops_b.value(task="b") == 2.0
+        assert ops_b.value(task="a") is None, \
+            "task a's series leaked into task b's registry"
+
+    def test_two_thread_divergence(self):
+        """Worker-pool threads with their own scopes never cross-talk."""
+        import threading
+
+        barrier = threading.Barrier(2, timeout=10.0)
+        regs: dict[str, MetricsRegistry] = {}
+
+        def request(name: str) -> None:
+            with use_registry() as reg:
+                regs[name] = reg
+                barrier.wait()  # both scopes now active concurrently
+                m.get_registry().counter("req_ops").inc(task=name)
+                barrier.wait()
+
+        threads = [threading.Thread(target=request, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert regs["a"].get("req_ops").value(task="a") == 1.0
+        assert regs["a"].get("req_ops").value(task="b") is None
+        assert regs["b"].get("req_ops").value(task="b") == 1.0
+        assert regs["b"].get("req_ops").value(task="a") is None
+
+    def test_fresh_thread_sees_process_default(self):
+        """A scope in one thread is invisible to a new thread, which
+        falls back to the process default (the CLI contract)."""
+        import threading
+
+        seen = {}
+
+        def probe():
+            seen["registry"] = m.get_registry()
+
+        with use_registry():
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["registry"] is NULL_REGISTRY
+
+    def test_set_process_default(self):
+        mine = MetricsRegistry()
+        prev = m.set_process_default(mine)
+        try:
+            assert m.get_registry() is mine
+            with use_registry() as reg:
+                assert m.get_registry() is reg
+            assert m.get_registry() is mine
+        finally:
+            m.set_process_default(prev)
+        assert m.get_registry() is NULL_REGISTRY
+
+    def test_cache_stats_publish_context_local(self):
+        """CacheStats.record publishes into the context-local registry,
+        not a process global."""
+        stats = CacheStats(label="plan-memory")
+        with use_registry() as reg:
+            stats.record("hit")
+        events = reg.get("repro_cache_events_total")
+        assert events.value(cache="plan-memory", event="hit") == 1.0
+
+
 class TestJsonExport:
     def build(self):
         reg = MetricsRegistry()

@@ -248,6 +248,112 @@ class TestLifecycle:
                                   levels=("O4",))
 
 
+class TestStaleSegmentReclamation:
+    """A coordinator killed with SIGKILL never runs ``close()``, so its
+    segments leak in /dev/shm until reboot.  Run ids embed the creator
+    pid; ``reclaim_stale_segments`` unlinks segments whose creator is
+    dead and leaves everything else — live runs, foreign names —
+    strictly alone."""
+
+    # Child: build a coordinator, materialize entry arrays (coll +
+    # per-PE block segments appear in /dev/shm), report the run id,
+    # then die without any cleanup.
+    CHILD = """\
+import os, signal
+from repro.compiler import compile_hpf
+from repro.kernels import KERNELS
+from repro.machine import Machine
+from repro.runtime.parallel import ParallelExec
+
+spec = KERNELS["five_point"]
+compiled = compile_hpf(spec.source, bindings={"N": 12}, level="O0",
+                       outputs=set(spec.outputs))
+ex = ParallelExec(compiled.plan, Machine(grid=(2, 2)), {}, False)
+for name in compiled.plan.entry_arrays:
+    ex.materialize(name)
+print(ex.run_id, flush=True)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+    def test_run_id_embeds_creator_pid(self):
+        import os
+        spec = KERNELS["five_point"]
+        compiled = compile_hpf(spec.source, bindings={"N": 12},
+                               level="O0", outputs=set(spec.outputs))
+        from repro.runtime.parallel import ParallelExec
+        ex = ParallelExec(compiled.plan, Machine(grid=(2, 2)), {}, False)
+        try:
+            assert ex.run_id.split("-")[1] == str(os.getpid())
+        finally:
+            ex.close()
+
+    def test_killed_coordinator_segments_reclaimed(self):
+        import glob
+        import subprocess
+        import sys
+        from repro.runtime.parallel import reclaim_stale_segments
+        proc = subprocess.run(
+            [sys.executable, "-c", self.CHILD],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == -9, proc.stderr
+        run_id = proc.stdout.strip()
+        assert run_id.startswith("repro-")
+        leaked = glob.glob(f"/dev/shm/{run_id}-*")
+        assert leaked, "child should have left segments behind"
+        reclaimed = reclaim_stale_segments()
+        assert set(f"/dev/shm/{n}" for n in reclaimed) >= set(leaked)
+        assert not glob.glob(f"/dev/shm/{run_id}-*")
+
+    def test_live_and_foreign_segments_untouched(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        from repro.runtime.parallel import reclaim_stale_segments
+        live = subprocess.Popen([sys.executable, "-c",
+                                 "import time; time.sleep(60)"])
+        try:
+            names = {
+                "mine": f"repro-{os.getpid()}-aaa-x-g1-p0",
+                "live": f"repro-{live.pid}-bbb-x-g1-p0",
+                "dead": f"repro-{_dead_pid()}-ccc-x-g1-p0",
+                "legacy": "repro-deadbeefcafe-x-g1-p0",
+                "foreign": "repro-notapid-extra-thing",
+            }
+            for name in names.values():
+                (tmp_path / name).write_text("")
+            reclaimed = reclaim_stale_segments(str(tmp_path))
+            assert reclaimed == [names["dead"]]
+            survivors = sorted(p.name for p in tmp_path.iterdir())
+            assert survivors == sorted(
+                v for k, v in names.items() if k != "dead")
+        finally:
+            live.kill()
+            live.wait()
+
+    def test_throttled_scan_skips_within_interval(self, tmp_path,
+                                                  monkeypatch):
+        from repro.runtime import parallel
+        pid = _dead_pid()
+        (tmp_path / f"repro-{pid}-abc-x-g1-p0").write_text("")
+        monkeypatch.setattr(parallel, "_last_reclaim", 0.0)
+        assert parallel.reclaim_stale_segments(
+            str(tmp_path), throttle=True)
+        (tmp_path / f"repro-{pid}-def-x-g1-p0").write_text("")
+        assert parallel.reclaim_stale_segments(
+            str(tmp_path), throttle=True) == []
+        assert parallel.reclaim_stale_segments(str(tmp_path))
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed to name no live process: spawn a trivial child,
+    reap it, return its (now free) pid."""
+    import subprocess
+    import sys
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    return child.pid
+
+
 class TestFailureInjection:
     """A failing worker must surface fast, with a diagnostic naming the
     failed worker and its PEs — and leave /dev/shm clean (audited by

@@ -1,0 +1,124 @@
+"""Coalescer unit tests: N identical concurrent submits run the
+factory once, all N get the same object, and failures propagate to the
+whole cohort without poisoning the key."""
+
+import asyncio
+
+import pytest
+
+from repro.service import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_keys_run_factory_once(self):
+        async def scenario():
+            co = Coalescer()
+            calls = 0
+            release = asyncio.Event()
+
+            async def factory():
+                nonlocal calls
+                calls += 1
+                await release.wait()
+                return object()
+
+            tasks = [asyncio.ensure_future(co.run("k", factory))
+                     for _ in range(32)]
+            await asyncio.sleep(0)  # let every task reach the map
+            release.set()
+            results = await asyncio.gather(*tasks)
+            return co, calls, results
+
+        co, calls, results = run(scenario())
+        assert calls == 1
+        values = [value for value, _ in results]
+        assert all(v is values[0] for v in values)
+        coalesced = [flag for _, flag in results]
+        assert coalesced.count(False) == 1  # exactly one leader
+        assert coalesced.count(True) == 31
+        assert co.leaders == 1 and co.followers == 31
+        assert len(co) == 0  # inflight map drained
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            co = Coalescer()
+            calls = []
+
+            async def factory(key):
+                calls.append(key)
+                return key.upper()
+
+            results = await asyncio.gather(
+                co.run("a", lambda: factory("a")),
+                co.run("b", lambda: factory("b")))
+            return co, calls, results
+
+        co, calls, results = run(scenario())
+        assert sorted(calls) == ["a", "b"]
+        assert results == [("A", False), ("B", False)]
+        assert co.leaders == 2 and co.followers == 0
+
+    def test_sequential_requests_each_lead(self):
+        async def scenario():
+            co = Coalescer()
+
+            async def factory():
+                return 1
+
+            first = await co.run("k", factory)
+            second = await co.run("k", factory)
+            return co, first, second
+
+        co, first, second = run(scenario())
+        # no overlap -> no coalescing; caching is the cache's job
+        assert first == (1, False) and second == (1, False)
+        assert co.leaders == 2
+
+    def test_leader_failure_reaches_every_follower(self):
+        async def scenario():
+            co = Coalescer()
+            release = asyncio.Event()
+
+            async def factory():
+                await release.wait()
+                raise RuntimeError("compile exploded")
+
+            tasks = [asyncio.ensure_future(co.run("k", factory))
+                     for _ in range(5)]
+            await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(*tasks,
+                                           return_exceptions=True)
+            return co, results
+
+        co, results = run(scenario())
+        assert len(results) == 5
+        assert all(isinstance(r, RuntimeError) for r in results)
+        # same exception object for the whole cohort
+        assert len({id(r) for r in results}) == 1
+        assert len(co) == 0
+
+    def test_failed_key_retries_fresh(self):
+        async def scenario():
+            co = Coalescer()
+            attempts = 0
+
+            async def factory():
+                nonlocal attempts
+                attempts += 1
+                if attempts == 1:
+                    raise RuntimeError("transient")
+                return "ok"
+
+            with pytest.raises(RuntimeError):
+                await co.run("k", factory)
+            value, coalesced = await co.run("k", factory)
+            return attempts, value, coalesced
+
+        attempts, value, coalesced = run(scenario())
+        assert attempts == 2
+        assert value == "ok" and coalesced is False

@@ -1,0 +1,61 @@
+"""Worker-pool unit tests: bounded concurrency, admission control, and
+the Retry-After estimate."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import PoolBusy, WorkerPool
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_rejects_beyond_max_pending(self):
+        async def scenario():
+            pool = WorkerPool(workers=1, max_pending=2)
+            gate = threading.Event()
+            admitted = [pool.submit(gate.wait) for _ in range(2)]
+            tasks = [asyncio.ensure_future(t) for t in admitted]
+            await asyncio.sleep(0.05)
+            assert pool.pending == 2
+            with pytest.raises(PoolBusy) as exc:
+                await pool.submit(lambda: None)
+            assert exc.value.retry_after >= 1
+            gate.set()
+            await asyncio.gather(*tasks)
+            assert pool.pending == 0
+            # capacity freed: the next job is admitted again
+            assert await pool.submit(lambda: 42) == 42
+            pool.shutdown()
+
+        run(scenario())
+
+    def test_results_and_errors_round_trip(self):
+        async def scenario():
+            pool = WorkerPool(workers=2, max_pending=4)
+            assert await pool.submit(lambda: 7) == 7
+            with pytest.raises(ZeroDivisionError):
+                await pool.submit(lambda: 1 // 0)
+            pool.shutdown()
+
+        run(scenario())
+
+    def test_retry_after_tracks_backlog(self):
+        pool = WorkerPool(workers=1, max_pending=8)
+        pool._ewma_seconds = 2.0
+        pool._pending = 1  # nothing queued beyond the workers
+        shallow = pool.retry_after()
+        pool._pending = 7  # six queued behind the one running
+        deep = pool.retry_after()
+        assert 1 <= shallow < deep
+        pool.shutdown()
+
+    def test_validates_configuration(self):
+        with pytest.raises(ValueError, match="worker"):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            WorkerPool(workers=1, max_pending=0)
